@@ -1,0 +1,87 @@
+"""Ablation A3 — recursion compression on the ccStack (Figure 5(e)).
+
+Highly repetitive recursion would otherwise grow the ccStack linearly
+with recursion depth — both runtime cost and space for every collected
+context.  The compressed instrumentation folds identical consecutive
+entries into a repetition counter.  This ablation runs a gobmk-style
+deep-recursion workload with compression always / adaptive / never and
+reports ccStack sizes and operation mix.
+"""
+
+from conftest import write_result
+
+
+def _run(mode, bench_settings):
+    from repro.bench import full_suite
+    from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+    from repro.program.generator import generate_program
+    from repro.program.trace import TraceExecutor
+
+    benchmark = full_suite().get("445.gobmk")
+    program = generate_program(benchmark.generator_config(bench_settings["scale"]))
+    spec = benchmark.workload_spec(
+        calls=bench_settings["calls"], seed=bench_settings["seed"]
+    )
+    engine = DacceEngine(
+        root=program.main, config=DacceConfig(compression=mode)
+    )
+    max_entries = 0
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        state = engine._threads.get(0)
+        if state is not None:
+            max_entries = max(max_entries, len(state.ccstack))
+    stats = engine.ccstack_stats()
+    avg_sample_entries = (
+        sum(len(s.ccstack) for s in engine.samples) / max(1, len(engine.samples))
+    )
+    return {
+        "mode": mode.value,
+        "max_entries": max_entries,
+        "compressions": stats["compressions"],
+        "pushes": stats["pushes"],
+        "avg_sample_entries": avg_sample_entries,
+    }
+
+
+def test_ablation_recursion_compression(benchmark, bench_settings):
+    from repro.analysis.report import render_table
+    from repro.core.engine import CompressionMode
+
+    results = {}
+    for mode in (CompressionMode.ALWAYS, CompressionMode.ADAPTIVE,
+                 CompressionMode.NEVER):
+        if mode is CompressionMode.ALWAYS:
+            results[mode] = benchmark.pedantic(
+                lambda: _run(mode, bench_settings), rounds=1, iterations=1
+            )
+        else:
+            results[mode] = _run(mode, bench_settings)
+
+    rows = [
+        [
+            r["mode"],
+            str(r["max_entries"]),
+            str(r["pushes"]),
+            str(r["compressions"]),
+            "%.2f" % r["avg_sample_entries"],
+        ]
+        for r in results.values()
+    ]
+    table = render_table(
+        ["compression", "max ccStack entries", "pushes", "compressions",
+         "avg entries/sample"],
+        rows,
+    )
+    path = write_result("ablation_recursion.txt", table)
+    print("\n" + table)
+    print("\n[ablation written to %s]" % path)
+
+    always = results[CompressionMode.ALWAYS]
+    never = results[CompressionMode.NEVER]
+    assert never["compressions"] == 0
+    # Compression never increases the physical stack size, and when the
+    # workload repeats recursion it strictly shrinks it.
+    assert always["max_entries"] <= never["max_entries"]
+    if always["compressions"]:
+        assert always["avg_sample_entries"] <= never["avg_sample_entries"]

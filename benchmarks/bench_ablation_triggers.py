@@ -1,0 +1,91 @@
+"""Ablation A4 — sensitivity of the re-encoding triggers (Section 4).
+
+How often DACCE re-encodes is a policy trade-off: re-encoding late
+leaves hot new edges unencoded (ccStack traffic on every traversal);
+re-encoding eagerly burns re-encoding passes.  This sweep varies the
+trigger evaluation interval and the new-edge threshold on a workload
+with continuous discovery and reports gTS, discovery traffic, and the
+one-time cycle budget spent — the paper's Table 1 "gTS"/"costs" columns
+as a function of policy.
+"""
+
+from conftest import write_result
+
+
+def _run(check_interval, new_edge_threshold, bench_settings):
+    from repro.bench import full_suite
+    from repro.core.adaptive import AdaptiveConfig
+    from repro.core.engine import DacceConfig, DacceEngine
+    from repro.program.generator import generate_program
+    from repro.program.trace import TraceExecutor
+
+    benchmark = full_suite().get("403.gcc")
+    program = generate_program(benchmark.generator_config(bench_settings["scale"]))
+    spec = benchmark.workload_spec(
+        calls=bench_settings["calls"], seed=bench_settings["seed"]
+    )
+    config = DacceConfig(
+        adaptive=AdaptiveConfig(
+            check_interval=check_interval,
+            new_edge_threshold=new_edge_threshold,
+        )
+    )
+    engine = DacceEngine(root=program.main, config=config)
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    return {
+        "interval": check_interval,
+        "threshold": new_edge_threshold,
+        "gts": engine.stats.reencodings,
+        "discovery_ops": engine.stats.discovery_ccstack_ops,
+        "reencode_cycles": engine.stats.reencode_cost_cycles,
+        "edges": engine.graph.num_edges,
+        "encoded": engine.current_dictionary.num_encoded_edges,
+    }
+
+
+def test_ablation_trigger_sensitivity(benchmark, bench_settings):
+    from repro.analysis.report import render_table
+
+    sweep = [
+        (128, 4),
+        (512, 16),
+        (2048, 64),
+        (8192, 256),
+    ]
+    results = []
+    for interval, threshold in sweep:
+        if interval == 512:
+            results.append(
+                benchmark.pedantic(
+                    lambda: _run(512, 16, bench_settings), rounds=1, iterations=1
+                )
+            )
+        else:
+            results.append(_run(interval, threshold, bench_settings))
+
+    rows = [
+        [
+            str(r["interval"]),
+            str(r["threshold"]),
+            str(r["gts"]),
+            str(r["discovery_ops"]),
+            "%.0f" % r["reencode_cycles"],
+            "%d/%d" % (r["encoded"], r["edges"]),
+        ]
+        for r in results
+    ]
+    table = render_table(
+        ["check interval", "edge threshold", "gTS", "discovery ccStack ops",
+         "re-encode cycles", "encoded/edges"],
+        rows,
+    )
+    path = write_result("ablation_triggers.txt", table)
+    print("\n" + table)
+    print("\n[ablation written to %s]" % path)
+
+    eager, lazy = results[0], results[-1]
+    # Eager policies re-encode more and leave less unencoded traffic.
+    assert eager["gts"] >= lazy["gts"]
+    assert eager["discovery_ops"] <= lazy["discovery_ops"] * 1.1
+    assert eager["reencode_cycles"] >= lazy["reencode_cycles"]

@@ -1,0 +1,45 @@
+"""Figure 9 — the progress of encodings with the DACCE method.
+
+Regenerates the paper's four progress plots (445.gobmk, 483.xalancbmk,
+458.sjeng, 433.milc): how encoded nodes, encoded edges and the maximum
+context id evolve over execution time.  The paper's observations to
+reproduce: re-encoding clusters at start-up, the encoding stabilises
+quickly, and re-encodings can *decrease* maxID when back edges are
+re-picked (the xalancbmk anecdote).
+"""
+
+from conftest import write_result
+
+
+def test_fig9_progress(benchmark, bench_settings):
+    from repro.analysis import FIGURE9_BENCHMARKS, render_figure9, run_progress
+    from repro.bench import full_suite
+
+    suite = full_suite()
+    calls = bench_settings["calls"]
+    scale = bench_settings["scale"]
+    seed = bench_settings["seed"]
+
+    def unit():
+        return run_progress(
+            suite.get("433.milc"), calls=calls, scale=scale, seed=seed
+        )
+
+    benchmark.pedantic(unit, rounds=1, iterations=1)
+
+    series = [
+        run_progress(suite.get(name), calls=calls, scale=scale, seed=seed)
+        for name in FIGURE9_BENCHMARKS
+    ]
+    figure = render_figure9(series)
+    path = write_result("fig9_progress.txt", figure)
+    print("\n" + figure)
+    print("\n[figure 9 written to %s]" % path)
+
+    for entry in series:
+        assert len(entry.points) >= 2, entry.name
+        # Start-up clustering: the first re-encoding is early.
+        assert entry.points[0].at_call <= max(1, entry.total_calls // 5)
+        # The graph only grows.
+        nodes = [p.nodes for p in entry.points]
+        assert nodes == sorted(nodes)

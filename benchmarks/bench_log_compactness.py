@@ -1,0 +1,78 @@
+"""Extra artifact — context-log compactness (the Section 1 motivation).
+
+Race detectors and event loggers attach a calling context to every
+recorded event.  This bench quantifies the bytes-per-context of three
+logging strategies over the same sampled execution:
+
+* **DACCE sample log** — varint-encoded ``(gTS, id, ccStack)`` records,
+* **stack-walk log** — the full call path, 8 bytes per frame (what a
+  tool without encoding must store),
+* **CCT node log** — 4-byte node ids (cheap, but requires keeping the
+  whole calling context tree alive and updating it at *every* call).
+"""
+
+from conftest import write_result
+
+
+def test_log_compactness(benchmark, bench_settings):
+    from repro.analysis.report import render_table
+    from repro.baselines.cct import CctEngine
+    from repro.bench import full_suite
+    from repro.core.engine import DacceEngine
+    from repro.core.events import SampleEvent
+    from repro.core.samplelog import SampleLog
+    from repro.program.generator import generate_program
+    from repro.program.trace import TraceExecutor
+
+    spec_bench = full_suite().get("445.gobmk")
+    program = generate_program(spec_bench.generator_config(bench_settings["scale"]))
+    workload = spec_bench.workload_spec(
+        calls=bench_settings["calls"], seed=bench_settings["seed"]
+    )
+    events = list(TraceExecutor(program, workload).events())
+
+    def run_dacce():
+        engine = DacceEngine(root=program.main)
+        log = SampleLog()
+        for event in events:
+            engine.on_event(event)
+            if isinstance(event, SampleEvent):
+                log.append(engine.samples[-1])
+        return engine, log
+
+    engine, log = benchmark.pedantic(run_dacce, rounds=1, iterations=1)
+
+    # Stack-walk log: full path per sample at 8 bytes per frame.
+    walk_bytes = 0
+    cct = CctEngine(root=program.main)
+    for event in events:
+        cct.on_event(event)
+        if isinstance(event, SampleEvent):
+            walk_bytes += 8 * len(cct._frames[event.thread])
+    cct_bytes = 4 * len(log)
+
+    samples = max(1, len(log))
+    rows = [
+        ["DACCE sample log", str(log.size_bytes),
+         "%.1f" % log.bytes_per_sample, "decodes to exact path"],
+        ["stack-walk log", str(walk_bytes),
+         "%.1f" % (walk_bytes / samples), "exact, but O(depth) capture"],
+        ["CCT node ids", str(cct_bytes),
+         "%.1f" % (cct_bytes / samples), "needs live CCT + per-call work"],
+    ]
+    table = render_table(
+        ["strategy", "total bytes", "bytes/context", "notes"], rows
+    )
+    path = write_result("log_compactness.txt", table)
+    print("\n%d contexts logged" % len(log))
+    print(table)
+    print("\n[written to %s]" % path)
+
+    # DACCE's records are far smaller than raw stack walks and fully
+    # self-contained (unlike CCT ids, which are pointers into a big
+    # runtime structure).
+    assert log.size_bytes < walk_bytes
+    # Round-trip integrity of the whole log.
+    decoder = engine.decoder()
+    for sample in SampleLog.from_bytes(log.to_bytes()):
+        decoder.decode(sample)

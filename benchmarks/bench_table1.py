@@ -1,0 +1,38 @@
+"""Table 1 — characteristics of SPEC CPU2006 and Parsec 2.1.
+
+Regenerates, for each benchmark stand-in, the paper's characteristics
+columns for both PCCE and DACCE: call-graph nodes/edges, maximum context
+id (with 64-bit overflow detection), ccStack traffic and depth, the
+number of re-encoding passes (gTS) and their cost, and the dynamic call
+rate.  The timed unit is one full DACCE measurement run.
+"""
+
+from conftest import write_result
+
+
+def test_table1_characteristics(benchmark, suite_measurements, bench_settings):
+    from repro.analysis import measure_dacce, render_table1
+    from repro.bench import full_suite
+
+    representative = full_suite().get("401.bzip2")
+
+    def unit():
+        return measure_dacce(
+            representative,
+            calls=bench_settings["calls"],
+            scale=bench_settings["scale"],
+        )
+
+    benchmark.pedantic(unit, rounds=1, iterations=1)
+
+    table = render_table1(suite_measurements)
+    path = write_result("table1.txt", table)
+    print("\n" + table)
+    print("\n[table 1 written to %s]" % path)
+
+    # Shape assertions mirroring the paper's headline claims.
+    for m in suite_measurements:
+        assert m.dacce.nodes <= m.pcce.nodes, m.benchmark.name
+        assert m.dacce.edges <= m.pcce.edges, m.benchmark.name
+        assert m.dacce.undecodable == 0, m.benchmark.name
+    assert any(m.dacce.gts >= 2 for m in suite_measurements)

@@ -1,0 +1,86 @@
+"""Shared benchmark-harness configuration.
+
+Environment knobs (all optional):
+
+* ``DACCE_BENCH_CALLS``  — dynamic calls per benchmark run (default 20000)
+* ``DACCE_BENCH_SCALE``  — graph-size scale vs Table 1 (default 0.4)
+* ``DACCE_BENCH_FULL``   — set to 1 to run all 41 benchmarks instead of
+  the representative subset
+* ``DACCE_BENCH_SEED``   — workload seed (default 1)
+
+Every bench writes its rendered table/figure to
+``benchmarks/results/<name>.txt`` so the artifacts survive the run.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Representative subset covering every mechanism: indirect-heavy
+#: (perlbench, x264), recursion-heavy (gobmk, xalancbmk), plain hot
+#: (bzip2, sjeng), call-sparse (lbm, mcf), multi-threaded Parsec
+#: (bodytrack, dedup, streamcluster), re-encoding-heavy (milc).
+DEFAULT_SUBSET = [
+    "400.perlbench",
+    "401.bzip2",
+    "445.gobmk",
+    "458.sjeng",
+    "433.milc",
+    "429.mcf",
+    "470.lbm",
+    "483.xalancbmk",
+    "bodytrack",
+    "x264",
+    "dedup",
+    "streamcluster",
+]
+
+
+@pytest.fixture(scope="session")
+def bench_settings():
+    return {
+        "calls": int(os.environ.get("DACCE_BENCH_CALLS", "20000")),
+        "scale": float(os.environ.get("DACCE_BENCH_SCALE", "0.4")),
+        "seed": int(os.environ.get("DACCE_BENCH_SEED", "1")),
+        "full": os.environ.get("DACCE_BENCH_FULL", "0") == "1",
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_names(bench_settings):
+    from repro.bench import full_suite
+
+    if bench_settings["full"]:
+        return full_suite().names()
+    return list(DEFAULT_SUBSET)
+
+
+@pytest.fixture(scope="session")
+def suite_measurements(bench_settings, bench_names):
+    """Table 1 / Figure 8 share one measurement pass per session."""
+    from repro.analysis import measure_benchmark
+    from repro.bench import full_suite
+
+    suite = full_suite()
+    return [
+        measure_benchmark(
+            suite.get(name),
+            calls=bench_settings["calls"],
+            scale=bench_settings["scale"],
+            seed=bench_settings["seed"],
+        )
+        for name in bench_names
+    ]
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

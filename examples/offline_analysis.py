@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The full deployment pipeline: record compactly, analyse offline.
+
+The paper's tools split work between a *recording* process (the
+instrumented program, paying a few words per context) and an *analysis*
+process (a debugger or report generator, running later and elsewhere).
+This example plays both roles through files on disk:
+
+  recording side                     analysis side
+  --------------                     -------------
+  run workload under DACCE
+  append samples to a SampleLog  →   load the log
+  export the decoding state      →   load a Decoder from the state
+                                     decode, aggregate, report
+
+Run:  python examples/offline_analysis.py
+"""
+
+import os
+import tempfile
+from collections import Counter
+
+from repro import DacceEngine, GeneratorConfig, WorkloadSpec, generate_program
+from repro.core.events import SampleEvent
+from repro.core.samplelog import SampleLog
+from repro.core.serialize import export_decoding_state, load_decoder
+from repro.program.trace import ThreadSpec, TraceExecutor
+
+
+def record(prefix: str) -> None:
+    """The instrumented process: run, log, export, exit."""
+    program = generate_program(
+        GeneratorConfig(seed=33, functions=45, edges=110,
+                        recursive_sites=3, indirect_fraction=0.1)
+    )
+    workload = WorkloadSpec(
+        calls=25_000,
+        seed=5,
+        sample_period=60,
+        recursion_affinity=0.3,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=2_000)],
+    )
+    engine = DacceEngine(root=program.main)
+    log = SampleLog()
+    for event in TraceExecutor(program, workload).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            log.append(engine.samples[-1])
+
+    with open(prefix + ".log", "wb") as handle:
+        handle.write(log.to_bytes())
+    export_decoding_state(engine, prefix + ".state.json")
+    print("[recorder] %d contexts logged at %.1f bytes each"
+          % (len(log), log.bytes_per_sample))
+    print("[recorder] state file: %d dictionaries (one per re-encoding)"
+          % (engine.stats.reencodings + 1))
+
+
+def analyse(prefix: str) -> None:
+    """The analysis process: no engine, no program — just the files."""
+    decoder = load_decoder(prefix + ".state.json")
+    with open(prefix + ".log", "rb") as handle:
+        log = SampleLog.from_bytes(handle.read())
+
+    hot = Counter()
+    deepest = None
+    for sample in log:
+        context = decoder.decode(sample)
+        path = tuple(step.function for step in context.steps)
+        hot[path] += 1
+        if deepest is None or len(path) > len(deepest):
+            deepest = path
+
+    print("[analyser] decoded %d contexts from %d bytes"
+          % (len(log), log.size_bytes))
+    print("[analyser] hottest contexts:")
+    for path, count in hot.most_common(5):
+        print("   %4d  %s" % (count, " -> ".join("fn%d" % f for f in path)))
+    print("[analyser] deepest context: %d frames" % len(deepest))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        prefix = os.path.join(tmp, "run")
+        record(prefix)
+        log_size = os.path.getsize(prefix + ".log")
+        state_size = os.path.getsize(prefix + ".state.json")
+        print("artifacts: %d-byte log, %d-byte state file\n"
+              % (log_size, state_size))
+        analyse(prefix)
+
+
+if __name__ == "__main__":
+    main()

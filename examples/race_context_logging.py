@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Data-race-detector-style context logging for a multi-threaded program.
+
+The paper's introduction motivates DACCE with exactly this scenario: a
+dynamic race detector must attach a calling context to *every* logged
+memory access, but stack walking per access is far too expensive.  With
+DACCE the detector logs a few words — ``(thread, gTimeStamp, id,
+ccStack)`` — and only the accesses involved in an actual race are ever
+decoded.
+
+This example runs a four-thread synthetic workload, logs a compact
+context at every sampled "memory access", picks pseudo-racy pairs
+(accesses by different threads hitting the same address), and decodes
+just those — including the spawning context of each thread (Section 5.3).
+
+Run:  python examples/race_context_logging.py
+"""
+
+import random
+
+from repro import DacceEngine, GeneratorConfig, WorkloadSpec, generate_program
+from repro.core.events import SampleEvent
+from repro.program.trace import ThreadSpec, TraceExecutor
+
+
+def main() -> None:
+    program = generate_program(
+        GeneratorConfig(
+            seed=21,
+            functions=50,
+            edges=120,
+            recursive_sites=2,
+            indirect_fraction=0.08,
+            library_functions=6,
+        )
+    )
+    workload = WorkloadSpec(
+        calls=30_000,
+        seed=4,
+        sample_period=40,  # the "memory access" instrumentation points
+        recursion_affinity=0.3,
+        threads=[
+            ThreadSpec(thread=1, entry=2, spawn_at_call=1_000),
+            ThreadSpec(thread=2, entry=3, spawn_at_call=2_000),
+            ThreadSpec(thread=3, entry=2, spawn_at_call=3_000),
+        ],
+    )
+
+    engine = DacceEngine(root=program.main)
+    rng = random.Random(7)
+    access_log = []  # (address, thread, compact context sample)
+
+    for event in TraceExecutor(program, workload).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            address = rng.randrange(64)  # synthetic shared heap
+            access_log.append((address, event.thread, engine.samples[-1]))
+
+    print("accesses logged          :", len(access_log))
+    print("log entry size           : id + %d-entry ccStack (words)"
+          % max(len(s.ccstack) for _a, _t, s in access_log))
+    print("threads observed         :", sorted({t for _a, t, _s in access_log}))
+
+    # "Race detection": same address, different threads, adjacent in log.
+    races = []
+    by_address = {}
+    for address, thread, sample in access_log:
+        previous = by_address.get(address)
+        if previous is not None and previous[0] != thread:
+            races.append((address, previous, (thread, sample)))
+        by_address[address] = (thread, sample)
+
+    print("pseudo-racy pairs found  :", len(races))
+
+    decoder = engine.decoder()
+
+    def render(sample):
+        context = decoder.decode(sample)
+        return " -> ".join(
+            program.function(step.function).name for step in context.steps
+        )
+
+    print("\nfirst three races with full cross-thread contexts:")
+    for address, (thread_a, sample_a), (thread_b, sample_b) in races[:3]:
+        print("  address %d:" % address)
+        print("    T%d: %s" % (thread_a, render(sample_a)))
+        print("    T%d: %s" % (thread_b, render(sample_b)))
+
+    # The punchline: only the racy accesses were decoded; the other
+    # thousands of log entries never paid more than a few words.
+    print("\ndecoded %d of %d logged contexts (%.1f%%)"
+          % (2 * min(3, len(races)), len(access_log),
+             200.0 * min(3, len(races)) / len(access_log)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Analysis and reporting: Table 1 stats, Figures 8-10, validation."""
+
+from .depth import (
+    FIGURE10_BENCHMARKS,
+    DepthDistributions,
+    cumulative_distribution,
+    run_depth_distributions,
+)
+from .progress import (
+    FIGURE9_BENCHMARKS,
+    ProgressPoint,
+    ProgressSeries,
+    progress_from_engine,
+    run_progress,
+)
+from .export import (
+    export_fig8_csv,
+    export_fig9_csv,
+    export_fig10_csv,
+    export_table1_csv,
+)
+from .report import (
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_table,
+    render_table1,
+)
+from .stats import (
+    BenchmarkMeasurement,
+    EngineMeasurement,
+    geomean,
+    measure_benchmark,
+    measure_dacce,
+    measure_pcce,
+)
+from .validate import ValidationResult, contexts_equal, validate_run
+
+__all__ = [
+    "BenchmarkMeasurement",
+    "DepthDistributions",
+    "EngineMeasurement",
+    "FIGURE10_BENCHMARKS",
+    "FIGURE9_BENCHMARKS",
+    "ProgressPoint",
+    "ProgressSeries",
+    "ValidationResult",
+    "contexts_equal",
+    "cumulative_distribution",
+    "export_fig8_csv",
+    "export_fig9_csv",
+    "export_fig10_csv",
+    "export_table1_csv",
+    "geomean",
+    "measure_benchmark",
+    "measure_dacce",
+    "measure_pcce",
+    "progress_from_engine",
+    "render_figure8",
+    "render_figure9",
+    "render_figure10",
+    "render_table",
+    "render_table1",
+    "run_depth_distributions",
+    "run_progress",
+    "validate_run",
+]

@@ -1,0 +1,120 @@
+"""CSV export of the reproduced artifacts (machine-readable results).
+
+Each exporter mirrors one rendered artifact so downstream analysis or
+plotting can consume the measurements without re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Sequence
+
+from .depth import DepthDistributions
+from .progress import ProgressSeries
+from .stats import BenchmarkMeasurement
+
+
+def export_table1_csv(
+    measurements: Sequence[BenchmarkMeasurement], path: str
+) -> str:
+    """Table 1 (paper and measured columns side by side)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "benchmark", "suite",
+                "paper_pcce_nodes", "measured_pcce_nodes",
+                "paper_pcce_edges", "measured_pcce_edges",
+                "paper_pcce_maxid", "measured_pcce_maxid",
+                "measured_pcce_overflow",
+                "paper_dacce_nodes", "measured_dacce_nodes",
+                "paper_dacce_edges", "measured_dacce_edges",
+                "paper_dacce_maxid", "measured_dacce_maxid",
+                "paper_ccstack_per_s", "measured_ccstack_per_s",
+                "paper_depth", "measured_depth",
+                "paper_gts", "measured_gts",
+                "paper_cost_us", "measured_cost_us",
+            ]
+        )
+        for m in measurements:
+            paper = m.benchmark.paper
+            writer.writerow(
+                [
+                    m.benchmark.name, m.benchmark.suite,
+                    paper.pcce_nodes, m.pcce.nodes,
+                    paper.pcce_edges, m.pcce.edges,
+                    paper.pcce_maxid, m.pcce.max_id,
+                    int(m.pcce.overflowed),
+                    paper.nodes, m.dacce.nodes,
+                    paper.edges, m.dacce.edges,
+                    paper.maxid, m.dacce.max_id,
+                    paper.ccstack_s, round(m.dacce.ccstack_per_s, 2),
+                    paper.depth, round(m.dacce.avg_ccstack_depth, 3),
+                    paper.gts, m.dacce.gts,
+                    paper.costs_us, round(m.dacce.reencode_cost_us, 2),
+                ]
+            )
+    return path
+
+
+def export_fig8_csv(
+    measurements: Sequence[BenchmarkMeasurement], path: str
+) -> str:
+    """Figure 8 (overheads, paper read-offs included)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "benchmark",
+                "paper_pcce_overhead_pct", "paper_dacce_overhead_pct",
+                "measured_pcce_overhead_pct", "measured_dacce_overhead_pct",
+            ]
+        )
+        for m in measurements:
+            paper = m.benchmark.paper
+            writer.writerow(
+                [
+                    m.benchmark.name,
+                    paper.overhead_pcce, paper.overhead_dacce,
+                    round(m.pcce.overhead_pct, 4),
+                    round(m.dacce.overhead_pct, 4),
+                ]
+            )
+    return path
+
+
+def export_fig9_csv(series: Sequence[ProgressSeries], path: str) -> str:
+    """Figure 9 (one row per re-encoding per benchmark)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["benchmark", "gts", "at_call", "nodes", "edges", "max_id"]
+        )
+        for entry in series:
+            for point in entry.points:
+                writer.writerow(
+                    [
+                        entry.name, point.timestamp, point.at_call,
+                        point.nodes, point.edges, point.max_id,
+                    ]
+                )
+    return path
+
+
+def export_fig10_csv(
+    distributions: Sequence[DepthDistributions], path: str
+) -> str:
+    """Figure 10 (full CDFs, one row per (benchmark, stack, depth))."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark", "stack", "depth", "cumulative_fraction"])
+        for dist in distributions:
+            for label, cdf in (
+                ("call", dist.call_stack_cdf()),
+                ("ccstack", dist.ccstack_cdf()),
+            ):
+                for depth, fraction in cdf:
+                    writer.writerow(
+                        [dist.name, label, depth, round(fraction, 6)]
+                    )
+    return path

@@ -1,0 +1,204 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Everything prints to a string so benchmarks, the CLI and EXPERIMENTS.md
+generation share one formatter.  Figures are rendered as aligned text
+(bar charts / series tables) — good enough to eyeball the shapes the
+paper reports without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .depth import DepthDistributions
+from .progress import ProgressSeries
+from .stats import BenchmarkMeasurement, geomean
+
+
+def format_number(value: float) -> str:
+    """Compact numeric formatting matching Table 1's style."""
+    if isinstance(value, float) and not value.is_integer():
+        if value >= 1e6:
+            return "%.1E" % value
+        return "%.2f" % value
+    value = int(value)
+    if value >= 10_000_000:
+        return "%.1E" % value
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]]
+) -> str:
+    """Monospace table with right-aligned numeric-ish columns."""
+    materialised = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+TABLE1_HEADERS = [
+    "benchmark",
+    "P.nodes", "P.edges", "P.maxID", "P.ccs/s", "P.depth",
+    "D.nodes", "D.edges", "D.maxID", "D.ccs/s", "D.depth",
+    "gTS", "cost(us)", "calls/s",
+]
+
+
+def table1_row(measurement: BenchmarkMeasurement) -> List[str]:
+    pcce = measurement.pcce
+    dacce = measurement.dacce
+    calls_per_s = (
+        dacce.calls / dacce.sim_seconds if dacce.sim_seconds else 0.0
+    )
+    return [
+        measurement.benchmark.name,
+        str(pcce.nodes),
+        str(pcce.edges),
+        "overflow" if pcce.overflowed else format_number(pcce.max_id),
+        format_number(pcce.ccstack_per_s),
+        "%.2f" % pcce.avg_ccstack_depth,
+        str(dacce.nodes),
+        str(dacce.edges),
+        format_number(dacce.max_id),
+        format_number(dacce.ccstack_per_s),
+        "%.2f" % dacce.avg_ccstack_depth,
+        str(dacce.gts),
+        format_number(dacce.reencode_cost_us),
+        format_number(calls_per_s),
+    ]
+
+
+def render_table1(measurements: Sequence[BenchmarkMeasurement]) -> str:
+    return render_table(
+        TABLE1_HEADERS, [table1_row(m) for m in measurements]
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8
+# ----------------------------------------------------------------------
+def render_figure8(
+    measurements: Sequence[BenchmarkMeasurement],
+    bar_width: int = 40,
+    with_paper: bool = True,
+) -> str:
+    """Runtime-overhead bar chart: PCCE vs DACCE per benchmark."""
+    rows = []
+    pcce_values = []
+    dacce_values = []
+    peak = 0.0
+    for measurement in measurements:
+        peak = max(
+            peak, measurement.pcce.overhead_pct, measurement.dacce.overhead_pct
+        )
+    peak = max(peak, 1e-9)
+    for measurement in measurements:
+        pcce = measurement.pcce.overhead_pct
+        dacce = measurement.dacce.overhead_pct
+        pcce_values.append(pcce)
+        dacce_values.append(dacce)
+        paper = measurement.benchmark.paper
+        row = [
+            measurement.benchmark.name,
+            "%.2f%%" % pcce,
+            "%.2f%%" % dacce,
+            "#" * max(0, round(bar_width * pcce / peak)),
+            "=" * max(0, round(bar_width * dacce / peak)),
+        ]
+        if with_paper:
+            row.extend(
+                ["%.1f%%" % paper.overhead_pcce, "%.1f%%" % paper.overhead_dacce]
+            )
+        rows.append(row)
+    rows.append(
+        [
+            "geomean",
+            "%.2f%%" % (geomean([v / 100 for v in pcce_values]) * 100),
+            "%.2f%%" % (geomean([v / 100 for v in dacce_values]) * 100),
+            "",
+            "",
+        ]
+        + (["2.5%", "2.0%"] if with_paper else [])
+    )
+    headers = ["benchmark", "PCCE", "DACCE", "PCCE bar (#)", "DACCE bar (=)"]
+    if with_paper:
+        headers.extend(["paper PCCE", "paper DACCE"])
+    return render_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 9
+# ----------------------------------------------------------------------
+def render_figure9(series: Sequence[ProgressSeries]) -> str:
+    """Encoding-progress series: nodes/edges/maxID after each re-encoding."""
+    blocks = []
+    for entry in series:
+        rows = [
+            [
+                str(point.timestamp),
+                str(point.at_call),
+                str(point.nodes),
+                str(point.edges),
+                format_number(point.max_id),
+            ]
+            for point in entry.points
+        ]
+        note = (
+            "  (maxID decreased across a re-encoding — the paper's "
+            "483.xalancbmk anecdote)"
+            if entry.max_id_decreased()
+            else ""
+        )
+        blocks.append(
+            "%s%s\n%s"
+            % (
+                entry.name,
+                note,
+                render_table(
+                    ["gTS", "at call", "nodes", "edges", "maxID"], rows
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+# ----------------------------------------------------------------------
+# Figure 10
+# ----------------------------------------------------------------------
+def render_figure10(
+    distributions: Sequence[DepthDistributions],
+    percentiles: Sequence[float] = (0.5, 0.8, 0.9, 0.95, 1.0),
+) -> str:
+    """Depth CDF summaries: call stack vs ccStack."""
+    rows = []
+    for dist in distributions:
+        for which, label in (("call", "call stack"), ("cc", "ccStack")):
+            rows.append(
+                [
+                    dist.name,
+                    label,
+                    str(len(dist.call_stack_depths)),
+                ]
+                + [
+                    str(dist.depth_covering(p, which=which))
+                    for p in percentiles
+                ]
+            )
+    headers = ["benchmark", "stack", "samples"] + [
+        "p%d" % int(p * 100) for p in percentiles
+    ]
+    return render_table(headers, rows)

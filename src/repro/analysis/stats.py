@@ -1,0 +1,272 @@
+"""Benchmark characteristic measurement — the Table 1 pipeline.
+
+For one benchmark stand-in this module runs the DACCE engine and the
+PCCE baseline over the same workload (PCCE additionally gets its offline
+profiling pass) and extracts the paper's Table 1 columns:
+
+* Nodes / Edges — call-graph size (dynamic for DACCE, static for PCCE),
+* MaxID — maximum context identifier required,
+* ccStack/s — ccStack operations per second of simulated execution
+  (simulated seconds = calls / the paper's measured ``calls/s``),
+* depth — average logical ccStack depth at sample points,
+* gTS / costs — re-encoding passes and their total cost in µs,
+* overhead — instrumentation cycles over baseline application cycles
+  from the cost model (the Figure 8 quantity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..baselines.pcce import PcceEngine, profile_edge_frequencies
+from ..bench.suite import CLOCK_HZ, BenchmarkSpec
+from ..core.engine import DacceEngine
+from ..core.errors import DecodingError
+from ..cost.model import CostModel, CostParameters
+from ..program.generator import generate_program
+from ..program.trace import TraceExecutor
+
+
+@dataclass
+class EngineMeasurement:
+    """Measured Table 1 columns for one engine on one benchmark."""
+
+    name: str
+    approach: str  # "DACCE" | "PCCE"
+    nodes: int
+    edges: int
+    max_id: int
+    overflowed: bool
+    ccstack_per_s: float
+    avg_ccstack_depth: float
+    gts: int
+    reencode_cost_us: float
+    calls: int
+    samples: int
+    decoded_ok: int
+    undecodable: int
+    overhead_pct: float
+    sim_seconds: float
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """DACCE + PCCE measurements for one benchmark."""
+
+    benchmark: BenchmarkSpec
+    dacce: EngineMeasurement
+    pcce: EngineMeasurement
+
+
+def _cost_model(benchmark: BenchmarkSpec) -> CostModel:
+    parameters = replace(
+        CostParameters(),
+        baseline_cycles_per_call=benchmark.baseline_cycles_per_call,
+    )
+    return CostModel(parameters)
+
+
+def _simulated_seconds(benchmark: BenchmarkSpec, calls: int) -> float:
+    rate = benchmark.paper.calls_s
+    if rate <= 0:
+        return float(calls)
+    return calls / rate
+
+
+def _decode_accuracy(engine, limit: int = 300) -> Tuple[int, int]:
+    """Decode up to ``limit`` evenly spaced samples; count failures."""
+    samples = engine.samples
+    if not samples:
+        return (0, 0)
+    step = max(1, len(samples) // limit)
+    decoder = engine.decoder()
+    ok = bad = 0
+    for sample in samples[::step]:
+        try:
+            decoder.decode(sample)
+            ok += 1
+        except DecodingError:
+            bad += 1
+    return (ok, bad)
+
+
+def _avg_sample_depth(engine) -> float:
+    """Mean ccStack depth at sample points, skipping the warm-up phase.
+
+    The paper samples hour-long runs where start-up (every edge still
+    unencoded) is negligible; the simulated window is short, so samples
+    taken before the first re-encoding would dominate unfairly.
+    """
+    samples = [s for s in engine.samples if s.timestamp >= 1]
+    if not samples:
+        samples = engine.samples
+    if not samples:
+        return 0.0
+    return sum(s.ccstack_depth() for s in samples) / len(samples)
+
+
+#: Application-cycle budget the one-time charges amortise over: the
+#: paper's benchmarks run for minutes on a 1.87 GHz machine.
+FULL_RUN_SECONDS = 600.0
+
+
+def _ccstack_ops(engine) -> int:
+    """Steady-state ccStack operations: total minus discovery traffic."""
+    total = sum(
+        v for k, v in engine.ccstack_stats().items() if k != "max_depth"
+    )
+    return total - engine.stats.discovery_ccstack_ops
+
+
+def measure_dacce(
+    benchmark: BenchmarkSpec,
+    calls: int = 40_000,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Tuple[DacceEngine, EngineMeasurement]:
+    """Run DACCE over the benchmark's workload and measure it.
+
+    Steady-state quantities (overhead, ccStack rate) are measured from
+    the first re-encoding onwards: the paper's hour-long runs make the
+    start-up phase (every edge still unencoded and pushing) negligible,
+    whereas it would dominate the short simulated window.
+    """
+    program = generate_program(benchmark.generator_config(scale))
+    spec = benchmark.workload_spec(calls=calls, seed=seed)
+    engine = DacceEngine(root=program.main, cost_model=_cost_model(benchmark))
+
+    warmup_steady = warmup_baseline = 0.0
+    warmup_ops = warmup_calls = 0
+    marked = False
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        if not marked and engine.stats.reencodings >= 1:
+            marked = True
+            warmup_steady = engine.cost.report.steady_cycles
+            warmup_baseline = engine.cost.report.baseline_cycles
+            warmup_ops = _ccstack_ops(engine)
+            warmup_calls = engine.stats.calls
+
+    ok, bad = _decode_accuracy(engine)
+    seconds = _simulated_seconds(benchmark, engine.stats.calls)
+    steady_calls = max(1, engine.stats.calls - warmup_calls)
+    steady_seconds = _simulated_seconds(benchmark, steady_calls)
+    steady_ops = _ccstack_ops(engine) - warmup_ops
+    steady_cycles = engine.cost.report.steady_cycles - warmup_steady
+    steady_baseline = max(
+        1.0, engine.cost.report.baseline_cycles - warmup_baseline
+    )
+    overhead = (
+        steady_cycles / steady_baseline
+        + engine.cost.report.onetime_cycles / (FULL_RUN_SECONDS * CLOCK_HZ)
+    )
+    measurement = EngineMeasurement(
+        name=benchmark.name,
+        approach="DACCE",
+        nodes=engine.graph.num_nodes,
+        edges=engine.graph.num_edges,
+        max_id=engine.max_id,
+        overflowed=engine.current_dictionary.overflowed,
+        ccstack_per_s=steady_ops / steady_seconds if steady_seconds else 0.0,
+        avg_ccstack_depth=_avg_sample_depth(engine),
+        gts=engine.stats.reencodings,
+        reencode_cost_us=engine.stats.reencode_cost_cycles / (CLOCK_HZ / 1e6),
+        calls=engine.stats.calls,
+        samples=engine.stats.samples,
+        decoded_ok=ok,
+        undecodable=bad,
+        overhead_pct=overhead * 100.0,
+        sim_seconds=seconds,
+    )
+    return engine, measurement
+
+
+def measure_pcce(
+    benchmark: BenchmarkSpec,
+    calls: int = 40_000,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> Tuple[PcceEngine, EngineMeasurement]:
+    """Profile offline, then run the PCCE baseline and measure it."""
+    program = generate_program(benchmark.generator_config(scale))
+    spec = benchmark.workload_spec(calls=calls, seed=seed)
+    profile = profile_edge_frequencies(program, spec)
+    engine = PcceEngine(program, profile, cost_model=_cost_model(benchmark))
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    ok, bad = _decode_accuracy(engine)
+    seconds = _simulated_seconds(benchmark, engine.stats.calls)
+    ccstack_ops = sum(
+        v for k, v in engine.ccstack_stats().items() if k != "max_depth"
+    )
+    static = engine.static_result
+    measurement = EngineMeasurement(
+        name=benchmark.name,
+        approach="PCCE",
+        nodes=static.static_nodes,
+        edges=static.static_edges,
+        max_id=static.max_id_before_fix,
+        overflowed=static.overflowed,
+        ccstack_per_s=ccstack_ops / seconds if seconds else 0.0,
+        avg_ccstack_depth=_avg_sample_depth(engine),
+        gts=0,
+        reencode_cost_us=0.0,
+        calls=engine.stats.calls,
+        samples=engine.stats.samples,
+        decoded_ok=ok,
+        undecodable=bad,
+        overhead_pct=engine.cost.report.amortized_overhead(
+            FULL_RUN_SECONDS * CLOCK_HZ
+        ) * 100.0,
+        sim_seconds=seconds,
+    )
+    return engine, measurement
+
+
+def measure_benchmark(
+    benchmark: BenchmarkSpec,
+    calls: int = 40_000,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> BenchmarkMeasurement:
+    """The full Table 1 treatment for one benchmark."""
+    _, dacce = measure_dacce(benchmark, calls=calls, scale=scale, seed=seed)
+    _, pcce = measure_pcce(benchmark, calls=calls, scale=scale, seed=seed)
+    return BenchmarkMeasurement(benchmark=benchmark, dacce=dacce, pcce=pcce)
+
+
+def overhead_rank_correlation(
+    measurements: List["BenchmarkMeasurement"],
+) -> Dict[str, float]:
+    """Spearman rank correlation of measured vs published overheads.
+
+    A scale-free reproduction metric: the cost model need not match the
+    paper's absolute percentages, but the *ordering* of benchmarks by
+    overhead should agree if the mechanisms are captured.  Returns the
+    coefficient per approach.
+    """
+    from scipy.stats import spearmanr
+
+    out: Dict[str, float] = {}
+    for approach in ("pcce", "dacce"):
+        paper = [
+            getattr(m.benchmark.paper, "overhead_" + approach)
+            for m in measurements
+        ]
+        measured = [
+            getattr(m, approach).overhead_pct for m in measurements
+        ]
+        coefficient, _p = spearmanr(paper, measured)
+        out[approach] = float(coefficient)
+    return out
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean tolerant of zeros (offset by 1, like overhead %)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= 1.0 + max(0.0, value)
+    return product ** (1.0 / len(values)) - 1.0

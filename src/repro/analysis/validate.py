@@ -1,0 +1,99 @@
+"""Cross-validation of decoded contexts against the shadow-stack oracle.
+
+The paper validates DACCE by sampling with libpfm4 and comparing the
+decoded contexts against simultaneously captured stack walks
+(Section 6.1).  The reproduction's equivalent: run the engine over a
+workload, capture the true shadow-stack context at every sample point,
+decode every collected sample at the end (decoding dictionaries for all
+timestamps are retained), and compare step-by-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.context import CallingContext, CollectedSample
+from ..core.engine import DacceEngine
+from ..core.errors import DecodingError
+from ..core.events import SampleEvent
+from ..program.model import Program
+from ..program.trace import TraceExecutor, WorkloadSpec
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of one validation run."""
+
+    samples: int = 0
+    matches: int = 0
+    mismatches: int = 0
+    undecodable: int = 0
+    failures: List[Tuple[CollectedSample, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatches == 0 and self.undecodable == 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.matches / self.samples if self.samples else 1.0
+
+
+def contexts_equal(decoded: CallingContext, expected: CallingContext) -> bool:
+    """Step-wise (function, callsite) equality of two expanded contexts."""
+    if len(decoded.steps) != len(expected.steps):
+        return False
+    for left, right in zip(decoded.steps, expected.steps):
+        if left.function != right.function or left.callsite != right.callsite:
+            return False
+    return True
+
+
+def validate_run(
+    program: Program,
+    spec: WorkloadSpec,
+    engine: Optional[DacceEngine] = None,
+    max_failures: int = 10,
+) -> ValidationResult:
+    """Drive ``engine`` over the workload, decode every sample, compare.
+
+    Oracles are captured at sample time (the shadow stack moves on);
+    decoding happens at the end, exercising the timestamped dictionary
+    store across every re-encoding the run performed.
+    """
+    engine = engine or DacceEngine(root=program.main)
+    executor = TraceExecutor(program, spec)
+    expectations: List[Tuple[CollectedSample, CallingContext]] = []
+
+    for event in executor.events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            expectations.append(
+                (engine.samples[-1], engine.expected_context(event.thread))
+            )
+
+    decoder = engine.decoder()
+    result = ValidationResult()
+    for sample, expected in expectations:
+        result.samples += 1
+        try:
+            decoded = decoder.decode(sample)
+        except DecodingError as error:
+            result.undecodable += 1
+            if len(result.failures) < max_failures:
+                result.failures.append((sample, "undecodable: %s" % error))
+            continue
+        if contexts_equal(decoded, expected):
+            result.matches += 1
+        else:
+            result.mismatches += 1
+            if len(result.failures) < max_failures:
+                result.failures.append(
+                    (
+                        sample,
+                        "decoded %s != expected %s"
+                        % (decoded.steps, expected.steps),
+                    )
+                )
+    return result

@@ -1,0 +1,27 @@
+"""Baseline context-identification approaches the paper compares against."""
+
+from .cct import CctEngine, CctNode, CctStats
+from .globalid import GlobalIdEngine
+from .pcc import PccEngine, PccStats
+from .pcce import (
+    PcceEngine,
+    PcceStaticResult,
+    build_static_graph,
+    profile_edge_frequencies,
+)
+from .stackwalk import StackWalkEngine, StackWalkStats
+
+__all__ = [
+    "CctEngine",
+    "CctNode",
+    "CctStats",
+    "GlobalIdEngine",
+    "PccEngine",
+    "PccStats",
+    "PcceEngine",
+    "PcceStaticResult",
+    "StackWalkEngine",
+    "StackWalkStats",
+    "build_static_graph",
+    "profile_edge_frequencies",
+]

@@ -1,0 +1,160 @@
+"""Calling-context-tree baseline (Ammons/Ball/Larus; Section 7).
+
+Maintains the program's current position in a calling context tree: every
+call looks up (or creates) the child node for its call site and moves the
+cursor down; every return moves it up.  Identifying the current context
+is then O(1) — the cursor's node id — but *every call* pays a lookup,
+which is why the related work reports 2-4x slowdowns for CCT-based
+profiling.  Included to reproduce the paper's positioning of encodings
+versus CCTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.context import CallingContext, ContextStep
+from ..core.errors import TraceError
+from ..core.events import (
+    CallEvent,
+    CallKind,
+    CallSiteId,
+    Event,
+    FunctionId,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadId,
+    ThreadStartEvent,
+)
+from ..cost.model import CostModel
+
+
+@dataclass
+class CctNode:
+    """One tree node: a (call site, function) pair under a parent."""
+
+    id: int
+    function: FunctionId
+    callsite: Optional[CallSiteId]
+    parent: Optional["CctNode"]
+    children: Dict[Tuple[CallSiteId, FunctionId], "CctNode"] = field(
+        default_factory=dict
+    )
+    visits: int = 0
+
+
+@dataclass
+class CctStats:
+    calls: int = 0
+    returns: int = 0
+    samples: int = 0
+    nodes_created: int = 0
+    lookups: int = 0
+
+
+class CctEngine:
+    """Tracks the current CCT position per thread.
+
+    Each thread keeps a stack of CCT nodes mirroring its machine frames;
+    a tail call *replaces* the top of that stack (the new node still hangs
+    off the tail-calling node in the tree — the logical context includes
+    it — but a single return unwinds the whole chain).
+    """
+
+    def __init__(self, root: FunctionId = 0, cost_model: Optional[CostModel] = None):
+        self.cost = cost_model or CostModel()
+        self.stats = CctStats()
+        self._next_id = 0
+        self._nodes: List[CctNode] = []
+        self.root = self._new_node(root, None, None)
+        self._frames: Dict[ThreadId, List[CctNode]] = {0: [self.root]}
+        self.sampled_nodes: List[int] = []
+
+    def _new_node(
+        self,
+        function: FunctionId,
+        callsite: Optional[CallSiteId],
+        parent: Optional[CctNode],
+    ) -> CctNode:
+        node = CctNode(self._next_id, function, callsite, parent)
+        self._next_id += 1
+        self._nodes.append(node)
+        self.stats.nodes_created += 1
+        return node
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, CallEvent):
+            self._on_call(event)
+        elif isinstance(event, ReturnEvent):
+            self._on_return(event)
+        elif isinstance(event, SampleEvent):
+            self.stats.samples += 1
+            self.sampled_nodes.append(self._stack(event.thread)[-1].id)
+        elif isinstance(event, ThreadStartEvent):
+            entry = self._new_node(event.entry, None, self.root)
+            self._frames[event.thread] = [entry]
+        elif isinstance(event, ThreadExitEvent):
+            del self._frames[event.thread]
+        elif isinstance(event, LibraryLoadEvent):
+            pass
+        else:
+            raise TraceError("unknown event %r" % (event,))
+
+    def run(self, events) -> None:
+        for event in events:
+            self.on_event(event)
+
+    # ------------------------------------------------------------------
+    def _stack(self, thread: ThreadId) -> List[CctNode]:
+        try:
+            return self._frames[thread]
+        except KeyError:
+            raise TraceError("unknown thread %d" % thread) from None
+
+    def _on_call(self, event: CallEvent) -> None:
+        self.stats.calls += 1
+        self.stats.lookups += 1
+        self.cost.charge_call_baseline()
+        self.cost.charge_cct_step()
+        stack = self._stack(event.thread)
+        cursor = stack[-1]
+        key = (event.callsite, event.callee)
+        child = cursor.children.get(key)
+        if child is None:
+            child = self._new_node(event.callee, event.callsite, cursor)
+            cursor.children[key] = child
+        child.visits += 1
+        if event.kind is CallKind.TAIL:
+            stack[-1] = child
+        else:
+            stack.append(child)
+
+    def _on_return(self, event: ReturnEvent) -> None:
+        self.stats.returns += 1
+        stack = self._stack(event.thread)
+        if len(stack) <= 1:
+            raise TraceError("return from the CCT root")
+        stack.pop()
+
+    # ------------------------------------------------------------------
+    def current_context(self, thread: ThreadId = 0) -> CallingContext:
+        return self.context_of(self._stack(thread)[-1].id)
+
+    def context_of(self, node_id: int) -> CallingContext:
+        """Reconstruct the full context of a recorded node id."""
+        if node_id < 0 or node_id >= len(self._nodes):
+            raise TraceError("unknown CCT node %d" % node_id)
+        node: Optional[CctNode] = self._nodes[node_id]
+        steps: List[ContextStep] = []
+        while node is not None:
+            steps.append(ContextStep(node.function, node.callsite))
+            node = node.parent
+        return CallingContext(tuple(reversed(steps)))
+
+    @property
+    def num_nodes(self) -> int:
+        return self._next_id

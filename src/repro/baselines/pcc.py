@@ -1,0 +1,133 @@
+"""Probabilistic Calling Context baseline (Bond & McKinley, OOPSLA'07).
+
+PCC maintains a hash of the current context: at every call the per-thread
+value is updated as ``V' = 3 * V + cs`` (and restored on return).  The
+identifier is cheap and *probabilistically* unique, but it cannot be
+decoded back into a call path without extra machinery — the deficiency
+the DACCE paper contrasts against (Section 7).  The engine records
+collision statistics so the probabilistic nature is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.context import CallingContext, ContextStep
+from ..core.errors import TraceError
+from ..core.events import (
+    CallEvent,
+    CallKind,
+    Event,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadId,
+    ThreadStartEvent,
+)
+from ..cost.model import CostModel
+
+_MASK_64 = (1 << 64) - 1
+
+
+@dataclass
+class PccStats:
+    calls: int = 0
+    returns: int = 0
+    samples: int = 0
+    distinct_values: int = 0
+    distinct_contexts: int = 0
+    collisions: int = 0
+
+
+class PccEngine:
+    """Bond-McKinley probabilistic context hashing over the event stream."""
+
+    def __init__(self, root: int = 0, cost_model: Optional[CostModel] = None):
+        self.cost = cost_model or CostModel()
+        self.stats = PccStats()
+        #: Per-thread (value, shadow stack of (value-before, fn, cs)).
+        self._values: Dict[ThreadId, int] = {0: 0}
+        self._stacks: Dict[ThreadId, List[Tuple[int, int, Optional[int]]]] = {
+            0: [(0, root, None)]
+        }
+        self.sampled_values: List[int] = []
+        #: value -> set of distinct context signatures seen under it;
+        #: more than one signature per value is a collision.
+        self._value_contexts: Dict[int, Set[Tuple]] = {}
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, CallEvent):
+            self._on_call(event)
+        elif isinstance(event, ReturnEvent):
+            self._on_return(event)
+        elif isinstance(event, SampleEvent):
+            self._on_sample(event)
+        elif isinstance(event, ThreadStartEvent):
+            self._values[event.thread] = 0
+            self._stacks[event.thread] = [(0, event.entry, None)]
+        elif isinstance(event, ThreadExitEvent):
+            del self._values[event.thread]
+            del self._stacks[event.thread]
+        elif isinstance(event, LibraryLoadEvent):
+            pass
+        else:
+            raise TraceError("unknown event %r" % (event,))
+
+    def run(self, events) -> None:
+        for event in events:
+            self.on_event(event)
+
+    # ------------------------------------------------------------------
+    def _on_call(self, event: CallEvent) -> None:
+        self.stats.calls += 1
+        self.cost.charge_call_baseline()
+        self.cost.charge_pcc_hash()
+        value = self._values[event.thread]
+        new_value = (3 * value + event.callsite) & _MASK_64
+        stack = self._stacks[event.thread]
+        if event.kind is CallKind.TAIL:
+            restore = stack[-1][0]
+            stack[-1] = (restore, event.callee, event.callsite)
+        else:
+            stack.append((value, event.callee, event.callsite))
+        self._values[event.thread] = new_value
+
+    def _on_return(self, event: ReturnEvent) -> None:
+        self.stats.returns += 1
+        stack = self._stacks[event.thread]
+        if len(stack) <= 1:
+            raise TraceError("return from the bottom frame")
+        restore, _fn, _cs = stack.pop()
+        self._values[event.thread] = restore
+
+    def _on_sample(self, event: SampleEvent) -> None:
+        self.stats.samples += 1
+        value = self._values[event.thread]
+        self.sampled_values.append(value)
+        signature = tuple(
+            (fn, cs) for _v, fn, cs in self._stacks[event.thread]
+        )
+        contexts = self._value_contexts.setdefault(value, set())
+        if signature not in contexts:
+            if contexts:
+                self.stats.collisions += 1
+            contexts.add(signature)
+
+    # ------------------------------------------------------------------
+    def current_context(self, thread: ThreadId = 0) -> CallingContext:
+        """Oracle context (PCC itself cannot decode values)."""
+        return CallingContext(
+            tuple(
+                ContextStep(fn, cs) for _v, fn, cs in self._stacks[thread]
+            )
+        )
+
+    def finalize_stats(self) -> PccStats:
+        self.stats.distinct_values = len(self._value_contexts)
+        self.stats.distinct_contexts = sum(
+            len(contexts) for contexts in self._value_contexts.values()
+        )
+        return self.stats

@@ -1,0 +1,119 @@
+"""Stack-walking baseline (Section 7, Related Work).
+
+The straightforward way to capture a calling context: walk the frame
+chain at every point of interest.  Valgrind and HPCToolkit do this; the
+paper dismisses it as too expensive when contexts are needed frequently
+— the cost of *one* query is proportional to the current stack depth,
+whereas encoded approaches pay O(1) per query.
+
+The baseline keeps a per-thread shadow stack (free — the program
+maintains it anyway) and charges the walk cost only when a sample fires,
+making it the favourable-to-stackwalk comparison: tools that walk at
+every memory access (race detectors) pay orders of magnitude more, which
+the walk-per-event mode models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.context import CallingContext, ContextStep
+from ..core.errors import TraceError
+from ..core.events import (
+    CallEvent,
+    CallKind,
+    Event,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadId,
+    ThreadStartEvent,
+)
+from ..cost.model import CostModel
+
+
+@dataclass
+class StackWalkStats:
+    calls: int = 0
+    returns: int = 0
+    samples: int = 0
+    walked_frames: int = 0
+
+
+class StackWalkEngine:
+    """Captures contexts by walking the (shadow) stack at sample points."""
+
+    def __init__(
+        self,
+        root: int = 0,
+        cost_model: Optional[CostModel] = None,
+        walk_every_call: bool = False,
+    ):
+        self.cost = cost_model or CostModel()
+        self.stats = StackWalkStats()
+        #: When set, a walk is charged at *every* call — the race-detector
+        #: usage pattern the paper's introduction motivates.
+        self.walk_every_call = walk_every_call
+        self._stacks: Dict[ThreadId, List[Tuple[int, Optional[int]]]] = {
+            0: [(root, None)]
+        }
+        self.contexts: List[CallingContext] = []
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, CallEvent):
+            self.stats.calls += 1
+            self.cost.charge_call_baseline()
+            stack = self._stack(event.thread)
+            if event.kind is CallKind.TAIL:
+                stack[-1] = (event.callee, event.callsite)
+            else:
+                stack.append((event.callee, event.callsite))
+            if self.walk_every_call:
+                self._walk(event.thread, record=False)
+        elif isinstance(event, ReturnEvent):
+            self.stats.returns += 1
+            stack = self._stack(event.thread)
+            if len(stack) <= 1:
+                raise TraceError("return from the bottom frame")
+            stack.pop()
+        elif isinstance(event, SampleEvent):
+            self.stats.samples += 1
+            self._walk(event.thread, record=True)
+        elif isinstance(event, ThreadStartEvent):
+            self._stacks[event.thread] = [(event.entry, None)]
+        elif isinstance(event, ThreadExitEvent):
+            del self._stacks[event.thread]
+        elif isinstance(event, LibraryLoadEvent):
+            pass
+        else:
+            raise TraceError("unknown event %r" % (event,))
+
+    def run(self, events) -> None:
+        for event in events:
+            self.on_event(event)
+
+    # ------------------------------------------------------------------
+    def _stack(self, thread: ThreadId) -> List[Tuple[int, Optional[int]]]:
+        try:
+            return self._stacks[thread]
+        except KeyError:
+            raise TraceError("unknown thread %d" % thread) from None
+
+    def _walk(self, thread: ThreadId, record: bool) -> CallingContext:
+        stack = self._stack(thread)
+        self.cost.charge_stack_walk(len(stack))
+        self.stats.walked_frames += len(stack)
+        context = CallingContext(
+            tuple(ContextStep(fn, cs) for fn, cs in stack)
+        )
+        if record:
+            self.contexts.append(context)
+        return context
+
+    def current_context(self, thread: ThreadId = 0) -> CallingContext:
+        """The exact current context (used as the validation oracle)."""
+        stack = self._stack(thread)
+        return CallingContext(tuple(ContextStep(fn, cs) for fn, cs in stack))

@@ -1,0 +1,21 @@
+"""SPEC CPU2006 / Parsec 2.1 benchmark stand-ins seeded from Table 1."""
+
+from .parsec import PARSEC_2_1
+from .spec2006 import SPEC_CPU2006
+from .suite import (
+    CLOCK_HZ,
+    BenchmarkSpec,
+    BenchmarkSuite,
+    PaperRow,
+    full_suite,
+)
+
+__all__ = [
+    "CLOCK_HZ",
+    "BenchmarkSpec",
+    "BenchmarkSuite",
+    "PARSEC_2_1",
+    "PaperRow",
+    "SPEC_CPU2006",
+    "full_suite",
+]

@@ -1,0 +1,100 @@
+"""Parsec 2.1 benchmark definitions (Table 1, lower block).
+
+All Parsec programs run multi-threaded (gcc-pthreads binaries, native
+inputs in the paper); the stand-ins spawn four worker threads and load
+their last shared library lazily — the dlopen-style plugin case static
+encoders cannot see.
+"""
+
+from __future__ import annotations
+
+from .suite import BenchmarkSpec, PaperRow
+
+_SUITE = "Parsec 2.1"
+
+
+def _parsec(name, row, **kwargs):
+    kwargs.setdefault("threads", 4)
+    return BenchmarkSpec(name=name, suite=_SUITE, paper=row, **kwargs)
+
+
+PARSEC_2_1 = [
+    _parsec(
+        "blackscholes",
+        PaperRow(12, 26, "4", 0, 0.00,
+                 3, 5, 5, 68, 0.00, 11, 644, 14646244,
+                 4.0, 3.5),
+        threads=2,
+    ),
+    _parsec(
+        "bodytrack",
+        PaperRow(1310, 11047, "151775", 0, 0.00,
+                 218, 894, 667, 68268, 0.01, 5, 12204, 6928160,
+                 2.5, 2.0),
+    ),
+    _parsec(
+        "facesim",
+        PaperRow(6213, 24377, "1.8E+10", 0, 0.00,
+                 264, 1102, 1104, 24132, 0.00, 5, 11029, 8891290,
+                 3.0, 2.5),
+    ),
+    _parsec(
+        "ferret",
+        PaperRow(1987, 25270, "7.9E+14", 0, 0.00,
+                 354, 1612, 3398, 44682, 0.00, 4, 8972, 4439120,
+                 1.5, 1.5),
+    ),
+    _parsec(
+        "raytrace",
+        PaperRow(7911, 24577, "6.8E+08", 0, 0.02,
+                 177, 632, 235, 370, 0.06, 5, 5631, 3516574,
+                 1.5, 1.0),
+    ),
+    _parsec(
+        "swaptions",
+        PaperRow(2173, 6372, "2.6E+08", 0, 0.00,
+                 15, 136, 51, 3, 0.03, 12, 45821, 21753118,
+                 6.0, 5.0),
+    ),
+    _parsec(
+        "fluidanimate",
+        PaperRow(2168, 6420, "2.8E+08", 0, 0.00,
+                 73, 144, 31, 49, 0.00, 8, 23648, 76287,
+                 0.1, 0.1),
+    ),
+    _parsec(
+        "vips",
+        PaperRow(5395, 25302, "7.7E+11", 0, 0.00,
+                 482, 1555, 26117, 3865, 0.00, 5, 3271, 855060,
+                 0.5, 0.5),
+    ),
+    _parsec(
+        "x264",
+        PaperRow(820, 3299, "1079001", 0, 0.00,
+                 221, 1052, 2017, 15729, 0.00, 4, 84911, 23984355,
+                 9.0, 4.0),
+        # The paper singles x264 out: "several frequently invoked
+        # indirect calls have a large number of targets" — the case the
+        # hash-table dispatch (Figure 4) was built for.
+        indirect_fraction=0.14,
+        indirect_targets=(8, 16),
+    ),
+    _parsec(
+        "canneal",
+        PaperRow(2191, 6733, "3.4E+08", 0, 0.00,
+                 107, 225, 44, 380, 0.00, 6, 105133, 2276649,
+                 1.0, 0.8),
+    ),
+    _parsec(
+        "dedup",
+        PaperRow(121, 256, "65", 0, 0.00,
+                 21, 30, 5, 30239, 0.00, 4, 7201, 1305985,
+                 0.8, 0.6),
+    ),
+    _parsec(
+        "streamcluster",
+        PaperRow(2182, 6336, "2.6E+08", 0, 0.00,
+                 11, 29, 15, 14, 0.00, 6, 156324, 111153,
+                 0.1, 0.1),
+    ),
+]

@@ -1,0 +1,211 @@
+"""SPEC CPU2006 benchmark definitions (Table 1, upper block).
+
+Every :class:`PaperRow` transcribes the published Table 1 values:
+PCCE nodes/edges/maxID/ccStack-per-second/average-depth, then the DACCE
+columns, the re-encoding count (gTS), re-encoding cost in microseconds,
+and the dynamic call rate.  ``overhead_*`` are approximate Figure 8
+read-offs (see :mod:`repro.bench.suite`).
+
+``pcce_maxid`` is a string because the paper prints "overflow" where the
+64-bit id space was exceeded (400.perlbench, 403.gcc).
+"""
+
+from __future__ import annotations
+
+from .suite import BenchmarkSpec, PaperRow
+
+_SUITE = "SPEC CPU2006"
+
+
+def _spec(name, row, **kwargs):
+    return BenchmarkSpec(name=name, suite=_SUITE, paper=row, **kwargs)
+
+
+SPEC_CPU2006 = [
+    _spec(
+        "400.perlbench",
+        PaperRow(1468, 21065, "overflow", 4969345, 0.20,
+                 684, 3911, 1.4e11, 3095100, 0.20, 23, 1747514, 29205101,
+                 16.0, 9.0),
+        indirect_fraction=0.12,
+        indirect_targets=(4, 12),
+    ),
+    _spec(
+        "401.bzip2",
+        PaperRow(122, 321, "833", 0, 0.00,
+                 50, 109, 61, 38753, 0.05, 5, 3475, 7687097,
+                 2.5, 2.0),
+    ),
+    _spec(
+        "403.gcc",
+        PaperRow(3944, 50690, "overflow", 0, 2.94,
+                 1931, 11518, 7.0e13, 315406, 0.00, 110, 2866850, 14710894,
+                 5.0, 4.0),
+        indirect_fraction=0.08,
+        indirect_targets=(2, 8),
+    ),
+    _spec(
+        "429.mcf",
+        PaperRow(69, 126, "53", 0, 0.00,
+                 11, 12, 3, 2069, 0.01, 2, 166, 295581,
+                 0.3, 0.3),
+    ),
+    _spec(
+        "445.gobmk",
+        PaperRow(2273, 13687, "3.4E+15", 246782, 2.42,
+                 1378, 4808, 2.4e11, 250321, 2.47, 76, 1732161, 13355556,
+                 8.0, 8.0),
+        indirect_fraction=0.10,
+        indirect_targets=(4, 10),
+    ),
+    _spec(
+        "456.hmmer",
+        PaperRow(249, 1618, "56401", 3082, 0.00,
+                 70, 174, 42, 481, 0.02, 2, 1420, 1872530,
+                 1.0, 0.8),
+    ),
+    _spec(
+        "458.sjeng",
+        PaperRow(139, 678, "33088", 0, 0.00,
+                 54, 232, 2945, 233, 0.00, 23, 19560, 18248384,
+                 3.5, 4.5),
+    ),
+    _spec(
+        "462.libquantum",
+        PaperRow(118, 846, "1202640", 0, 0.00,
+                 29, 49, 15, 1, 0.01, 9, 722, 44,
+                 0.1, 0.1),
+    ),
+    _spec(
+        "464.h264ref",
+        PaperRow(398, 2698, "1.8E+07", 424979, 0.00,
+                 201, 1048, 34293, 5310, 0.00, 10, 84556, 7080183,
+                 3.0, 2.5),
+        indirect_fraction=0.08,
+        indirect_targets=(3, 8),
+    ),
+    _spec(
+        "471.omnetpp",
+        PaperRow(1706, 11981, "1.2E+07", 302097, 0.11,
+                 506, 4135, 8654, 149146, 0.04, 11, 205585, 11656043,
+                 5.0, 4.0),
+        indirect_fraction=0.10,
+    ),
+    _spec(
+        "473.astar",
+        PaperRow(139, 469, "3177", 0, 0.00,
+                 60, 140, 101, 10606, 0.03, 10, 1922, 129559,
+                 0.5, 0.5),
+    ),
+    _spec(
+        "483.xalancbmk",
+        PaperRow(12535, 40392, "3.8E+14", 4375862, 6.91,
+                 2170, 7321, 1422838, 596197, 6.01, 27, 3551342, 25341805,
+                 18.0, 10.0),
+        indirect_fraction=0.12,
+        indirect_targets=(3, 8),
+    ),
+    _spec(
+        "410.bwaves",
+        PaperRow(369, 2189, "7248401", 0, 0.00,
+                 82, 164, 73, 2639, 0.01, 6, 433, 263845,
+                 0.3, 0.3),
+    ),
+    _spec(
+        "416.gamess",
+        PaperRow(2442, 50080, "1.1E+15", 0, 0.00,
+                 362, 2017, 112645, 21925, 0.03, 19, 41810, 3390329,
+                 1.5, 1.5),
+    ),
+    _spec(
+        "433.milc",
+        PaperRow(177, 667, "5761", 0, 0.00,
+                 57, 185, 455, 46156, 0.09, 38, 524072, 380448,
+                 0.5, 1.0),
+    ),
+    _spec(
+        "434.zeusmp",
+        PaperRow(416, 3598, "2.9E+08", 0, 0.00,
+                 118, 528, 5026, 485, 0.05, 81, 9640, 1601,
+                 0.1, 0.5),
+    ),
+    _spec(
+        "435.gromacs",
+        PaperRow(619, 2919, "351721", 0, 0.00,
+                 154, 402, 1553, 5132, 0.01, 8, 4742, 919287,
+                 0.8, 0.8),
+    ),
+    _spec(
+        "436.cactusADM",
+        PaperRow(876, 6394, "8552489", 0, 0.00,
+                 271, 1533, 119729, 3003, 0.01, 3, 16197, 4662,
+                 0.1, 0.1),
+    ),
+    _spec(
+        "437.leslie3d",
+        PaperRow(434, 3247, "6.0E+07", 0, 0.00,
+                 106, 597, 388, 475, 0.00, 2, 880, 85206,
+                 0.2, 0.2),
+    ),
+    _spec(
+        "444.namd",
+        PaperRow(176, 482, "361", 0, 0.00,
+                 61, 101, 31, 19426, 0.02, 20, 4260, 737925,
+                 0.5, 0.5),
+    ),
+    _spec(
+        "447.dealII",
+        PaperRow(9935, 30204, "254161", 280, 0.12,
+                 792, 3369, 1132, 16331, 0.06, 47, 30871, 19533456,
+                 6.0, 5.0),
+    ),
+    _spec(
+        "450.soplex",
+        PaperRow(784, 1954, "96457", 2590, 0.00,
+                 225, 453, 367, 32681, 0.07, 7, 8706, 312430,
+                 0.5, 0.5),
+    ),
+    _spec(
+        "453.povray",
+        PaperRow(1644, 12056, "8.7E+16", 270387, 0.84,
+                 548, 2201, 548645, 69109, 0.76, 6, 113456, 34335309,
+                 10.0, 9.0),
+        indirect_fraction=0.08,
+    ),
+    _spec(
+        "454.calculix",
+        PaperRow(1009, 8307, "1.0E+09", 0, 0.00,
+                 416, 1660, 3043, 62812, 0.06, 11, 13485, 3662033,
+                 1.5, 1.5),
+    ),
+    _spec(
+        "459.GemsFDTD",
+        PaperRow(517, 5076, "5.1E+08", 0, 0.00,
+                 175, 2067, 10756, 32749, 0.01, 7, 7690, 1579372,
+                 0.8, 0.8),
+    ),
+    _spec(
+        "465.tonto",
+        PaperRow(2144, 34717, "4.3E+14", 0, 0.33,
+                 657, 4548, 134983, 26186, 0.03, 101, 154889, 9545304,
+                 3.0, 2.5),
+    ),
+    _spec(
+        "470.lbm",
+        PaperRow(75, 135, "53", 0, 0.00,
+                 13, 16, 4, 0, 0.00, 3, 222, 2964,
+                 0.05, 0.05),
+    ),
+    _spec(
+        "481.wrf",
+        PaperRow(1367, 17330, "4.5E+12", 0, 0.00,
+                 660, 5483, 713767, 20138, 0.03, 4, 63147, 2358117,
+                 1.0, 1.0),
+    ),
+    _spec(
+        "482.sphinx3",
+        PaperRow(273, 1570, "27121", 0, 0.00,
+                 134, 404, 92, 4187, 0.00, 6, 1825, 1875791,
+                 1.0, 0.8),
+    ),
+]

@@ -1,0 +1,298 @@
+"""Command-line harness: regenerate the paper's tables and figures.
+
+Examples::
+
+    dacce table1 --benchmarks 401.bzip2 445.gobmk --calls 30000
+    dacce fig8 --scale 0.4
+    dacce fig9
+    dacce fig10
+    dacce validate --seeds 5
+    dacce experiments --output EXPERIMENTS.md   # full paper-vs-measured report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis import (
+    FIGURE9_BENCHMARKS,
+    FIGURE10_BENCHMARKS,
+    export_fig8_csv,
+    export_fig9_csv,
+    export_fig10_csv,
+    export_table1_csv,
+    measure_benchmark,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_table1,
+    run_depth_distributions,
+    run_progress,
+    validate_run,
+)
+from .bench import full_suite
+from .core.engine import DacceEngine
+from .program.generator import GeneratorConfig, generate_program
+from .program.trace import PhaseSpec, ThreadSpec, WorkloadSpec
+
+
+def _select(names: Optional[List[str]]):
+    suite = full_suite()
+    if not names:
+        return list(suite)
+    missing = [n for n in names if n not in suite.names()]
+    if missing:
+        raise SystemExit(
+            "unknown benchmarks: %s\navailable: %s"
+            % (", ".join(missing), ", ".join(suite.names()))
+        )
+    return [suite.get(n) for n in names]
+
+
+def _measure_all(args) -> list:
+    benchmarks = _select(args.benchmarks)
+    measurements = []
+    start = time.time()
+    for index, benchmark in enumerate(benchmarks):
+        measurements.append(
+            measure_benchmark(
+                benchmark, calls=args.calls, scale=args.scale, seed=args.seed
+            )
+        )
+        if args.verbose:
+            print(
+                "[%d/%d] %s (%.1fs elapsed)"
+                % (index + 1, len(benchmarks), benchmark.name, time.time() - start),
+                file=sys.stderr,
+            )
+    return measurements
+
+
+def cmd_table1(args) -> int:
+    measurements = _measure_all(args)
+    print(render_table1(measurements))
+    if args.csv:
+        print("csv written to %s" % export_table1_csv(measurements, args.csv))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    measurements = _measure_all(args)
+    print(render_figure8(measurements))
+    if args.csv:
+        print("csv written to %s" % export_fig8_csv(measurements, args.csv))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    names = args.benchmarks or list(FIGURE9_BENCHMARKS)
+    series = [
+        run_progress(b, calls=args.calls, scale=args.scale, seed=args.seed)
+        for b in _select(names)
+    ]
+    print(render_figure9(series))
+    if args.csv:
+        print("csv written to %s" % export_fig9_csv(series, args.csv))
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    names = args.benchmarks or list(FIGURE10_BENCHMARKS)
+    distributions = [
+        run_depth_distributions(b, calls=args.calls, scale=args.scale, seed=args.seed)
+        for b in _select(names)
+    ]
+    print(render_figure10(distributions))
+    if args.csv:
+        print("csv written to %s" % export_fig10_csv(distributions, args.csv))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Decode-vs-oracle cross validation over random workloads."""
+    failures = 0
+    for seed in range(args.seeds):
+        program = generate_program(
+            GeneratorConfig(
+                seed=seed,
+                recursive_sites=4,
+                indirect_fraction=0.1,
+                tail_fraction=0.05,
+                library_functions=6,
+                lazy_library=True,
+            )
+        )
+        spec = WorkloadSpec(
+            calls=args.calls,
+            seed=seed + 1000,
+            sample_period=41,
+            recursion_affinity=0.4,
+            threads=[ThreadSpec(thread=1, entry=3, spawn_at_call=1500)],
+            phases=[PhaseSpec(at_call=args.calls // 2, seed=7)],
+        )
+        engine = DacceEngine(root=program.main)
+        result = validate_run(program, spec, engine)
+        status = "ok" if result.ok else "FAILED"
+        print(
+            "seed %d: %s — %d samples, %d mismatches, %d undecodable, "
+            "%d re-encodings"
+            % (
+                seed,
+                status,
+                result.samples,
+                result.mismatches,
+                result.undecodable,
+                engine.stats.reencodings,
+            )
+        )
+        if not result.ok:
+            failures += 1
+            for _sample, message in result.failures[:3]:
+                print("   %s" % message[:200])
+    return 1 if failures else 0
+
+
+def cmd_record(args) -> int:
+    """Run a synthetic workload; write a compact log + decoding state.
+
+    Demonstrates the paper's deployment split: the recording side keeps
+    only a few words per context, decoding happens later and elsewhere
+    (see ``dacce decode``).
+    """
+    from .core.events import SampleEvent
+    from .core.samplelog import SampleLog
+    from .core.serialize import export_decoding_state
+
+    program = generate_program(
+        GeneratorConfig(
+            seed=args.seed,
+            recursive_sites=3,
+            indirect_fraction=0.1,
+            library_functions=6,
+        )
+    )
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=max(10, args.calls // 500),
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
+    )
+    engine = DacceEngine(root=program.main)
+    log = SampleLog()
+    from .program.trace import TraceExecutor as _Executor
+
+    for event in _Executor(program, spec).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            log.append(engine.samples[-1])
+
+    log_path = args.prefix + ".log"
+    state_path = args.prefix + ".state.json"
+    with open(log_path, "wb") as handle:
+        handle.write(log.to_bytes())
+    export_decoding_state(engine, state_path)
+    print("recorded %d contexts (%d bytes, %.1f bytes/context)"
+          % (len(log), log.size_bytes, log.bytes_per_sample))
+    print("wrote %s and %s" % (log_path, state_path))
+    return 0
+
+
+def cmd_decode(args) -> int:
+    """Offline-decode a recorded context log against its state file."""
+    from .core.samplelog import SampleLog
+    from .core.serialize import load_decoder
+
+    decoder = load_decoder(args.state)
+    with open(args.log, "rb") as handle:
+        log = SampleLog.from_bytes(handle.read())
+    shown = 0
+    for sample in log:
+        if args.limit and shown >= args.limit:
+            remaining = len(log) - shown
+            print("... (%d more)" % remaining)
+            break
+        context = decoder.decode(sample)
+        path = " -> ".join(
+            "fn%d" % step.function
+            + ("@%d" % step.callsite if step.callsite is not None else "")
+            for step in context.steps
+        )
+        print("[T%d gTS=%d id=%d] %s"
+              % (sample.thread, sample.timestamp, sample.context_id, path))
+        shown += 1
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    """Write the paper-vs-measured EXPERIMENTS.md report."""
+    from .analysis.experiments import write_experiments_report
+
+    path = write_experiments_report(
+        output=args.output, calls=args.calls, scale=args.scale, seed=args.seed
+    )
+    print("wrote %s" % path)
+    return 0
+
+
+def _add_common(parser) -> None:
+    parser.add_argument("--calls", type=int, default=30_000,
+                        help="dynamic calls per benchmark run")
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="graph-size scale factor vs the paper's Table 1")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark names (default: all)")
+    parser.add_argument("--csv", default=None,
+                        help="also export the results as CSV to this path")
+    parser.add_argument("--verbose", action="store_true")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dacce",
+        description="DACCE (CGO 2014) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, doc in (
+        ("table1", cmd_table1, "reproduce Table 1 (characteristics)"),
+        ("fig8", cmd_fig8, "reproduce Figure 8 (runtime overhead)"),
+        ("fig9", cmd_fig9, "reproduce Figure 9 (encoding progress)"),
+        ("fig10", cmd_fig10, "reproduce Figure 10 (depth CDFs)"),
+        ("experiments", cmd_experiments, "write EXPERIMENTS.md"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        _add_common(p)
+        p.set_defaults(fn=fn)
+        if name == "experiments":
+            p.add_argument("--output", default="EXPERIMENTS.md")
+
+    p = sub.add_parser("validate", help="decode-vs-oracle cross validation")
+    p.add_argument("--seeds", type=int, default=5)
+    p.add_argument("--calls", type=int, default=25_000)
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "record", help="run a workload, write compact log + decoding state"
+    )
+    p.add_argument("--prefix", default="dacce-run")
+    p.add_argument("--calls", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("decode", help="offline-decode a recorded log")
+    p.add_argument("--state", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(fn=cmd_decode)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""DACCE core: dynamic call graph, encoder, runtime engine, decoder."""
+
+from .adaptive import AdaptiveConfig, AdaptivePolicy, classify_back_edges
+from .callgraph import CallEdge, CallGraph, CallNode, dfs_classify_back_edges
+from .ccstack import CLONE_CALLSITE, CcStack
+from .context import CallingContext, CcStackEntry, CollectedSample, ContextStep
+from .decoder import Decoder, decode_sample
+from .dictionary import DictionaryStore, EdgeInfo, EncodingDictionary
+from .encoder import Encoder, encode_graph, frequency_order, insertion_order
+from .engine import (
+    CompressionMode,
+    DacceConfig,
+    DacceEngine,
+    DacceStats,
+    ReencodeRecord,
+)
+from .errors import (
+    CallGraphError,
+    DacceError,
+    DecodingError,
+    EncodingError,
+    EncodingOverflowError,
+    ProgramModelError,
+    StaleDictionaryError,
+    TraceError,
+)
+from .events import (
+    CallEvent,
+    CallKind,
+    Event,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadStartEvent,
+)
+from .invariants import assert_sound, check_dictionary
+from .indirect import (
+    DEFAULT_HASH_THRESHOLD,
+    DispatchStrategy,
+    IndirectCallSite,
+    IndirectDispatchTable,
+)
+from .samplelog import SampleLog, SampleLogError
+from .serialize import (
+    SerializationError,
+    export_decoding_state,
+    load_decoder,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptivePolicy",
+    "CLONE_CALLSITE",
+    "CallEdge",
+    "CallEvent",
+    "CallGraph",
+    "CallGraphError",
+    "CallKind",
+    "CallNode",
+    "CallingContext",
+    "CcStack",
+    "CcStackEntry",
+    "CollectedSample",
+    "CompressionMode",
+    "ContextStep",
+    "DEFAULT_HASH_THRESHOLD",
+    "DacceConfig",
+    "DacceEngine",
+    "DacceError",
+    "DacceStats",
+    "Decoder",
+    "DecodingError",
+    "DictionaryStore",
+    "DispatchStrategy",
+    "EdgeInfo",
+    "Encoder",
+    "EncodingDictionary",
+    "EncodingError",
+    "EncodingOverflowError",
+    "Event",
+    "IndirectCallSite",
+    "IndirectDispatchTable",
+    "LibraryLoadEvent",
+    "ProgramModelError",
+    "ReencodeRecord",
+    "ReturnEvent",
+    "SampleEvent",
+    "SampleLog",
+    "SampleLogError",
+    "SerializationError",
+    "export_decoding_state",
+    "load_decoder",
+    "StaleDictionaryError",
+    "ThreadExitEvent",
+    "ThreadStartEvent",
+    "TraceError",
+    "assert_sound",
+    "check_dictionary",
+    "classify_back_edges",
+    "decode_sample",
+    "dfs_classify_back_edges",
+    "encode_graph",
+    "frequency_order",
+    "insertion_order",
+]

@@ -1,0 +1,288 @@
+"""Adaptive re-encoding policy (Section 4).
+
+The paper initiates a re-encoding pass when any of three conditions is
+detected at runtime:
+
+1. the number of newly identified call edges reaches a threshold,
+2. the frequently invoked call paths have changed — hot traffic is
+   flowing through edges the current encoding does not cover,
+3. the ccStack is frequently accessed.
+
+:class:`AdaptivePolicy` evaluates those triggers over observation windows.
+The re-encoding pass itself then (a) reclassifies back edges so that hot
+edges stay encoded ("cold edges will not affect the encodings of hot
+edges", Section 6.4 — the paper's 483.xalancbmk anecdote where maxID
+*decreases* after a re-encoding comes from exactly this reclassification),
+(b) orders each node's in-edges by invocation frequency so the hottest
+gets encoding 0, and (c) enables ccStack compression on highly repetitive
+recursive edges (Figure 5(e)).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallEdge, CallGraph
+from .events import CallSiteId, FunctionId
+
+EdgeKey = Tuple[CallSiteId, FunctionId]
+
+
+@dataclass
+class AdaptiveConfig:
+    """Thresholds for the three re-encoding triggers.
+
+    The paper does not publish its constants; these defaults make the
+    trigger counts (``gTS`` in Table 1) land in the paper's observed range
+    of roughly 2-110 re-encodings per benchmark.
+    """
+
+    #: Trigger 1 — re-encode when this many edges were discovered since
+    #: the last pass.
+    new_edge_threshold: int = 16
+    #: Trigger 2 — re-encode when more than this fraction of window calls
+    #: travelled edges that currently have no encoding (excluding back
+    #: edges, which can never be encoded).
+    hot_unencoded_fraction: float = 0.02
+    #: Trigger 3 — re-encode when ccStack operations per call in the
+    #: window exceed this rate.
+    ccstack_rate_threshold: float = 0.25
+    #: How many calls between trigger evaluations.
+    check_interval: int = 512
+    #: A back edge whose repetitive-push fraction exceeds this gets the
+    #: compressing instrumentation of Figure 5(e) at the next re-encoding.
+    compression_repetition_fraction: float = 0.5
+    #: Minimum observations before compression is considered.
+    compression_min_pushes: int = 16
+
+
+@dataclass
+class WindowStats:
+    """What the engine observed since the last policy evaluation."""
+
+    calls: int = 0
+    unencoded_calls: int = 0
+    ccstack_ops: int = 0
+    new_edges: int = 0
+
+
+@dataclass
+class TriggerDecision:
+    """Outcome of one policy evaluation, with the reasons that fired."""
+
+    reencode: bool
+    reasons: List[str] = field(default_factory=list)
+
+
+class AdaptivePolicy:
+    """Evaluates the Section 4 triggers over engine-supplied windows."""
+
+    def __init__(self, config: Optional[AdaptiveConfig] = None):
+        self.config = config or AdaptiveConfig()
+        #: (callsite, callee) -> [pushes, repetitive pushes] per back edge.
+        self._recursion_pushes: Dict[EdgeKey, List[int]] = {}
+        self._compressed_edges: Set[EdgeKey] = set()
+
+    # -- trigger evaluation --------------------------------------------
+    def evaluate(self, window: WindowStats, pending_new_edges: int) -> TriggerDecision:
+        """Check the three triggers against the latest window."""
+        config = self.config
+        reasons: List[str] = []
+        if pending_new_edges >= config.new_edge_threshold:
+            reasons.append("new-edges")
+        if window.calls > 0:
+            unencoded_rate = window.unencoded_calls / window.calls
+            if unencoded_rate > config.hot_unencoded_fraction:
+                reasons.append("hot-paths-changed")
+            ccstack_rate = window.ccstack_ops / window.calls
+            if ccstack_rate > config.ccstack_rate_threshold:
+                reasons.append("ccstack-traffic")
+        return TriggerDecision(reencode=bool(reasons), reasons=reasons)
+
+    # -- recursion compression -----------------------------------------
+    def observe_back_edge_push(self, key: EdgeKey, repetitive: bool) -> None:
+        """Record one back-edge ccStack push and whether it repeated the top."""
+        counters = self._recursion_pushes.setdefault(key, [0, 0])
+        counters[0] += 1
+        if repetitive:
+            counters[1] += 1
+
+    def refresh_compressed_edges(self) -> Set[EdgeKey]:
+        """Recompute which back edges deserve compressing instrumentation.
+
+        Called during the re-encoding pass ("analyze the contents on
+        ccStack of collected contexts; if they are highly repetitive,
+        adjust the encoding algorithm on recursive calls").
+        """
+        config = self.config
+        for key, (pushes, repetitive) in self._recursion_pushes.items():
+            if (
+                pushes >= config.compression_min_pushes
+                and repetitive / pushes >= config.compression_repetition_fraction
+            ):
+                self._compressed_edges.add(key)
+        return set(self._compressed_edges)
+
+    def is_compressed(self, key: EdgeKey) -> bool:
+        return key in self._compressed_edges
+
+    @property
+    def compressed_edges(self) -> Set[EdgeKey]:
+        return set(self._compressed_edges)
+
+
+# ----------------------------------------------------------------------
+# back-edge reclassification
+# ----------------------------------------------------------------------
+def strongly_connected_components(graph: CallGraph) -> List[List[FunctionId]]:
+    """Tarjan's SCC algorithm over *all* edges of the call graph.
+
+    Iterative formulation — recursion depth would otherwise be bounded by
+    the call-graph diameter, which reaches thousands of nodes for
+    xalancbmk-sized graphs.
+    """
+    index: Dict[FunctionId, int] = {}
+    lowlink: Dict[FunctionId, int] = {}
+    on_stack: Set[FunctionId] = set()
+    stack: List[FunctionId] = []
+    components: List[List[FunctionId]] = []
+    counter = [0]
+
+    for start in graph.functions():
+        if start in index:
+            continue
+        work: List[Tuple[FunctionId, int]] = [(start, 0)]
+        while work:
+            node, edge_pos = work.pop()
+            if edge_pos == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            out_edges = graph.out_edges(node)
+            advanced = False
+            while edge_pos < len(out_edges):
+                successor = out_edges[edge_pos].callee
+                edge_pos += 1
+                if successor not in index:
+                    work.append((node, edge_pos))
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def classify_back_edges(graph: CallGraph, priority: str = "frequency", seed: int = 0) -> int:
+    """Re-pick the back-edge set for the whole graph.
+
+    Edges crossing strongly connected components can never be on a cycle
+    and are always non-back.  Within each non-trivial SCC the edges are
+    inserted one by one into an acyclic subset; an edge that would close
+    a cycle becomes a back edge.  Self edges are always back.
+
+    ``priority`` chooses the insertion order and therefore *which* edge
+    of each cycle gets trapped:
+
+    * ``"frequency"`` — hottest first: hot edges stay encodable.  This is
+      DACCE's adaptive re-encoding behaviour ("cold edges will not
+      affect the encodings of hot edges", Section 6.4).
+    * ``"random"`` — a seeded shuffle, modelling the frequency-blind
+      classification of static tools: in a cycle formed by a
+      never-executed edge and hot edges, the *hot* edge is trapped with
+      uniform probability — the root cause of PCCE's extra ccStack
+      traffic on 400.perlbench / 483.xalancbmk.
+
+    Returns the number of edges whose classification changed.  Rebuilding
+    from scratch lets a formerly encoded edge *become* the back edge of a
+    newly closed cycle, which is how the paper's maximum id can decrease
+    across re-encodings (the Figure 9 xalancbmk anecdote).
+    """
+    component_of: Dict[FunctionId, int] = {}
+    components = strongly_connected_components(graph)
+    for number, members in enumerate(components):
+        for member in members:
+            component_of[member] = number
+
+    nontrivial: Dict[int, List[CallEdge]] = {}
+    changed = 0
+    for edge in graph.edges():
+        if edge.caller == edge.callee:
+            if not edge.is_back:
+                changed += 1
+            edge.is_back = True
+            continue
+        if component_of[edge.caller] != component_of[edge.callee]:
+            if edge.is_back:
+                changed += 1
+            edge.is_back = False
+            continue
+        nontrivial.setdefault(component_of[edge.caller], []).append(edge)
+
+    rng = random.Random(seed)
+    for edges in nontrivial.values():
+        changed += _classify_within_component(edges, priority, rng)
+    if changed:
+        graph.generation += 1
+    return changed
+
+
+def _classify_within_component(
+    edges: List[CallEdge], priority: str, rng: random.Random
+) -> int:
+    """Greedy acyclic subset selection inside one SCC."""
+    if priority == "random":
+        ordered = list(edges)
+        rng.shuffle(ordered)
+    else:
+        ordered = sorted(edges, key=lambda e: (-e.invocations, e.callsite))
+    adjacency: Dict[FunctionId, List[FunctionId]] = {}
+    changed = 0
+    for edge in ordered:
+        if _reaches(adjacency, edge.callee, edge.caller):
+            if not edge.is_back:
+                changed += 1
+            edge.is_back = True
+        else:
+            if edge.is_back:
+                changed += 1
+            edge.is_back = False
+            adjacency.setdefault(edge.caller, []).append(edge.callee)
+    return changed
+
+
+def _reaches(
+    adjacency: Dict[FunctionId, List[FunctionId]],
+    source: FunctionId,
+    target: FunctionId,
+) -> bool:
+    if source == target:
+        return True
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        for successor in adjacency.get(node, ()):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return False

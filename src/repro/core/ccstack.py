@@ -1,0 +1,200 @@
+"""The ccStack — per-thread storage for sub-path encoding contexts.
+
+Whenever a thread is about to traverse an edge that carries no static
+encoding (a newly discovered edge, a recursive back edge, an indirect call
+with an unknown target, a PLT call before binding), the current encoding
+context ``<id, callsite, target>`` is pushed here and the id is set to
+``maxID + 1`` (Section 3, Figure 2(b)).
+
+Highly repetitive recursion is compressed: when the entry being pushed is
+identical to the top entry, a repetition counter is bumped instead
+(Section 3.3, Figure 5(e)).  The stack records operation statistics used
+both by the cost model (Figure 8) and by the adaptive policy's
+"ccStack is frequently accessed" trigger (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .context import CcStackEntry
+from .errors import TraceError
+from .events import CallSiteId, FunctionId
+
+#: Reserved callsite id marking the base entry of a spawned thread; the
+#: decoder stops at this sentinel and stitches the parent context.
+CLONE_CALLSITE: CallSiteId = -1
+
+
+@dataclass
+class _MutableEntry:
+    """Stack-internal, mutable twin of :class:`CcStackEntry`.
+
+    ``discovery`` marks entries saved for edges that merely await their
+    first encoding (a transient state bounded by the re-encoding
+    latency) as opposed to recursive back edges, whose entries are the
+    steady-state ccStack content Figure 10 measures.
+    """
+
+    id: int
+    callsite: CallSiteId
+    target: FunctionId
+    count: int = 0
+    discovery: bool = False
+
+    def freeze(self) -> CcStackEntry:
+        return CcStackEntry(self.id, self.callsite, self.target, self.count)
+
+
+@dataclass
+class CcStackStats:
+    """Operation counters reported per benchmark in Table 1."""
+
+    pushes: int = 0
+    pops: int = 0
+    compressions: int = 0
+    decompressions: int = 0
+    max_depth: int = 0
+
+    @property
+    def operations(self) -> int:
+        """Total ccStack accesses (the ``ccStack/s`` numerator)."""
+        return self.pushes + self.pops + self.compressions + self.decompressions
+
+
+class CcStack:
+    """One thread's ccStack.
+
+    ``compression_enabled`` reflects the adaptive policy: the paper turns
+    recursion compression on when the collected contexts show highly
+    repetitive ccStack content (Section 4); the ablation benchmark drives
+    it directly.
+    """
+
+    def __init__(
+        self,
+        compression_enabled: bool = True,
+        capacity: Optional[int] = None,
+    ):
+        self._entries: List[_MutableEntry] = []
+        self.compression_enabled = compression_enabled
+        #: Section 5.3: the ccStack is allocated lazily per thread and its
+        #: bottom page is protected to detect overflow.  ``capacity``
+        #: models the protected bound; ``None`` means unbounded.
+        self.capacity = capacity
+        self.stats = CcStackStats()
+
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        id_value: int,
+        callsite: CallSiteId,
+        target: FunctionId,
+        allow_compress: bool = False,
+        discovery: bool = False,
+    ) -> bool:
+        """Save an encoding context before an unencoded call.
+
+        With ``allow_compress`` (recursive back edges whose instrumentation
+        was upgraded per Figure 5(e)) an entry identical to the current top
+        only bumps the top's repetition counter.  Returns ``True`` when the
+        push was compressed.
+        """
+        if (
+            allow_compress
+            and self.compression_enabled
+            and self._entries
+            and self._entries[-1].id == id_value
+            and self._entries[-1].callsite == callsite
+            and self._entries[-1].target == target
+        ):
+            self._entries[-1].count += 1
+            self.stats.compressions += 1
+            self.stats.max_depth = max(self.stats.max_depth, self.depth())
+            return True
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            raise TraceError(
+                "ccStack overflow: %d entries (capacity %d) — the paper's "
+                "guard page would trap here" % (len(self._entries), self.capacity)
+            )
+        self._entries.append(
+            _MutableEntry(id_value, callsite, target, discovery=discovery)
+        )
+        self.stats.pushes += 1
+        self.stats.max_depth = max(self.stats.max_depth, self.depth())
+        return False
+
+    def pop(self) -> int:
+        """Undo the most recent (uncompressed) push; returns the saved id."""
+        if not self._entries:
+            raise TraceError("pop from empty ccStack")
+        top = self._entries[-1]
+        if top.count > 0:
+            # A compressed repetition ends: restore the id and drop one
+            # repetition (the ``ccStack.top().count--`` of Figure 5(e)).
+            top.count -= 1
+            self.stats.decompressions += 1
+            return top.id
+        self._entries.pop()
+        self.stats.pops += 1
+        return top.id
+
+    def top(self) -> Optional[CcStackEntry]:
+        if not self._entries:
+            return None
+        return self._entries[-1].freeze()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of physical entries (compressed runs count once)."""
+        return len(self._entries)
+
+    def depth(self) -> int:
+        """Logical depth including compressed repetitions."""
+        return sum(1 + e.count for e in self._entries)
+
+    def steady_depth(self) -> int:
+        """Logical depth excluding transient edge-discovery entries."""
+        return sum(1 + e.count for e in self._entries if not e.discovery)
+
+    def snapshot(self) -> Tuple[CcStackEntry, ...]:
+        """Frozen bottom-to-top copy stored into a collected sample."""
+        return tuple(e.freeze() for e in self._entries)
+
+    def saved_state(self) -> Tuple[int, int]:
+        """(physical length, top count) — enough to restore across a call.
+
+        Within one call's dynamic extent the stack never shrinks below its
+        entry depth and only the entry that was on top may see its counter
+        change, so this pair restores the stack exactly.  Used by the
+        engine for tail-call (TcStack) restoration and re-encoding.
+        """
+        top_count = self._entries[-1].count if self._entries else 0
+        return (len(self._entries), top_count)
+
+    def restore(self, state: Tuple[int, int]) -> None:
+        """Truncate back to a :meth:`saved_state` checkpoint."""
+        length, top_count = state
+        if length > len(self._entries):
+            raise TraceError("cannot restore ccStack to a deeper state")
+        del self._entries[length:]
+        if self._entries and length > 0:
+            self._entries[-1].count = top_count
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def replace(self, entries: List[CcStackEntry]) -> None:
+        """Overwrite content (used by re-encoding regeneration)."""
+        self._entries = [
+            _MutableEntry(e.id, e.callsite, e.target, e.count) for e in entries
+        ]
+
+    def __repr__(self) -> str:
+        return "CcStack(%s)" % (
+            ", ".join(
+                "<%d,%d,%d,%d>" % (e.id, e.callsite, e.target, e.count)
+                for e in self._entries
+            )
+        )

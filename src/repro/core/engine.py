@@ -1,0 +1,855 @@
+"""The DACCE runtime engine (Sections 3-5).
+
+This is the reproduction's counterpart of ``dacce.so``: it consumes the
+event stream an instrumented binary would produce and maintains, per
+thread, the context identifier and ccStack exactly as the paper's
+instrumentation would.
+
+* The call graph starts with only the root function; every call edge is
+  discovered by the *runtime handler* at its first invocation and is not
+  encoded until the next re-encoding pass (Section 3).
+* Calls over edges without a current encoding push ``<id, callsite,
+  target>`` on the ccStack and set ``id = maxID + 1`` (Figure 2(b)).
+* Indirect calls dispatch through the per-site inline cache or hash
+  table (Figures 3-4); misses take the unencoded path.
+* Recursive back edges always take the ccStack; once the adaptive pass
+  marks them repetitive they compress repetitions into a counter
+  (Figure 5(e)).
+* Tail calls replace the top frame; the encoding context of the whole
+  replaced chain is restored through the TcStack mechanism when the
+  final callee returns (Figure 7).
+* Each thread owns TLS state (id, ccStack); ``clone`` is intercepted so
+  cross-thread contexts can be reconstructed (Section 5.3).
+* The adaptive policy's triggers start a re-encoding pass: back edges
+  are reclassified hottest-first, in-edges are ordered by frequency (the
+  hottest gets encoding 0 — zero instrumentation), indirect sites are
+  re-patched, ``gTimeStamp`` is bumped, and every thread's live id and
+  ccStack are regenerated under the new dictionary (Section 4).
+
+The engine doubles as its own oracle: it keeps the true shadow stack per
+thread, so tests can cross-validate decoded contexts the way the paper
+cross-validates against stack walking (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cost.model import CostModel
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptivePolicy,
+    WindowStats,
+    classify_back_edges,
+)
+from .callgraph import CallEdge, CallGraph
+from .ccstack import CLONE_CALLSITE, CcStack
+from .context import CallingContext, CollectedSample, ContextStep
+from .decoder import Decoder
+from .dictionary import DictionaryStore, EncodingDictionary
+from .encoder import Encoder, frequency_order, insertion_order
+from .errors import TraceError
+from .events import (
+    CallEvent,
+    CallKind,
+    CallSiteId,
+    Event,
+    FunctionId,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadId,
+    ThreadStartEvent,
+)
+from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
+
+
+class CompressionMode(enum.Enum):
+    """How recursion compression is decided (ablation A3)."""
+
+    ADAPTIVE = "adaptive"   # per-edge, once the policy sees repetition
+    ALWAYS = "always"       # every back edge compresses from the start
+    NEVER = "never"         # plain pushes only
+
+
+@dataclass
+class DacceConfig:
+    """Engine configuration; defaults mirror the paper's prototype."""
+
+    id_bits: int = 64
+    hash_threshold: int = DEFAULT_HASH_THRESHOLD
+    compression: CompressionMode = CompressionMode.ADAPTIVE
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+    #: Keep collected samples in memory (disable for pure-overhead runs).
+    retain_samples: bool = True
+    #: Hard cap on re-encoding passes (None = unlimited).
+    max_reencodings: Optional[int] = None
+    #: Re-classify back edges hottest-first during re-encoding.
+    reclassify_back_edges: bool = True
+    #: Order in-edges by frequency during re-encoding (hot edge gets 0).
+    frequency_ordering: bool = True
+    #: Debug aid: decode every collected sample on the spot and compare
+    #: it with the shadow-stack oracle (the paper's §6.1 check, inline).
+    #: Failures are counted in ``stats.validation_failures``.
+    self_validate: bool = False
+
+
+class _Action(enum.Enum):
+    """What the forward instrumentation of a call did (for the unwind)."""
+
+    NONE = 0            # encoding 0 — no instrumentation at all
+    ID = 1              # id += En
+    PUSH = 2            # ccStack push (recursive back edge)
+    COMPRESS = 3        # ccStack counter bump (compressed recursion)
+    DISCOVERY_PUSH = 4  # ccStack push for a not-yet-encoded edge
+
+
+@dataclass
+class _Frame:
+    """Shadow-stack frame.
+
+    ``chain`` holds the (function, callsite, kind) sequence of tail-call
+    replaced predecessors — the logical context includes them even though
+    their machine frames are gone.  ``restore_id`` / ``cc_state`` are the
+    encoding context at entry of the *chain head*, which is what the
+    TcStack restores after a tail-call chain returns (Figure 7).
+    """
+
+    function: FunctionId
+    callsite: Optional[CallSiteId]
+    restore_id: int
+    cc_state: Tuple[int, int]
+    action: _Action
+    kind: CallKind = CallKind.NORMAL
+    chain: List[Tuple[FunctionId, CallSiteId, CallKind]] = field(
+        default_factory=list
+    )
+
+    @property
+    def is_tail_chain(self) -> bool:
+        return bool(self.chain)
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread TLS block: context id, ccStack, shadow stack."""
+
+    thread: ThreadId
+    id_value: int
+    ccstack: CcStack
+    frames: List[_Frame]
+    spawned_entry: Optional[FunctionId] = None
+
+
+@dataclass
+class ReencodeRecord:
+    """One re-encoding pass — the Figure 9 time series and Table 1 costs."""
+
+    timestamp: int
+    at_call: int
+    nodes: int
+    edges: int
+    max_id: int
+    reasons: Tuple[str, ...]
+    cost_cycles: float
+
+
+@dataclass
+class DacceStats:
+    """Aggregate runtime statistics (feeds Table 1 and Figure 10)."""
+
+    calls: int = 0
+    returns: int = 0
+    samples: int = 0
+    handler_invocations: int = 0
+    unencoded_calls: int = 0
+    back_edge_calls: int = 0
+    indirect_hits: int = 0
+    indirect_misses: int = 0
+    tail_calls: int = 0
+    reencodings: int = 0
+    reencode_cost_cycles: float = 0.0
+    validation_failures: int = 0
+    #: ccStack operations caused by edges awaiting their first encoding
+    #: (bounded per edge by the re-encoding latency; excluded from the
+    #: steady-state ccStack rate of Table 1).
+    discovery_ccstack_ops: int = 0
+
+    @property
+    def gts(self) -> int:
+        """The paper's ``gTS`` column: re-encoding passes performed."""
+        return self.reencodings
+
+
+class DacceEngine:
+    """Dynamic and adaptive calling-context encoding over an event stream."""
+
+    def __init__(
+        self,
+        root: FunctionId = 0,
+        config: Optional[DacceConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        graph: Optional[CallGraph] = None,
+        initial_order_policy=insertion_order,
+    ):
+        self.config = config or DacceConfig()
+        self.cost = cost_model or CostModel()
+        self.graph = graph if graph is not None else CallGraph(root)
+        if graph is not None:
+            root = graph.root
+        self.dictionaries = DictionaryStore()
+        self.policy = AdaptivePolicy(self.config.adaptive)
+        self.indirect = IndirectDispatchTable(self.config.hash_threshold)
+        self.stats = DacceStats()
+        self.samples: List[CollectedSample] = []
+        self.reencode_log: List[ReencodeRecord] = []
+        self.thread_parents: Dict[ThreadId, CollectedSample] = {}
+        self._timestamp = 0
+        self._window = WindowStats()
+        self._edges_at_last_encode = 0
+        self._tail_calling_functions: set = set()
+        self._threads: Dict[ThreadId, _ThreadState] = {}
+        # ccStack counters of threads that already exited (Table 1 sums
+        # traffic over the whole run, not just live threads).
+        self._retired_ccstack = {
+            "pushes": 0,
+            "pops": 0,
+            "compressions": 0,
+            "decompressions": 0,
+            "max_depth": 0,
+        }
+
+        # Initial encoding: a graph containing only ``main`` (Section 6.1)
+        # for DACCE; subclasses may pass a pre-populated (static) graph.
+        self._encoder = Encoder(
+            order_policy=initial_order_policy, id_bits=self.config.id_bits
+        )
+        self._current = self._encoder.encode(self.graph, timestamp=0)
+        self._edges_at_last_encode = self.graph.num_edges
+        self.dictionaries.add(self._current)
+        self._threads[0] = _ThreadState(
+            thread=0,
+            id_value=0,
+            ccstack=CcStack(compression_enabled=True),
+            frames=[
+                _Frame(
+                    function=root,
+                    callsite=None,
+                    restore_id=0,
+                    cc_state=(0, 0),
+                    action=_Action.NONE,
+                )
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def timestamp(self) -> int:
+        """The current ``gTimeStamp``."""
+        return self._timestamp
+
+    @property
+    def current_dictionary(self) -> EncodingDictionary:
+        return self._current
+
+    @property
+    def max_id(self) -> int:
+        return self._current.max_id
+
+    def run(self, events: Iterable[Event]) -> None:
+        """Process an entire event stream."""
+        for event in events:
+            self.on_event(event)
+
+    def on_event(self, event: Event) -> None:
+        if isinstance(event, CallEvent):
+            self.on_call(event)
+        elif isinstance(event, ReturnEvent):
+            self.on_return(event)
+        elif isinstance(event, SampleEvent):
+            self.on_sample(event)
+        elif isinstance(event, ThreadStartEvent):
+            self.on_thread_start(event)
+        elif isinstance(event, ThreadExitEvent):
+            self.on_thread_exit(event)
+        elif isinstance(event, LibraryLoadEvent):
+            pass  # functions become callable; nothing to patch yet
+        else:
+            raise TraceError("unknown event %r" % (event,))
+
+    def decoder(self) -> Decoder:
+        """A decoder over every dictionary produced so far."""
+        owners = {edge.callsite: edge.caller for edge in self.graph.edges()}
+        return Decoder(
+            self.dictionaries, dict(self.thread_parents), callsite_owners=owners
+        )
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def on_call(self, event: CallEvent) -> None:
+        state = self._state(event.thread)
+        top = state.frames[-1]
+        if top.function != event.caller:
+            raise TraceError(
+                "thread %d: call from %d but current function is %d"
+                % (event.thread, event.caller, top.function)
+            )
+        self.stats.calls += 1
+        self._window.calls += 1
+        self.cost.charge_call_baseline()
+
+        edge = self.graph.find_edge(event.callsite, event.callee)
+        if edge is None:
+            edge = self._runtime_handler(event)
+        edge.invocations += 1
+
+        if event.kind is CallKind.TAIL:
+            self._apply_tail_call(state, event, edge)
+        else:
+            self._apply_call(state, event, edge)
+
+    def on_return(self, event: ReturnEvent) -> None:
+        state = self._state(event.thread)
+        if len(state.frames) <= 1:
+            raise TraceError(
+                "thread %d: return from the bottom frame" % event.thread
+            )
+        frame = state.frames.pop()
+        self.stats.returns += 1
+
+        if frame.is_tail_chain:
+            # TcStack restoration: one restore covers the whole chain.
+            state.ccstack.restore(frame.cc_state)
+            self.cost.charge_tcstack()
+        elif frame.action is _Action.PUSH or frame.action is _Action.COMPRESS:
+            state.ccstack.pop()
+            self.cost.charge_ccstack_pop()
+            self._window.ccstack_ops += 1
+        elif frame.action is _Action.DISCOVERY_PUSH:
+            state.ccstack.pop()
+            self._charge_discovery_pop()
+            self.stats.discovery_ccstack_ops += 1
+            self._window.ccstack_ops += 1
+        elif frame.action is _Action.ID:
+            self.cost.charge_id_update()
+        state.id_value = frame.restore_id
+
+        self._maybe_check_triggers()
+
+    def on_sample(self, event: SampleEvent) -> CollectedSample:
+        state = self._state(event.thread)
+        sample = CollectedSample(
+            timestamp=self._timestamp,
+            context_id=state.id_value,
+            function=state.frames[-1].function,
+            ccstack=state.ccstack.snapshot(),
+            thread=event.thread,
+        )
+        self.stats.samples += 1
+        self.cost.charge_sample(len(sample.ccstack))
+        if self.config.retain_samples:
+            self.samples.append(sample)
+        if self.config.self_validate:
+            self._self_validate(sample, event.thread)
+        return sample
+
+    def _self_validate(self, sample: CollectedSample, thread: ThreadId) -> None:
+        from .errors import DecodingError  # local: avoid cycle at import
+
+        try:
+            decoded = self.decoder().decode(sample)
+        except DecodingError:
+            self.stats.validation_failures += 1
+            return
+        expected = self.expected_context(thread)
+        if [s.function for s in decoded.steps] != [
+            s.function for s in expected.steps
+        ]:
+            self.stats.validation_failures += 1
+
+    def on_thread_start(self, event: ThreadStartEvent) -> None:
+        if event.thread in self._threads:
+            raise TraceError("thread %d already exists" % event.thread)
+        parent = self._state(event.parent)
+        # Intercepted ``clone``: record the spawning context (Section 5.3).
+        self.thread_parents[event.thread] = CollectedSample(
+            timestamp=self._timestamp,
+            context_id=parent.id_value,
+            function=parent.frames[-1].function,
+            ccstack=parent.ccstack.snapshot(),
+            thread=event.parent,
+        )
+        ccstack = CcStack(compression_enabled=True)
+        ccstack.push(0, CLONE_CALLSITE, event.entry)
+        state = _ThreadState(
+            thread=event.thread,
+            id_value=self._current.max_id + 1,
+            ccstack=ccstack,
+            frames=[
+                _Frame(
+                    function=event.entry,
+                    callsite=None,
+                    restore_id=self._current.max_id + 1,
+                    cc_state=ccstack.saved_state(),
+                    action=_Action.NONE,
+                )
+            ],
+            spawned_entry=event.entry,
+        )
+        self.graph.add_node(event.entry)
+        self._threads[event.thread] = state
+
+    def on_thread_exit(self, event: ThreadExitEvent) -> None:
+        state = self._state(event.thread)
+        if len(state.frames) > 1:
+            raise TraceError(
+                "thread %d exited with %d live frames"
+                % (event.thread, len(state.frames))
+            )
+        stats = state.ccstack.stats
+        self._retired_ccstack["pushes"] += stats.pushes
+        self._retired_ccstack["pops"] += stats.pops
+        self._retired_ccstack["compressions"] += stats.compressions
+        self._retired_ccstack["decompressions"] += stats.decompressions
+        self._retired_ccstack["max_depth"] = max(
+            self._retired_ccstack["max_depth"], stats.max_depth
+        )
+        del self._threads[event.thread]
+
+    # ------------------------------------------------------------------
+    # oracles / introspection
+    # ------------------------------------------------------------------
+    def expected_context(self, thread: ThreadId = 0) -> CallingContext:
+        """The true current context from the shadow stack (the oracle).
+
+        Includes tail-call-replaced frames and, recursively, the spawning
+        context of the thread — directly comparable with
+        ``decoder().decode(engine.on_sample(...))``.
+        """
+        state = self._state(thread)
+        steps: List[ContextStep] = []
+        for frame in state.frames:
+            for function, callsite, _kind in frame.chain:
+                steps.append(ContextStep(function, callsite))
+            steps.append(ContextStep(frame.function, frame.callsite))
+        if state.spawned_entry is not None:
+            parent_sample = self.thread_parents.get(thread)
+            if parent_sample is not None:
+                parent = self._shadow_context_of_sample(parent_sample)
+                steps[0] = ContextStep(
+                    steps[0].function, CLONE_CALLSITE, steps[0].count
+                )
+                return CallingContext(tuple(parent.steps) + tuple(steps))
+        return CallingContext(tuple(steps))
+
+    def _shadow_context_of_sample(self, sample: CollectedSample) -> CallingContext:
+        """Decode a parent-thread spawn sample (threads may have exited)."""
+        return self.decoder().decode(sample)
+
+    def call_stack_depth(self, thread: ThreadId = 0) -> int:
+        """Logical call-stack depth (tail chains included) — Figure 10."""
+        state = self._state(thread)
+        return sum(1 + len(frame.chain) for frame in state.frames)
+
+    def ccstack_depth(
+        self, thread: ThreadId = 0, include_discovery: bool = True
+    ) -> int:
+        """Current ccStack depth; optionally only steady-state entries.
+
+        Discovery entries (edges awaiting their first encoding) are a
+        transient artifact bounded by the re-encoding latency — the
+        depth distributions of Figure 10 measure the steady content.
+        """
+        stack = self._state(thread).ccstack
+        if include_discovery:
+            return stack.depth()
+        return stack.steady_depth()
+
+    def live_threads(self) -> List[ThreadId]:
+        return list(self._threads.keys())
+
+    def current_context(self, thread: ThreadId = 0) -> CallingContext:
+        """Decode the thread's live context (without retaining a sample).
+
+        This is the tool-facing query the paper's clients issue: take
+        the compact runtime state and expand it on demand.
+        """
+        state = self._state(thread)
+        sample = CollectedSample(
+            timestamp=self._timestamp,
+            context_id=state.id_value,
+            function=state.frames[-1].function,
+            ccstack=state.ccstack.snapshot(),
+            thread=thread,
+        )
+        return self.decoder().decode(sample)
+
+    def summary(self) -> Dict[str, object]:
+        """A one-stop status snapshot for tooling and logs."""
+        return {
+            "calls": self.stats.calls,
+            "returns": self.stats.returns,
+            "samples": self.stats.samples,
+            "nodes": self.graph.num_nodes,
+            "edges": self.graph.num_edges,
+            "encoded_edges": self._current.num_encoded_edges,
+            "max_id": self._current.max_id,
+            "overflowed": self._current.overflowed,
+            "gts": self._timestamp,
+            "reencodings": self.stats.reencodings,
+            "handler_invocations": self.stats.handler_invocations,
+            "live_threads": len(self._threads),
+            "ccstack": self.ccstack_stats(),
+            "indirect_sites": len(self.indirect),
+        }
+
+    def ccstack_stats(self) -> Dict[str, int]:
+        """Summed ccStack operation counters (live + exited threads)."""
+        totals = dict(self._retired_ccstack)
+        for state in self._threads.values():
+            stats = state.ccstack.stats
+            totals["pushes"] += stats.pushes
+            totals["pops"] += stats.pops
+            totals["compressions"] += stats.compressions
+            totals["decompressions"] += stats.decompressions
+            totals["max_depth"] = max(totals["max_depth"], stats.max_depth)
+        return totals
+
+    # ------------------------------------------------------------------
+    # call machinery
+    # ------------------------------------------------------------------
+    def _state(self, thread: ThreadId) -> _ThreadState:
+        try:
+            return self._threads[thread]
+        except KeyError:
+            raise TraceError("unknown thread %d" % thread) from None
+
+    def _runtime_handler(self, event: CallEvent) -> CallEdge:
+        """First invocation of a call site/target pair (Section 3.1).
+
+        Adds the edge to the call graph (classifying back edges), patches
+        the site, and registers indirect targets.  The edge stays
+        unencoded until the next re-encoding pass.
+        """
+        self.stats.handler_invocations += 1
+        self.cost.charge_handler()
+        edge = self.graph.add_edge(
+            event.caller, event.callee, event.callsite, kind=event.kind
+        )
+        if event.kind is CallKind.INDIRECT:
+            self.indirect.site(event.callsite)
+        if event.kind is CallKind.TAIL:
+            # Patch the caller of the function containing the tail call so
+            # it saves/restores the encoding context (Figure 7).
+            self._tail_calling_functions.add(event.caller)
+        return edge
+
+    def _edge_encoding(self, edge: CallEdge) -> Optional[int]:
+        """The edge's encoding in the *current* dictionary, if any."""
+        if edge.is_back:
+            return None
+        return self._current.encoding(edge.callsite, edge.callee)
+
+    def _apply_call(self, state: _ThreadState, event: CallEvent, edge: CallEdge) -> None:
+        restore_id = state.id_value
+        cc_state = state.ccstack.saved_state()
+
+        if event.kind is CallKind.INDIRECT:
+            action = self._dispatch_indirect(state, event, edge)
+        else:
+            action = self._apply_direct(state, event, edge)
+
+        if event.callee in self._tail_calling_functions:
+            # Caller-side TcStack save for functions known to tail-call.
+            self.cost.charge_tcstack()
+
+        state.frames.append(
+            _Frame(
+                function=event.callee,
+                callsite=event.callsite,
+                restore_id=restore_id,
+                cc_state=cc_state,
+                action=action,
+                kind=event.kind,
+            )
+        )
+
+    def _apply_direct(
+        self, state: _ThreadState, event: CallEvent, edge: CallEdge
+    ) -> _Action:
+        encoding = self._edge_encoding(edge)
+        if encoding is not None:
+            state.id_value += encoding
+            if encoding:
+                self.cost.charge_id_update()
+                return _Action.ID
+            return _Action.NONE
+        return self._push_unencoded(state, event, edge)
+
+    def _dispatch_indirect(
+        self, state: _ThreadState, event: CallEvent, edge: CallEdge
+    ) -> _Action:
+        site = self.indirect.site(event.callsite)
+        result = site.dispatch(event.callee)
+        if result.hashed:
+            self.cost.charge_hash_lookup()
+        elif result.comparisons:
+            self.cost.charge_comparisons(result.comparisons)
+        encoding = self._edge_encoding(edge) if result.hit else None
+        if result.hit and encoding is not None:
+            self.stats.indirect_hits += 1
+            state.id_value += encoding
+            if encoding:
+                self.cost.charge_id_update()
+                return _Action.ID
+            return _Action.NONE
+        self.stats.indirect_misses += 1
+        return self._push_unencoded(state, event, edge)
+
+    def _push_unencoded(
+        self, state: _ThreadState, event: CallEvent, edge: CallEdge
+    ) -> _Action:
+        """Figure 2(b): save <id, callsite, target>, set id = maxID + 1."""
+        if edge.is_back:
+            self.stats.back_edge_calls += 1
+            allow_compress = self._compression_allowed(edge)
+            repetitive_top = self._would_repeat(state, event)
+            self.policy.observe_back_edge_push(edge.key(), repetitive_top)
+            compressed = state.ccstack.push(
+                state.id_value,
+                event.callsite,
+                event.callee,
+                allow_compress=allow_compress,
+            )
+            if compressed:
+                self.cost.charge_ccstack_compress()
+            else:
+                self.cost.charge_ccstack_push()
+            self._window.ccstack_ops += 1
+            state.id_value = self._current.max_id + 1
+            return _Action.COMPRESS if compressed else _Action.PUSH
+        # A non-back edge without an encoding *yet*: it was discovered in
+        # the current epoch and will be encoded by the next re-encoding
+        # pass.  Its ccStack traffic is a bounded transition cost, not
+        # steady-state work, and is accounted separately.
+        self.stats.unencoded_calls += 1
+        self.stats.discovery_ccstack_ops += 1
+        self._window.unencoded_calls += 1
+        state.ccstack.push(
+            state.id_value, event.callsite, event.callee, discovery=True
+        )
+        self._charge_discovery_push()
+        self._window.ccstack_ops += 1
+        state.id_value = self._current.max_id + 1
+        return _Action.DISCOVERY_PUSH
+
+    def _would_repeat(self, state: _ThreadState, event: CallEvent) -> bool:
+        top = state.ccstack.top()
+        return (
+            top is not None
+            and top.id == state.id_value
+            and top.callsite == event.callsite
+            and top.target == event.callee
+        )
+
+    def _charge_discovery_push(self) -> None:
+        """Cost of saving context for a not-yet-encoded edge.
+
+        One-time by nature (each edge is unencoded only until the next
+        re-encoding pass); subclasses without patching machinery (PCCE)
+        override this to nothing.
+        """
+        self.cost.report.add("discovery", self.cost.parameters.ccstack_push)
+
+    def _charge_discovery_pop(self) -> None:
+        self.cost.report.add("discovery", self.cost.parameters.ccstack_pop)
+
+    def _compression_allowed(self, edge: CallEdge) -> bool:
+        mode = self.config.compression
+        if mode is CompressionMode.ALWAYS:
+            return True
+        if mode is CompressionMode.NEVER:
+            return False
+        return self.policy.is_compressed(edge.key())
+
+    def _apply_tail_call(
+        self, state: _ThreadState, event: CallEvent, edge: CallEdge
+    ) -> None:
+        """Replace the top frame (Figure 7); restoration via TcStack."""
+        self.stats.tail_calls += 1
+        if len(state.frames) <= 1:
+            raise TraceError("tail call from the bottom frame")
+        old = state.frames.pop()
+        self._tail_calling_functions.add(old.function)
+
+        if event.kind is CallKind.INDIRECT:
+            action = self._dispatch_indirect(state, event, edge)
+        else:
+            action = self._apply_direct(state, event, edge)
+        chain = list(old.chain)
+        chain.append((old.function, old.callsite, old.kind))
+        state.frames.append(
+            _Frame(
+                function=event.callee,
+                callsite=event.callsite,
+                restore_id=old.restore_id,
+                cc_state=old.cc_state,
+                action=action,
+                kind=event.kind,
+                chain=chain,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # adaptive re-encoding
+    # ------------------------------------------------------------------
+    def _maybe_check_triggers(self) -> None:
+        if self._window.calls < self.config.adaptive.check_interval:
+            return
+        if (
+            self.config.max_reencodings is not None
+            and self.stats.reencodings >= self.config.max_reencodings
+        ):
+            self._window = WindowStats()
+            return
+        pending = self.graph.num_edges - self._edges_at_last_encode
+        decision = self.policy.evaluate(self._window, pending)
+        self._window = WindowStats()
+        if decision.reencode:
+            self.reencode(tuple(decision.reasons))
+
+    def reencode(self, reasons: Tuple[str, ...] = ("manual",)) -> None:
+        """One full adaptive re-encoding pass (Section 4).
+
+        Suspends the world (cost-modelled), reclassifies back edges,
+        re-encodes with frequency ordering, re-patches indirect sites,
+        bumps ``gTimeStamp``, and regenerates every thread's live id and
+        ccStack under the new dictionary.
+        """
+        if self.config.reclassify_back_edges:
+            classify_back_edges(self.graph)
+        self.policy.refresh_compressed_edges()
+
+        self._timestamp += 1
+        order = (
+            frequency_order if self.config.frequency_ordering else insertion_order
+        )
+        encoder = Encoder(order_policy=order, id_bits=self.config.id_bits)
+        self._current = encoder.encode(self.graph, timestamp=self._timestamp)
+        self.dictionaries.add(self._current)
+        self._edges_at_last_encode = self.graph.num_edges
+
+        self._repatch_indirect_sites()
+        for state in self._threads.values():
+            self._regenerate_thread(state)
+
+        cost = (
+            self.graph.num_edges * self.cost.parameters.reencode_per_edge
+            + len(self._threads) * self.cost.parameters.thread_suspend
+        )
+        self.cost.charge_reencode(self.graph.num_edges, len(self._threads))
+        self.stats.reencodings += 1
+        self.stats.reencode_cost_cycles += cost
+        self.reencode_log.append(
+            ReencodeRecord(
+                timestamp=self._timestamp,
+                at_call=self.stats.calls,
+                nodes=self.graph.num_nodes,
+                edges=self.graph.num_edges,
+                max_id=self._current.max_id,
+                reasons=reasons,
+                cost_cycles=cost,
+            )
+        )
+
+    def _repatch_indirect_sites(self) -> None:
+        """Install per-site target sets ordered hottest-first (Figure 3(d))."""
+        by_site: Dict[CallSiteId, List[CallEdge]] = {}
+        for edge in self.graph.edges():
+            if edge.kind is CallKind.INDIRECT:
+                by_site.setdefault(edge.callsite, []).append(edge)
+        for callsite, edges in by_site.items():
+            ordered = sorted(edges, key=lambda e: -e.invocations)
+            self.indirect.site(callsite).patch(
+                [e.callee for e in ordered],
+                hash_threshold=self.config.hash_threshold,
+            )
+
+    def _regenerate_thread(self, state: _ThreadState) -> None:
+        """Rebuild id/ccStack/frames under the new dictionary.
+
+        The paper patches return addresses in regenerated instrumentation;
+        the observable effect is that the live encoding context is exactly
+        what the new instrumentation would have produced — which is what
+        replaying the shadow stack computes.
+        """
+        ccstack = CcStack(compression_enabled=True)
+        old_stats = state.ccstack.stats
+        if state.spawned_entry is not None:
+            ccstack.push(0, CLONE_CALLSITE, state.spawned_entry)
+            id_value = self._current.max_id + 1
+        else:
+            id_value = 0
+
+        new_frames: List[_Frame] = []
+        bottom = state.frames[0]
+        new_frames.append(
+            _Frame(
+                function=bottom.function,
+                callsite=bottom.callsite,
+                restore_id=id_value,
+                cc_state=ccstack.saved_state(),
+                action=_Action.NONE,
+                kind=bottom.kind,
+            )
+        )
+
+        for frame in state.frames[1:]:
+            chain_restore_id = id_value
+            chain_cc_state = ccstack.saved_state()
+            transitions = list(frame.chain) + [
+                (frame.function, frame.callsite, frame.kind)
+            ]
+            action = _Action.NONE
+            for function, callsite, kind in transitions:
+                edge = self.graph.edge(callsite, function)
+                encoding = self._edge_encoding(edge)
+                if encoding is not None:
+                    id_value += encoding
+                    action = _Action.ID if encoding else _Action.NONE
+                else:
+                    compressed = ccstack.push(
+                        id_value,
+                        callsite,
+                        function,
+                        allow_compress=edge.is_back
+                        and self._compression_allowed(edge),
+                        discovery=not edge.is_back,
+                    )
+                    id_value = self._current.max_id + 1
+                    action = (
+                        _Action.COMPRESS if compressed else _Action.PUSH
+                    )
+            new_frames.append(
+                _Frame(
+                    function=frame.function,
+                    callsite=frame.callsite,
+                    restore_id=chain_restore_id,
+                    cc_state=chain_cc_state,
+                    action=action,
+                    kind=frame.kind,
+                    chain=list(frame.chain),
+                )
+            )
+
+        # Preserve accumulated traffic statistics across regeneration.
+        ccstack.stats = old_stats
+        state.ccstack = ccstack
+        state.id_value = id_value
+        state.frames = new_frames

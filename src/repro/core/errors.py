@@ -1,0 +1,57 @@
+"""Exception hierarchy for the DACCE reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`DacceError` so that
+callers embedding the library can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class DacceError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CallGraphError(DacceError):
+    """Structural problem in a call graph (unknown node, duplicate edge...)."""
+
+
+class EncodingError(DacceError):
+    """The encoder was asked to do something impossible.
+
+    Examples: encoding a graph whose encoded-edge subset is cyclic, or
+    requesting the encoding of an edge that was deliberately left
+    unencoded (a back edge).
+    """
+
+
+class EncodingOverflowError(EncodingError):
+    """The encoding space exceeded the configured id width.
+
+    The paper uses 64-bit context identifiers; PCCE overflows on
+    400.perlbench and 403.gcc (Table 1).  Python integers are unbounded,
+    so the reproduction *detects* overflow instead of corrupting ids.
+    """
+
+    def __init__(self, max_id: int, bits: int):
+        super().__init__(
+            "maximum context id %d does not fit in a %d-bit identifier"
+            % (max_id, bits)
+        )
+        self.max_id = max_id
+        self.bits = bits
+
+
+class DecodingError(DacceError):
+    """A collected context id could not be decoded into a call path."""
+
+
+class StaleDictionaryError(DecodingError):
+    """No decoding dictionary exists for the requested timestamp."""
+
+
+class TraceError(DacceError):
+    """The trace executor was driven into an inconsistent state."""
+
+
+class ProgramModelError(DacceError):
+    """Invalid synthetic program description."""

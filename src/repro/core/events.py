@@ -1,0 +1,108 @@
+"""Runtime event model shared by the trace executor and the engines.
+
+The paper instruments machine code; the reproduction abstracts execution
+into a stream of events.  Each event corresponds to something the
+instrumented binary would observe:
+
+* :class:`CallEvent` — a call instruction fires at a call site.
+* :class:`ReturnEvent` — the current function returns.
+* :class:`SampleEvent` — the libpfm4-style sampler fires and the current
+  context id is recorded (Section 6.1 of the paper).
+* :class:`ThreadStartEvent` / :class:`ThreadExitEvent` — ``clone`` is
+  intercepted / a thread dies (Section 5.3).
+* :class:`LibraryLoadEvent` — a shared library is ``dlopen``-ed; its
+  functions become visible and its PLT entries bindable (Section 5.1).
+
+Events carry integer function indices (``FunctionId``) and call-site ids
+(``CallSiteId``); the program model owns the mapping to names.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+FunctionId = int
+CallSiteId = int
+ThreadId = int
+
+
+class CallKind(enum.Enum):
+    """How a call site transfers control (Sections 3 and 5).
+
+    The engine patches each kind differently:
+
+    * ``NORMAL`` — direct call instruction.
+    * ``INDIRECT`` — call through a function pointer / vtable.
+    * ``TAIL`` — jump that replaces the current frame (Figure 7).
+    * ``PLT`` — lazily bound call into a shared library (Section 5.1).
+    """
+
+    NORMAL = "normal"
+    INDIRECT = "indirect"
+    TAIL = "tail"
+    PLT = "plt"
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """A dynamic call: ``caller`` invokes ``callee`` at ``callsite``."""
+
+    thread: ThreadId
+    callsite: CallSiteId
+    caller: FunctionId
+    callee: FunctionId
+    kind: CallKind = CallKind.NORMAL
+
+
+@dataclass(frozen=True)
+class ReturnEvent:
+    """The top frame of ``thread`` returns to its caller."""
+
+    thread: ThreadId
+
+
+@dataclass(frozen=True)
+class SampleEvent:
+    """The sampling module fires on ``thread``; engines snapshot context."""
+
+    thread: ThreadId
+
+
+@dataclass(frozen=True)
+class ThreadStartEvent:
+    """``parent`` spawns ``thread`` whose entry function is ``entry``.
+
+    The spawning context of the parent is captured by the engine so that
+    full cross-thread contexts can be reconstructed at decode time.
+    """
+
+    thread: ThreadId
+    parent: ThreadId
+    entry: FunctionId
+
+
+@dataclass(frozen=True)
+class ThreadExitEvent:
+    """``thread`` terminates; its per-thread state is discarded."""
+
+    thread: ThreadId
+
+
+@dataclass(frozen=True)
+class LibraryLoadEvent:
+    """A shared library identified by ``library`` is loaded at runtime."""
+
+    thread: ThreadId
+    library: str
+
+
+Event = Union[
+    CallEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadStartEvent,
+    ThreadExitEvent,
+    LibraryLoadEvent,
+]

@@ -1,0 +1,178 @@
+"""Compact binary serialisation of collected context samples.
+
+The paper's motivating tools log a calling context with *every* recorded
+event (memory accesses in race detectors, entries in replay logs) — the
+whole point of context encoding is that the logged record is a few words
+instead of a stack walk.  This module provides that log format:
+
+* varint (LEB128) encoding of ids, call sites and counts,
+* delta-encoded timestamps (gTimeStamp changes rarely),
+* ccStack entries serialised inline (most samples have none).
+
+``SampleLog`` is an append-only in-memory log with ``to_bytes`` /
+``from_bytes`` round-tripping; the benchmark harness uses it to quantify
+bytes-per-context against the naive full-path representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from .context import CcStackEntry, CollectedSample
+from .errors import DacceError
+
+
+class SampleLogError(DacceError):
+    """Corrupt or truncated sample-log data."""
+
+
+# ----------------------------------------------------------------------
+# varint primitives
+# ----------------------------------------------------------------------
+def _zigzag(value: int) -> int:
+    # Arbitrary-precision zig-zag (no fixed word size to shift against).
+    return -2 * value - 1 if value < 0 else 2 * value
+
+
+def _unzigzag(value: int) -> int:
+    return -((value + 1) // 2) if value & 1 else value // 2
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """LEB128 of a zig-zagged (possibly negative, unbounded) integer."""
+    value = _zigzag(value)
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Returns (value, new offset)."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise SampleLogError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return _unzigzag(result), offset
+        shift += 7
+        if shift > 640:
+            raise SampleLogError("varint too long")
+
+
+# ----------------------------------------------------------------------
+# sample encoding
+# ----------------------------------------------------------------------
+def encode_sample(
+    sample: CollectedSample, out: bytearray, previous_timestamp: int = 0
+) -> None:
+    """Append one sample to ``out`` (timestamp delta-encoded)."""
+    write_varint(out, sample.timestamp - previous_timestamp)
+    write_varint(out, sample.thread)
+    write_varint(out, sample.function)
+    write_varint(out, sample.context_id)
+    write_varint(out, len(sample.ccstack))
+    for entry in sample.ccstack:
+        write_varint(out, entry.id)
+        write_varint(out, entry.callsite)
+        write_varint(out, entry.target)
+        write_varint(out, entry.count)
+
+
+def decode_sample_bytes(
+    data: bytes, offset: int, previous_timestamp: int = 0
+) -> Tuple[CollectedSample, int]:
+    """Read one sample; returns (sample, new offset)."""
+    delta, offset = read_varint(data, offset)
+    thread, offset = read_varint(data, offset)
+    function, offset = read_varint(data, offset)
+    context_id, offset = read_varint(data, offset)
+    depth, offset = read_varint(data, offset)
+    if depth < 0 or depth > 1_000_000:
+        raise SampleLogError("implausible ccStack length %d" % depth)
+    entries: List[CcStackEntry] = []
+    for _ in range(depth):
+        entry_id, offset = read_varint(data, offset)
+        callsite, offset = read_varint(data, offset)
+        target, offset = read_varint(data, offset)
+        count, offset = read_varint(data, offset)
+        entries.append(CcStackEntry(entry_id, callsite, target, count))
+    sample = CollectedSample(
+        timestamp=previous_timestamp + delta,
+        context_id=context_id,
+        function=function,
+        ccstack=tuple(entries),
+        thread=thread,
+    )
+    return sample, offset
+
+
+_MAGIC = b"DCL1"
+
+
+class SampleLog:
+    """Append-only compact log of collected samples."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray(_MAGIC)
+        self._count = 0
+        self._last_timestamp = 0
+
+    def append(self, sample: CollectedSample) -> None:
+        encode_sample(sample, self._buffer, self._last_timestamp)
+        self._last_timestamp = sample.timestamp
+        self._count += 1
+
+    def extend(self, samples: Iterable[CollectedSample]) -> None:
+        for sample in samples:
+            self.append(sample)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def bytes_per_sample(self) -> float:
+        if not self._count:
+            return 0.0
+        return (len(self._buffer) - len(_MAGIC)) / self._count
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._buffer)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SampleLog":
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise SampleLogError("bad magic")
+        log = cls()
+        log._buffer = bytearray(data)
+        offset = len(_MAGIC)
+        timestamp = 0
+        count = 0
+        while offset < len(data):
+            sample, offset = decode_sample_bytes(data, offset, timestamp)
+            timestamp = sample.timestamp
+            count += 1
+        log._count = count
+        log._last_timestamp = timestamp
+        return log
+
+    def __iter__(self) -> Iterator[CollectedSample]:
+        data = bytes(self._buffer)
+        offset = len(_MAGIC)
+        timestamp = 0
+        while offset < len(data):
+            sample, offset = decode_sample_bytes(data, offset, timestamp)
+            timestamp = sample.timestamp
+            yield sample

@@ -1,0 +1,184 @@
+"""Persistence of decoding state — offline context reconstruction.
+
+The paper's deployment story separates recording from decoding: the
+instrumented process writes compact context records continuously, and a
+*different* process (the debugger, the race-report generator) decodes
+them later.  That requires everything Algorithm 1 consumes to be
+persistable:
+
+* every decoding dictionary produced so far (per ``gTimeStamp``),
+* the call-site owner map (callsite -> containing function),
+* the thread-creation samples used to stitch cross-thread contexts.
+
+:func:`export_decoding_state` captures all of it from a live engine as
+JSON; :func:`load_decoder` reconstructs a fully functional
+:class:`~repro.core.decoder.Decoder` from the file — no engine, graph or
+program required.  Together with :class:`~repro.core.samplelog.SampleLog`
+this completes the offline pipeline::
+
+    # recording process
+    engine.run(events)
+    log.extend(engine.samples)
+    export_decoding_state(engine, "run.state.json")
+    open("run.log", "wb").write(log.to_bytes())
+
+    # analysis process (later, elsewhere)
+    decoder = load_decoder("run.state.json")
+    for sample in SampleLog.from_bytes(open("run.log", "rb").read()):
+        print(decoder.decode(sample))
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .context import CcStackEntry, CollectedSample
+from .decoder import Decoder
+from .dictionary import DictionaryStore, EdgeInfo, EncodingDictionary
+from .errors import DacceError
+from .events import CallKind
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(DacceError):
+    """Invalid or incompatible decoding-state data."""
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def dictionary_to_dict(dictionary: EncodingDictionary) -> Dict[str, Any]:
+    return {
+        "timestamp": dictionary.timestamp,
+        "max_id": dictionary.max_id,
+        "root": dictionary.root,
+        "overflow_bits": dictionary.overflow_bits,
+        "numcc": {str(fn): dictionary.numcc(fn) for fn in _numcc_keys(dictionary)},
+        "edges": [
+            {
+                "caller": info.caller,
+                "callee": info.callee,
+                "callsite": info.callsite,
+                "kind": info.kind.value,
+                "is_back": info.is_back,
+                "encoding": info.encoding,
+            }
+            for info in dictionary.edges()
+        ],
+    }
+
+
+def _numcc_keys(dictionary: EncodingDictionary):
+    return dictionary._numcc.keys()  # noqa: SLF001 — serializer is a friend
+
+
+def sample_to_dict(sample: CollectedSample) -> Dict[str, Any]:
+    return {
+        "timestamp": sample.timestamp,
+        "context_id": sample.context_id,
+        "function": sample.function,
+        "thread": sample.thread,
+        "ccstack": [
+            [entry.id, entry.callsite, entry.target, entry.count]
+            for entry in sample.ccstack
+        ],
+    }
+
+
+def sample_from_dict(data: Dict[str, Any]) -> CollectedSample:
+    return CollectedSample(
+        timestamp=data["timestamp"],
+        context_id=data["context_id"],
+        function=data["function"],
+        thread=data.get("thread", 0),
+        ccstack=tuple(
+            CcStackEntry(entry[0], entry[1], entry[2], entry[3])
+            for entry in data.get("ccstack", [])
+        ),
+    )
+
+
+def decoding_state_to_dict(engine) -> Dict[str, Any]:
+    """Everything a future decoder needs, as plain JSON-able data."""
+    store = engine.dictionaries
+    dictionaries = [
+        dictionary_to_dict(store.get(ts))
+        for ts in sorted(store._by_timestamp)  # noqa: SLF001
+    ]
+    return {
+        "format": FORMAT_VERSION,
+        "dictionaries": dictionaries,
+        "callsite_owners": {
+            str(edge.callsite): edge.caller for edge in engine.graph.edges()
+        },
+        "thread_parents": {
+            str(thread): sample_to_dict(sample)
+            for thread, sample in engine.thread_parents.items()
+        },
+    }
+
+
+def export_decoding_state(engine, path: str) -> str:
+    """Write the engine's complete decoding state to ``path`` (JSON)."""
+    with open(path, "w") as handle:
+        json.dump(decoding_state_to_dict(engine), handle)
+    return path
+
+
+# ----------------------------------------------------------------------
+# import
+# ----------------------------------------------------------------------
+def dictionary_from_dict(data: Dict[str, Any]) -> EncodingDictionary:
+    try:
+        edges = {}
+        for edge in data["edges"]:
+            info = EdgeInfo(
+                caller=edge["caller"],
+                callee=edge["callee"],
+                callsite=edge["callsite"],
+                kind=CallKind(edge["kind"]),
+                is_back=edge["is_back"],
+                encoding=edge["encoding"],
+            )
+            edges[(info.callsite, info.callee)] = info
+        return EncodingDictionary(
+            timestamp=data["timestamp"],
+            numcc={int(k): v for k, v in data["numcc"].items()},
+            edges=edges,
+            max_id=data["max_id"],
+            root=data["root"],
+            overflow_bits=data.get("overflow_bits"),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise SerializationError("bad dictionary data: %s" % error) from error
+
+
+def decoder_from_dict(data: Dict[str, Any]) -> Decoder:
+    if data.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            "unsupported decoding-state format %r" % data.get("format")
+        )
+    store = DictionaryStore()
+    for entry in data["dictionaries"]:
+        store.add(dictionary_from_dict(entry))
+    thread_parents = {
+        int(thread): sample_from_dict(sample)
+        for thread, sample in data.get("thread_parents", {}).items()
+    }
+    owners = {
+        int(callsite): owner
+        for callsite, owner in data.get("callsite_owners", {}).items()
+    }
+    return Decoder(store, thread_parents, callsite_owners=owners)
+
+
+def load_decoder(path: str) -> Decoder:
+    """Reconstruct a decoder from an exported decoding-state file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise SerializationError("not a decoding-state file") from error
+    return decoder_from_dict(data)

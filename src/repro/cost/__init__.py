@@ -1,0 +1,5 @@
+"""Instrumentation cost accounting for the overhead experiments."""
+
+from .model import CostModel, CostParameters, CostReport
+
+__all__ = ["CostModel", "CostParameters", "CostReport"]

@@ -1,0 +1,25 @@
+"""Synthetic program substrate: model, generator, trace executor."""
+
+from .generator import GeneratorConfig, generate_program
+from .model import CallSiteDef, FunctionDef, LibraryDef, Program
+from .trace import (
+    PhaseSpec,
+    ThreadSpec,
+    TraceExecutor,
+    WorkloadSpec,
+    run_workload,
+)
+
+__all__ = [
+    "CallSiteDef",
+    "FunctionDef",
+    "GeneratorConfig",
+    "LibraryDef",
+    "PhaseSpec",
+    "Program",
+    "ThreadSpec",
+    "TraceExecutor",
+    "WorkloadSpec",
+    "generate_program",
+    "run_workload",
+]

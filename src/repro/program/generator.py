@@ -1,0 +1,458 @@
+"""Parameterized synthetic-program generator.
+
+Builds :class:`~repro.program.model.Program` instances whose *dynamic*
+call graphs have prescribed characteristics — node/edge counts, indirect
+call sites with many or few targets, recursion cycles, tail calls, PLT
+calls into (possibly lazily loaded) libraries, and Zipf-skewed hot paths.
+The benchmark suite (``repro.bench``) instantiates one configuration per
+SPEC CPU2006 / Parsec 2.1 program, seeded from the paper's Table 1.
+
+Construction strategy: functions are numbered ``0..n-1`` with ``main = 0``
+and direct call sites target strictly higher indices, so the base
+structure is acyclic; recursion is added as explicit cycle-closing sites
+(targeting lower indices).  Points-to false positives are sampled from
+functions the site never calls dynamically — including a pool of
+*static-only* functions that exist in the binary but are never executed,
+reproducing the node/edge inflation PCCE suffers in Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.events import CallKind
+from .model import CallSiteDef, FunctionDef, LibraryDef, Program
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for synthetic-program construction.
+
+    The defaults produce a small, well-behaved program; the benchmark
+    suite overrides nearly everything per benchmark.
+    """
+
+    name: str = "synthetic"
+    seed: int = 0
+    #: Dynamically reachable functions (the DACCE "Nodes" column).
+    functions: int = 60
+    #: Dynamic call edges to aim for (the DACCE "Edges" column).
+    edges: int = 140
+    #: Additional functions that exist statically but never run.
+    static_only_functions: int = 30
+    #: Additional never-taken call sites among static-only/dynamic code.
+    static_only_edges: int = 80
+    #: Never-taken *backward* edges among hot functions.  Each closes a
+    #: static cycle through the hot region, so PCCE's frequency-blind
+    #: classification may trap a hot edge as a back edge — the paper's
+    #: perlbench/xalancbmk mechanism (Section 6.4).  DACCE never sees
+    #: these edges (they never execute).
+    hot_cycle_edges: int = 0
+    #: Fraction of call sites that are indirect.
+    indirect_fraction: float = 0.08
+    #: Dynamic target count range for indirect sites.
+    indirect_targets: tuple = (2, 4)
+    #: Extra points-to-only targets per indirect site (false positives).
+    pointsto_false_targets: tuple = (2, 8)
+    #: Cycle-closing recursive call sites.
+    recursive_sites: int = 2
+    #: Selection weight of each recursive site relative to the Zipf
+    #: weights of normal sites (which start at 1.0).  Controls how often
+    #: recursion is *entered*; the workload's ``recursion_affinity``
+    #: controls how deep a recursion burst goes once entered.
+    recursion_weight: float = 0.05
+    #: Fraction of direct sites that are tail calls.
+    tail_fraction: float = 0.03
+    #: Library functions reached through PLT call sites.
+    library_functions: int = 8
+    #: Number of shared libraries those functions spread over.
+    libraries: int = 2
+    #: Whether the last library is loaded lazily (dlopen plugin).
+    lazy_library: bool = False
+    #: Zipf skew for call-site weights (higher = hotter hot paths).
+    hot_skew: float = 1.2
+    #: Maximum out-call-sites per function.
+    max_fanout: int = 8
+
+
+def generate_program(config: Optional[GeneratorConfig] = None) -> Program:
+    """Build a program for ``config`` (deterministic in ``config.seed``)."""
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    builder = _Builder(config, rng)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, config: GeneratorConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.next_callsite = 0
+        self.functions: List[FunctionDef] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        config = self.config
+        app_count = max(2, config.functions)
+        lib_count = max(0, config.library_functions)
+        static_count = max(0, config.static_only_functions)
+
+        libraries = self._make_libraries(app_count, lib_count)
+        self._make_app_functions(app_count)
+        self._make_library_functions(app_count, lib_count, libraries)
+        self._make_static_only_functions(app_count + lib_count, static_count)
+
+        self._wire_direct_edges(app_count)
+        self._stabilise_hot_backbone(app_count)
+        self._wire_indirect_edges(app_count)
+        self._wire_plt_edges(app_count, lib_count)
+        self._wire_recursion(app_count)
+        self._wire_static_only_edges(app_count, lib_count, static_count)
+        self._wire_hot_cycle_edges(app_count)
+        self._ensure_reachable(app_count)
+
+        return Program(
+            self.functions,
+            main=0,
+            libraries=libraries,
+            name=config.name,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_libraries(self, app_count: int, lib_count: int) -> List[LibraryDef]:
+        config = self.config
+        libraries: List[LibraryDef] = []
+        if lib_count <= 0 or config.libraries <= 0:
+            return libraries
+        per_library = max(1, lib_count // config.libraries)
+        for index in range(config.libraries):
+            start = app_count + index * per_library
+            end = app_count + lib_count if index == config.libraries - 1 else (
+                start + per_library
+            )
+            members = list(range(start, min(end, app_count + lib_count)))
+            if not members:
+                continue
+            libraries.append(
+                LibraryDef(
+                    name="lib%d.so" % index,
+                    functions=members,
+                    load_lazily=(
+                        config.lazy_library and index == config.libraries - 1
+                    ),
+                )
+            )
+        return libraries
+
+    def _make_app_functions(self, app_count: int) -> None:
+        for fid in range(app_count):
+            name = "main" if fid == 0 else "fn_%03d" % fid
+            self.functions.append(
+                FunctionDef(fid, name, work=self.rng.uniform(0.5, 2.0))
+            )
+
+    def _make_library_functions(
+        self, app_count: int, lib_count: int, libraries: List[LibraryDef]
+    ) -> None:
+        owner = {}
+        for library in libraries:
+            for fid in library.functions:
+                owner[fid] = library.name
+        for offset in range(lib_count):
+            fid = app_count + offset
+            self.functions.append(
+                FunctionDef(
+                    fid,
+                    "lib_fn_%03d" % fid,
+                    library=owner.get(fid),
+                    work=self.rng.uniform(0.5, 2.0),
+                )
+            )
+
+    def _make_static_only_functions(self, base: int, count: int) -> None:
+        for offset in range(count):
+            fid = base + offset
+            self.functions.append(FunctionDef(fid, "cold_fn_%03d" % fid))
+
+    # ------------------------------------------------------------------
+    def _new_site_id(self) -> int:
+        self.next_callsite += 1
+        return self.next_callsite
+
+    def _weight(self, rank: int) -> float:
+        """Zipf-style weight for the ``rank``-th site of a function."""
+        return 1.0 / ((rank + 1) ** self.config.hot_skew)
+
+    def _wire_direct_edges(self, app_count: int) -> None:
+        """Forward (acyclic) direct call sites among application code."""
+        config = self.config
+        budget = max(app_count - 1, config.edges - self._reserved_edges())
+        # First guarantee connectivity: every non-main function gets one
+        # caller with a lower index.
+        for fid in range(1, app_count):
+            caller = self.rng.randrange(0, fid)
+            self._add_direct_site(caller, fid, rank=len(
+                self.functions[caller].callsites))
+            budget -= 1
+        attempts = 0
+        while budget > 0 and attempts < budget * 20:
+            attempts += 1
+            caller = self.rng.randrange(0, app_count - 1)
+            if len(self.functions[caller].callsites) >= config.max_fanout:
+                continue
+            callee = self.rng.randrange(caller + 1, app_count)
+            # main never tail-calls: its frame must survive the whole run.
+            is_tail = caller != 0 and self.rng.random() < config.tail_fraction
+            self._add_direct_site(
+                caller,
+                callee,
+                rank=len(self.functions[caller].callsites),
+                tail=is_tail,
+            )
+            budget -= 1
+
+    def _reserved_edges(self) -> int:
+        """Edges wired by the indirect / PLT / recursion passes."""
+        config = self.config
+        indirect_sites = int(config.edges * config.indirect_fraction)
+        mean_targets = sum(config.indirect_targets) / 2.0
+        return int(
+            indirect_sites * mean_targets
+            + config.library_functions
+            + config.recursive_sites
+        )
+
+    def _add_direct_site(
+        self, caller: int, callee: int, rank: int, tail: bool = False
+    ) -> None:
+        kind = CallKind.TAIL if tail else CallKind.NORMAL
+        self.functions[caller].callsites.append(
+            CallSiteDef(
+                id=self._new_site_id(),
+                kind=kind,
+                targets=[callee],
+                weight=self._weight(rank),
+            )
+        )
+
+    def _wire_indirect_edges(self, app_count: int) -> None:
+        config = self.config
+        site_count = int(config.edges * config.indirect_fraction)
+        total = len(self.functions)
+        for _ in range(site_count):
+            caller = self.rng.randrange(0, app_count - 1)
+            lo, hi = config.indirect_targets
+            want = self.rng.randint(lo, max(lo, hi))
+            candidates = list(range(caller + 1, app_count))
+            if not candidates:
+                continue
+            self.rng.shuffle(candidates)
+            targets = candidates[:want]
+            false_lo, false_hi = config.pointsto_false_targets
+            n_false = self.rng.randint(false_lo, max(false_lo, false_hi))
+            # Points-to false positives point *forward* (or into the
+            # never-executed pool); accidental static cycles through hot
+            # code are modelled explicitly by hot_cycle_edges instead.
+            false_pool = list(range(caller + 1, total))
+            false_targets = [
+                fid
+                for fid in self.rng.sample(
+                    false_pool, min(n_false, len(false_pool))
+                )
+                if fid not in targets
+            ]
+            # Indirect target popularity is flatter than call-site
+            # popularity: vtable/function-pointer dispatch spreads over
+            # its targets (the many-target x264 case needs deep chains).
+            weights = [1.0 / ((i + 1) ** 0.7) for i in range(len(targets))]
+            self.functions[caller].callsites.append(
+                CallSiteDef(
+                    id=self._new_site_id(),
+                    kind=CallKind.INDIRECT,
+                    targets=targets,
+                    target_weights=weights,
+                    static_targets=targets + false_targets,
+                    weight=self._weight(
+                        len(self.functions[caller].callsites)
+                    ),
+                )
+            )
+
+    def _wire_plt_edges(self, app_count: int, lib_count: int) -> None:
+        for offset in range(lib_count):
+            callee = app_count + offset
+            caller = self.rng.randrange(0, app_count)
+            self.functions[caller].callsites.append(
+                CallSiteDef(
+                    id=self._new_site_id(),
+                    kind=CallKind.PLT,
+                    targets=[callee],
+                    weight=self._weight(len(self.functions[caller].callsites)),
+                )
+            )
+
+    def _stabilise_hot_backbone(self, app_count: int) -> None:
+        """Pin the rank-0 chain's weights across phase reshuffles.
+
+        Real programs keep the same hot kernel for their whole run;
+        phases modulate everything around it.  Without a stable backbone
+        the notion of "hot edges" (which both the adaptive encoder and
+        PCCE's profile ordering depend on) would dissolve at every phase.
+        """
+        for fid in self._hot_chain(app_count):
+            sites = [s for s in self.functions[fid].callsites if s.weight > 0]
+            if sites:
+                sites[0].phase_stable = True
+
+    def _hot_chain(self, app_count: int, limit: int = 24) -> List[int]:
+        """The rank-0 call chain from main — the hottest path at start."""
+        chain = [0]
+        seen = {0}
+        current = 0
+        while len(chain) < limit:
+            sites = [
+                s
+                for s in self.functions[current].callsites
+                if s.weight > 0 and len(s.targets) == 1
+            ]
+            if not sites:
+                break
+            target = sites[0].targets[0]
+            if target in seen or target >= app_count:
+                break
+            chain.append(target)
+            seen.add(target)
+            current = target
+        return chain
+
+    def _wire_recursion(self, app_count: int) -> None:
+        """Cycle-closing call sites: some self-recursive, some mutual.
+
+        Sites are placed along the rank-0 hot chain from main so they
+        actually execute, and are phase-stable (a program's recursive
+        kernels do not move around).  The small ``recursion_weight``
+        keeps entry into recursion rare, matching the low ccStack rates
+        of Table 1.
+        """
+        if app_count <= 1:
+            return
+        chain = self._hot_chain(app_count)
+        # Only functions that already make other calls may host a
+        # recursive site: otherwise the site is the host's *only*
+        # callable site and recursion stops being weight-proportional.
+        candidates = [
+            fid
+            for fid in chain[1:]
+            if any(s.weight > 0 for s in self.functions[fid].callsites)
+        ] or [c for c in chain[1:]] or [min(1, app_count - 1)]
+        # Spread the sites over the whole chain — the walk dwells at
+        # moderate depth, so recursion anchored only near main would
+        # hardly ever execute.
+        k = max(1, self.config.recursive_sites)
+        hosts = [
+            candidates[(i * (len(candidates) - 1)) // max(1, k - 1)]
+            if k > 1 else candidates[len(candidates) // 2]
+            for i in range(k)
+        ]
+        for index in range(self.config.recursive_sites):
+            position = index % len(hosts)
+            caller = hosts[position]
+            if index % 2 == 0 or position == 0:
+                callee = caller  # direct self recursion
+            else:
+                callee = hosts[position - 1]  # mutual, one chain hop up
+            self.functions[caller].callsites.append(
+                CallSiteDef(
+                    id=self._new_site_id(),
+                    kind=CallKind.NORMAL,
+                    targets=[callee],
+                    weight=self.config.recursion_weight,
+                    phase_stable=True,
+                    recursive=True,
+                )
+            )
+
+    def _wire_static_only_edges(
+        self, app_count: int, lib_count: int, static_count: int
+    ) -> None:
+        """Never-executed call sites that only PCCE's static view sees.
+
+        Forward-directed (caller index < callee index) so they inflate
+        PCCE's node/edge counts and encoding space without accidentally
+        closing cycles; cycle-closing dead edges are added separately by
+        :meth:`_wire_hot_cycle_edges` in a controlled dose.
+        """
+        if static_count <= 0 and self.config.static_only_edges <= 0:
+            return
+        total = app_count + lib_count + static_count
+        if total < 2:
+            return
+        for _ in range(self.config.static_only_edges):
+            caller = self.rng.randrange(0, total - 1)
+            callee = self.rng.randrange(caller + 1, total)
+            site = CallSiteDef(
+                id=self._new_site_id(),
+                kind=CallKind.NORMAL,
+                targets=[callee],
+                weight=0.0,  # never selected by the executor
+            )
+            self.functions[caller].callsites.append(site)
+
+    def _wire_hot_cycle_edges(self, app_count: int) -> None:
+        """Dead backward edges closing static cycles through hot code.
+
+        Each edge runs from a hot function back to a hotter (lower-index)
+        one, so the complete static graph contains a cycle whose other
+        edges are the real, frequently executed forward chain.  A
+        frequency-blind DFS classification will trap one edge of each
+        such cycle — with a fair chance it is a *hot* one, which is
+        exactly how never-executed code inflates PCCE's ccStack traffic
+        in the paper (Section 6.4), while DACCE's dynamic graph, which
+        never contains the dead edge, keeps the hot chain encoded.
+        """
+        if self.config.hot_cycle_edges <= 0 or app_count < 4:
+            return
+        # Pair each dead edge with a *real* hot edge u -> v (a rank-0/1
+        # direct site of a hot function), closing the 2-cycle v -> u.  A
+        # frequency-blind DFS then traps whichever of the two it scans
+        # second — about half the time the hot one.
+        chain = self._hot_chain(app_count)
+        candidates = list(zip(chain, chain[1:]))
+        hot_limit = max(4, min(app_count, 2 + app_count // 8))
+        for fid in range(hot_limit):
+            for rank, site in enumerate(self.functions[fid].callsites):
+                if (
+                    site.weight > 0
+                    and site.kind is CallKind.NORMAL
+                    and rank < 2
+                    and len(site.targets) == 1
+                    and site.targets[0] != fid
+                ):
+                    candidates.append((fid, site.targets[0]))
+        if not candidates:
+            return
+        for _ in range(self.config.hot_cycle_edges):
+            caller_of_hot, hot_target = candidates[
+                self.rng.randrange(len(candidates))
+            ]
+            site = CallSiteDef(
+                id=self._new_site_id(),
+                kind=CallKind.NORMAL,
+                targets=[caller_of_hot],
+                weight=0.0,  # dead code: never executed
+            )
+            self.functions[hot_target].callsites.append(site)
+
+    def _ensure_reachable(self, app_count: int) -> None:
+        """Guarantee main has at least one callable site."""
+        main = self.functions[0]
+        if not any(site.weight > 0 for site in main.callsites):
+            main.callsites.append(
+                CallSiteDef(
+                    id=self._new_site_id(),
+                    targets=[1] if app_count > 1 else [0],
+                    weight=1.0,
+                )
+            )

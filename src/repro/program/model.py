@@ -1,0 +1,216 @@
+"""Synthetic program model — the substrate the engines run on.
+
+The paper instruments x86 binaries; the reproduction replaces the binary
+with an explicit model: a set of functions, each containing call sites of
+a given kind (normal / indirect / tail / PLT), plus the shared libraries
+whose functions are only reachable after loading.  The trace executor
+walks this model stochastically, producing the event stream the engines
+consume.
+
+The model also carries *static* information that only the PCCE baseline
+is allowed to see: the conservative points-to target sets of indirect
+call sites (a superset of the dynamically realised targets — the false
+positives the paper's Issue 1 complains about) and functions/call sites
+that exist in the binary but are never executed (Issue 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.errors import ProgramModelError
+from ..core.events import CallKind, CallSiteId, FunctionId
+
+
+@dataclass
+class CallSiteDef:
+    """A call site inside a function body.
+
+    ``targets`` are the *dynamically possible* callees with selection
+    weights; for direct calls there is exactly one.  ``static_targets``
+    is what conservative points-to analysis would report for an indirect
+    site — always a superset of ``targets`` (may include functions the
+    program never calls).  ``weight`` is the relative probability that
+    the executor picks this site when the containing function makes a
+    call.
+    """
+
+    id: CallSiteId
+    kind: CallKind = CallKind.NORMAL
+    targets: List[FunctionId] = field(default_factory=list)
+    target_weights: List[float] = field(default_factory=list)
+    static_targets: List[FunctionId] = field(default_factory=list)
+    weight: float = 1.0
+    #: Phase reshuffles leave this site's weight untouched (used for
+    #: recursion sites, whose intensity is a stable program property).
+    phase_stable: bool = False
+    #: A designated cycle-closing (recursive) site.  The executor's
+    #: recursion-burst machinery only engages on these.
+    recursive: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ProgramModelError("call site %d has no targets" % self.id)
+        if not self.target_weights:
+            self.target_weights = [1.0] * len(self.targets)
+        if len(self.target_weights) != len(self.targets):
+            raise ProgramModelError(
+                "call site %d: %d targets but %d weights"
+                % (self.id, len(self.targets), len(self.target_weights))
+            )
+        if not self.static_targets:
+            self.static_targets = list(self.targets)
+
+
+@dataclass
+class FunctionDef:
+    """A function: an id, a name, an owning library, and its call sites.
+
+    ``work`` scales the baseline cycles attributed per activation by the
+    cost model (leaf compute functions do more work per call than thin
+    wrappers).
+    """
+
+    id: FunctionId
+    name: str
+    callsites: List[CallSiteDef] = field(default_factory=list)
+    library: Optional[str] = None
+    work: float = 1.0
+
+    def callsite(self, callsite_id: CallSiteId) -> CallSiteDef:
+        for site in self.callsites:
+            if site.id == callsite_id:
+                return site
+        raise ProgramModelError(
+            "function %s has no call site %d" % (self.name, callsite_id)
+        )
+
+
+@dataclass
+class LibraryDef:
+    """A shared library: functions only callable once it is loaded.
+
+    ``load_lazily`` models ``dlopen`` — the library enters the process
+    image mid-run, which static approaches cannot anticipate (Issue 2).
+    """
+
+    name: str
+    functions: List[FunctionId] = field(default_factory=list)
+    load_lazily: bool = False
+
+
+class Program:
+    """A complete synthetic program: functions, libraries, entry point."""
+
+    def __init__(
+        self,
+        functions: Sequence[FunctionDef],
+        main: FunctionId = 0,
+        libraries: Sequence[LibraryDef] = (),
+        name: str = "program",
+    ):
+        self.name = name
+        self.main = main
+        self._functions: Dict[FunctionId, FunctionDef] = {}
+        for function in functions:
+            if function.id in self._functions:
+                raise ProgramModelError("duplicate function id %d" % function.id)
+            self._functions[function.id] = function
+        if main not in self._functions:
+            raise ProgramModelError("entry function %d is not defined" % main)
+        self.libraries: Dict[str, LibraryDef] = {
+            library.name: library for library in libraries
+        }
+        self._callsite_owner: Dict[CallSiteId, FunctionId] = {}
+        for function in self._functions.values():
+            for site in function.callsites:
+                if site.id in self._callsite_owner:
+                    raise ProgramModelError(
+                        "call site %d appears in two functions" % site.id
+                    )
+                self._callsite_owner[site.id] = function.id
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        for function in self._functions.values():
+            for site in function.callsites:
+                for target in site.targets + site.static_targets:
+                    if target not in self._functions:
+                        raise ProgramModelError(
+                            "call site %d targets unknown function %d"
+                            % (site.id, target)
+                        )
+
+    # ------------------------------------------------------------------
+    def function(self, function_id: FunctionId) -> FunctionDef:
+        try:
+            return self._functions[function_id]
+        except KeyError:
+            raise ProgramModelError(
+                "unknown function %d" % function_id
+            ) from None
+
+    def functions(self) -> Iterator[FunctionDef]:
+        return iter(self._functions.values())
+
+    def function_ids(self) -> List[FunctionId]:
+        return list(self._functions.keys())
+
+    @property
+    def num_functions(self) -> int:
+        return len(self._functions)
+
+    def callsite_owner(self, callsite_id: CallSiteId) -> FunctionId:
+        try:
+            return self._callsite_owner[callsite_id]
+        except KeyError:
+            raise ProgramModelError(
+                "unknown call site %d" % callsite_id
+            ) from None
+
+    def callsite(self, callsite_id: CallSiteId) -> CallSiteDef:
+        owner = self.callsite_owner(callsite_id)
+        return self._functions[owner].callsite(callsite_id)
+
+    def all_callsites(self) -> Iterator[Tuple[FunctionDef, CallSiteDef]]:
+        for function in self._functions.values():
+            for site in function.callsites:
+                yield function, site
+
+    def library_of(self, function_id: FunctionId) -> Optional[str]:
+        return self.function(function_id).library
+
+    # ------------------------------------------------------------------
+    # static views (PCCE only)
+    # ------------------------------------------------------------------
+    def static_edges(
+        self, include_lazy_libraries: bool = False
+    ) -> List[Tuple[FunctionId, FunctionId, CallSiteId, CallKind]]:
+        """The complete static call graph (Issue 1's over-approximation).
+
+        Indirect sites contribute one edge per *points-to* target.  Lazily
+        loaded libraries are invisible to static analysis unless
+        ``include_lazy_libraries`` — PCCE cannot see ``dlopen`` plugins.
+        """
+        hidden = set()
+        if not include_lazy_libraries:
+            for library in self.libraries.values():
+                if library.load_lazily:
+                    hidden.update(library.functions)
+        edges = []
+        for function, site in self.all_callsites():
+            if function.id in hidden:
+                continue
+            for target in site.static_targets:
+                if target in hidden:
+                    continue
+                edges.append((function.id, target, site.id, site.kind))
+        return edges
+
+    def __repr__(self) -> str:
+        return "Program(%r, functions=%d, libraries=%d)" % (
+            self.name,
+            self.num_functions,
+            len(self.libraries),
+        )

@@ -1,0 +1,92 @@
+"""Context-sensitive profiling built on the Python tracer.
+
+Aggregates collected samples into a *calling-context profile*: how often
+each full context was observed, rolled up per function (flat view) and
+per context (context-sensitive view).  This is the "performance
+analysis" application of the paper's introduction in library form — the
+`examples/python_profiler.py` scenario as a reusable component.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .tracer import PythonDacceTracer
+
+
+@dataclass
+class ProfileEntry:
+    """One context with its observation count."""
+
+    rendered: str
+    functions: Tuple[int, ...]
+    count: int
+
+
+@dataclass
+class ContextProfile:
+    """Aggregated sampling profile over decoded contexts."""
+
+    total_samples: int
+    contexts: List[ProfileEntry]
+    flat: Dict[str, int]
+
+    def hottest(self, limit: int = 10) -> List[ProfileEntry]:
+        return self.contexts[:limit]
+
+    def flat_hottest(self, limit: int = 10) -> List[Tuple[str, int]]:
+        return Counter(self.flat).most_common(limit)
+
+    def self_count(self, function_name: str) -> int:
+        """Samples whose innermost frame is ``function_name``."""
+        return sum(
+            entry.count
+            for entry in self.contexts
+            if entry.rendered.rsplit(" -> ", 1)[-1].split("*")[0]
+            == function_name
+        )
+
+    def format(self, limit: int = 10) -> str:
+        lines = ["%6s  %s" % ("count", "calling context")]
+        for entry in self.hottest(limit):
+            lines.append("%6d  %s" % (entry.count, entry.rendered))
+        return "\n".join(lines)
+
+
+def build_profile(tracer: PythonDacceTracer) -> ContextProfile:
+    """Decode every collected sample and aggregate the profile."""
+    decoder = tracer.engine.decoder()
+    by_context: Counter = Counter()
+    rendered_cache: Dict[Tuple[int, ...], str] = {}
+    flat: Counter = Counter()
+
+    for sample in tracer.samples:
+        context = decoder.decode(sample)
+        key = context.functions()
+        by_context[key] += 1
+        if key not in rendered_cache:
+            rendered_cache[key] = tracer.format_context(context)
+        leaf = key[-1]
+        flat[tracer.function_info(leaf).name] += 1
+
+    contexts = [
+        ProfileEntry(rendered=rendered_cache[key], functions=key, count=count)
+        for key, count in by_context.most_common()
+    ]
+    return ContextProfile(
+        total_samples=len(tracer.samples),
+        contexts=contexts,
+        flat=dict(flat),
+    )
+
+
+def profile_callable(fn, *args, sample_every: int = 50, **kwargs):
+    """Convenience: trace ``fn(*args, **kwargs)`` and return its profile.
+
+    Returns ``(result, profile)``.
+    """
+    tracer = PythonDacceTracer(sample_every=sample_every)
+    result = tracer.run(fn, *args, **kwargs)
+    return result, build_profile(tracer)

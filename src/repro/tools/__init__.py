@@ -1,0 +1,29 @@
+"""Downstream tools built on the DACCE public API.
+
+The paper's introduction motivates calling-context encoding with a set
+of client tools; this package implements library-grade versions of
+them:
+
+* :mod:`repro.tools.eventlog` — context-tagged event logging with
+  redundancy elimination (the replay-log reduction of [21] in the
+  paper's related work),
+* :mod:`repro.tools.coverage` — context-sensitive coverage for testing
+  (DART-style "new context = new test situation"),
+* :mod:`repro.tools.racelog` — compact access logging for data-race
+  reporting across threads.
+"""
+
+from .coverage import ContextCoverage, CoverageReport
+from .eventlog import ContextEventLog, EventRecord, ReductionStats
+from .racelog import AccessRecord, RaceLogger, RaceReport
+
+__all__ = [
+    "AccessRecord",
+    "ContextCoverage",
+    "ContextEventLog",
+    "CoverageReport",
+    "EventRecord",
+    "RaceLogger",
+    "RaceReport",
+    "ReductionStats",
+]

@@ -1,0 +1,160 @@
+"""Analysis-layer tests: stats, progress, depth, report, validation."""
+
+import pytest
+
+from repro.analysis.depth import (
+    DepthDistributions,
+    cumulative_distribution,
+    run_depth_distributions,
+)
+from repro.analysis.progress import run_progress
+from repro.analysis.report import (
+    format_number,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_table,
+    render_table1,
+)
+from repro.analysis.stats import geomean, measure_benchmark, measure_dacce, measure_pcce
+from repro.analysis.validate import ValidationResult, contexts_equal, validate_run
+from repro.bench import full_suite
+from repro.core.context import CallingContext, ContextStep
+from repro.core.engine import DacceEngine
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def bzip2():
+    return full_suite().get("401.bzip2")
+
+
+@pytest.fixture(scope="module")
+def bzip2_measurement(bzip2):
+    return measure_benchmark(bzip2, calls=6_000, scale=0.3)
+
+
+class TestStats:
+    def test_measurement_structure(self, bzip2_measurement):
+        m = bzip2_measurement
+        assert m.dacce.approach == "DACCE"
+        assert m.pcce.approach == "PCCE"
+        assert m.dacce.calls == 6_000
+        assert m.pcce.calls == 6_000
+
+    def test_dacce_graph_smaller_than_pcce(self, bzip2_measurement):
+        m = bzip2_measurement
+        assert m.dacce.nodes <= m.pcce.nodes
+        assert m.dacce.edges <= m.pcce.edges
+
+    def test_everything_decodable(self, bzip2_measurement):
+        m = bzip2_measurement
+        assert m.dacce.undecodable == 0
+        assert m.pcce.undecodable == 0
+        assert m.dacce.decoded_ok > 0
+
+    def test_dacce_reencodes_pcce_does_not(self, bzip2_measurement):
+        m = bzip2_measurement
+        assert m.dacce.gts >= 1
+        assert m.pcce.gts == 0
+
+    def test_overheads_positive_and_bounded(self, bzip2_measurement):
+        m = bzip2_measurement
+        for measurement in (m.dacce, m.pcce):
+            assert 0.0 <= measurement.overhead_pct < 50.0
+
+    def test_geomean(self):
+        assert geomean([]) == 0.0
+        assert geomean([0.1, 0.1]) == pytest.approx(0.1)
+        assert geomean([0.0, 0.21]) == pytest.approx(0.1, abs=0.001)
+
+
+class TestProgress:
+    def test_series_shape(self, bzip2):
+        series = run_progress(bzip2, calls=6_000, scale=0.3)
+        assert series.name == "401.bzip2"
+        assert len(series.points) >= 2
+        calls = [p.at_call for p in series.points]
+        assert calls == sorted(calls)
+        # Nodes/edges are monotone over re-encodings (graph only grows).
+        nodes = [p.nodes for p in series.points]
+        assert nodes == sorted(nodes)
+
+    def test_first_reencode_is_early(self, bzip2):
+        series = run_progress(bzip2, calls=6_000, scale=0.3)
+        assert series.points[0].at_call <= 6_000 // 5
+
+
+class TestDepth:
+    def test_cdf_basics(self):
+        cdf = cumulative_distribution([0, 0, 1, 3])
+        assert cdf == [(0, 0.5), (1, 0.75), (3, 1.0)]
+        assert cumulative_distribution([]) == []
+
+    def test_depth_covering(self):
+        dist = DepthDistributions("x", [1, 2, 3, 10], [0, 0, 0, 5])
+        assert dist.depth_covering(0.5) in (2, 3)
+        assert dist.depth_covering(1.0) == 10
+        assert dist.depth_covering(0.5, which="cc") == 0
+
+    def test_run_collects_both_depths(self, bzip2):
+        dist = run_depth_distributions(bzip2, calls=6_000, scale=0.3)
+        assert len(dist.call_stack_depths) == len(dist.ccstack_depths)
+        assert len(dist.call_stack_depths) > 50
+        assert max(dist.call_stack_depths) >= 2
+
+
+class TestReport:
+    def test_format_number(self):
+        assert format_number(42) == "42"
+        assert format_number(42.0) == "42"
+        assert format_number(3.14159) == "3.14"
+        assert "E" in format_number(2.4e11)
+        assert "E" in format_number(123456789)
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table1_and_figure8(self, bzip2_measurement):
+        table = render_table1([bzip2_measurement])
+        assert "401.bzip2" in table
+        figure = render_figure8([bzip2_measurement])
+        assert "geomean" in figure
+        assert "%" in figure
+
+    def test_render_figure9(self, bzip2):
+        series = run_progress(bzip2, calls=6_000, scale=0.3)
+        text = render_figure9([series])
+        assert "gTS" in text and "maxID" in text
+
+    def test_render_figure10(self, bzip2):
+        dist = run_depth_distributions(bzip2, calls=6_000, scale=0.3)
+        text = render_figure10([dist])
+        assert "ccStack" in text and "p90" in text
+
+
+class TestValidation:
+    def test_contexts_equal(self):
+        a = CallingContext((ContextStep(0), ContextStep(1, 5)))
+        b = CallingContext((ContextStep(0), ContextStep(1, 5)))
+        c = CallingContext((ContextStep(0), ContextStep(1, 6)))
+        d = CallingContext((ContextStep(0),))
+        assert contexts_equal(a, b)
+        assert not contexts_equal(a, c)
+        assert not contexts_equal(a, d)
+
+    def test_validate_run_reports(self):
+        program = generate_program(GeneratorConfig(seed=2, functions=20))
+        spec = WorkloadSpec(calls=2_000, seed=3, sample_period=29)
+        result = validate_run(program, spec)
+        assert isinstance(result, ValidationResult)
+        assert result.ok
+        assert result.samples > 10
+        assert result.accuracy == 1.0
+
+    def test_accuracy_of_empty_result(self):
+        assert ValidationResult().accuracy == 1.0

@@ -1,0 +1,75 @@
+"""CSV export tests."""
+
+import csv
+
+from repro.analysis import (
+    export_fig8_csv,
+    export_fig9_csv,
+    export_fig10_csv,
+    export_table1_csv,
+    measure_benchmark,
+    run_depth_distributions,
+    run_progress,
+)
+from repro.bench import full_suite
+
+
+def _read(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+def test_table1_and_fig8_csv(tmp_path):
+    measurement = measure_benchmark(
+        full_suite().get("470.lbm"), calls=3_000, scale=0.3
+    )
+    t1 = tmp_path / "table1.csv"
+    export_table1_csv([measurement], str(t1))
+    rows = _read(str(t1))
+    assert rows[0][0] == "benchmark"
+    assert rows[1][0] == "470.lbm"
+    assert len(rows) == 2
+    assert len(rows[1]) == len(rows[0])
+
+    f8 = tmp_path / "fig8.csv"
+    export_fig8_csv([measurement], str(f8))
+    rows = _read(str(f8))
+    assert rows[1][0] == "470.lbm"
+    assert float(rows[1][3]) >= 0.0
+
+
+def test_fig9_csv(tmp_path):
+    series = run_progress(full_suite().get("470.lbm"), calls=3_000, scale=0.3)
+    path = tmp_path / "fig9.csv"
+    export_fig9_csv([series], str(path))
+    rows = _read(str(path))
+    assert rows[0] == ["benchmark", "gts", "at_call", "nodes", "edges", "max_id"]
+    assert len(rows) == 1 + len(series.points)
+
+
+def test_fig10_csv(tmp_path):
+    dist = run_depth_distributions(
+        full_suite().get("470.lbm"), calls=3_000, scale=0.3
+    )
+    path = tmp_path / "fig10.csv"
+    export_fig10_csv([dist], str(path))
+    rows = _read(str(path))
+    assert rows[0] == ["benchmark", "stack", "depth", "cumulative_fraction"]
+    stacks = {row[1] for row in rows[1:]}
+    assert stacks == {"call", "ccstack"}
+    # CDFs end at 1.0 for both stacks.
+    final = [float(row[3]) for row in rows[1:]]
+    assert max(final) == 1.0
+
+
+def test_cli_csv_flag(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "t1.csv"
+    code = main(
+        ["table1", "--benchmarks", "470.lbm", "--calls", "3000",
+         "--scale", "0.3", "--csv", str(out)]
+    )
+    assert code == 0
+    assert out.exists()
+    assert "csv written" in capsys.readouterr().out

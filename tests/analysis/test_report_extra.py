@@ -1,0 +1,52 @@
+"""Additional report/stat formatting coverage."""
+
+import pytest
+
+from repro.analysis.report import format_number, render_figure8, render_table
+from repro.analysis.stats import (
+    geomean,
+    measure_benchmark,
+    overhead_rank_correlation,
+)
+from repro.bench import full_suite
+
+
+def test_render_table_handles_empty_rows():
+    text = render_table(["a"], [])
+    assert "a" in text
+    assert len(text.splitlines()) == 2
+
+
+def test_render_table_mixed_types():
+    text = render_table(["x", "y"], [[1, "two"]])
+    assert "1" in text and "two" in text
+
+
+def test_format_number_boundaries():
+    assert format_number(0) == "0"
+    assert format_number(9_999_999) == "9999999"
+    assert "E" in format_number(10_000_000)
+    assert format_number(0.5) == "0.50"
+
+
+def test_figure8_without_paper_columns():
+    m = measure_benchmark(full_suite().get("470.lbm"), calls=3_000, scale=0.3)
+    text = render_figure8([m], with_paper=False)
+    assert "paper" not in text
+    assert "geomean" in text
+
+
+def test_rank_correlation_perfect_on_identical_lists():
+    suite = full_suite()
+    ms = [
+        measure_benchmark(suite.get(n), calls=3_000, scale=0.3)
+        for n in ("470.lbm", "429.mcf")
+    ]
+    correlation = overhead_rank_correlation(ms)
+    assert set(correlation) == {"pcce", "dacce"}
+    for value in correlation.values():
+        assert -1.0 <= value <= 1.0 or value != value  # nan ok for ties
+
+
+def test_geomean_single_value():
+    assert geomean([0.3]) == pytest.approx(0.3)

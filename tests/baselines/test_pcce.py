@@ -1,0 +1,164 @@
+"""PCCE baseline tests: static graph, profiling, overflow fix, runtime."""
+
+import pytest
+
+from repro.baselines.pcce import (
+    PcceEngine,
+    build_static_graph,
+    profile_edge_frequencies,
+)
+from repro.core.errors import DecodingError, EncodingError
+from repro.core.events import CallEvent, CallKind, ReturnEvent, SampleEvent
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import TraceExecutor, WorkloadSpec
+
+
+def make_program(**kwargs):
+    defaults = dict(
+        seed=4,
+        functions=30,
+        edges=70,
+        static_only_functions=15,
+        static_only_edges=40,
+        indirect_fraction=0.1,
+        recursive_sites=2,
+        library_functions=4,
+    )
+    defaults.update(kwargs)
+    return generate_program(GeneratorConfig(**defaults))
+
+
+def test_profile_counts_every_call():
+    program = make_program()
+    spec = WorkloadSpec(calls=2000, seed=1)
+    profile = profile_edge_frequencies(program, spec)
+    assert sum(profile.values()) == 2000
+
+
+def test_static_graph_includes_never_executed_code():
+    program = make_program()
+    result = build_static_graph(program)
+    dynamic_functions = 30 + 4  # app + libs
+    assert result.static_nodes > dynamic_functions
+    assert result.graph.num_edges > 70
+
+
+def test_static_graph_excludes_lazy_libraries():
+    program = make_program(lazy_library=True, library_functions=6, libraries=2)
+    lazy = [l for l in program.libraries.values() if l.load_lazily][0]
+    result = build_static_graph(program)
+    for fid in lazy.functions:
+        assert not result.graph.has_node(fid)
+
+
+def test_overflow_fix_deletes_cold_edges():
+    # A big static graph with heavy multiplicity overflows 64-bit ids.
+    program = make_program(
+        functions=200,
+        edges=800,
+        static_only_functions=200,
+        static_only_edges=4000,
+        pointsto_false_targets=(10, 20),
+        indirect_fraction=0.2,
+        max_fanout=40,
+    )
+    spec = WorkloadSpec(calls=3000, seed=1)
+    profile = profile_edge_frequencies(program, spec)
+    result = build_static_graph(program, profile, id_bits=16)
+    assert result.overflowed
+    assert result.deleted_edges > 0
+    assert result.graph.num_edges < result.static_edges
+
+
+def test_engine_decodes_profiled_workload_exactly():
+    program = make_program()
+    spec = WorkloadSpec(calls=4000, seed=2, sample_period=31,
+                        recursion_affinity=0.4)
+    profile = profile_edge_frequencies(program, spec)
+    engine = PcceEngine(program, profile)
+    expectations = []
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            expectations.append(
+                (engine.samples[-1], engine.expected_context(event.thread))
+            )
+    decoder = engine.decoder()
+    assert expectations
+    for sample, expected in expectations:
+        decoded = decoder.decode(sample)
+        assert [s.function for s in decoded.steps] == [
+            s.function for s in expected.steps
+        ]
+
+
+def test_engine_never_reencodes():
+    program = make_program()
+    spec = WorkloadSpec(calls=4000, seed=2)
+    engine = PcceEngine(program, profile_edge_frequencies(program, spec))
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    assert engine.stats.reencodings == 0
+    assert engine.timestamp == 0
+    with pytest.raises(EncodingError):
+        engine.reencode()
+
+
+def test_no_handler_invocations_for_static_edges():
+    program = make_program()
+    spec = WorkloadSpec(calls=4000, seed=2)
+    engine = PcceEngine(program, profile_edge_frequencies(program, spec))
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    # All executed edges were in the static graph: nothing "unknown".
+    assert engine.unknown_edge_calls == 0
+    assert engine.stats.handler_invocations == 0
+
+
+def test_lazy_library_calls_are_unknown_and_cost_nothing():
+    program = make_program(lazy_library=True, library_functions=6, libraries=2)
+    lazy = [l for l in program.libraries.values() if l.load_lazily][0]
+    spec = WorkloadSpec(calls=30_000, seed=6)
+    engine = PcceEngine(program, profile_edge_frequencies(program, spec))
+    lazy_called = False
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        if isinstance(event, CallEvent) and event.callee in lazy.functions:
+            lazy_called = True
+    if lazy_called:
+        assert engine.unknown_edge_calls > 0
+        assert "discovery" not in engine.cost.report.charges
+
+
+def test_indirect_sites_always_inline_chains():
+    from repro.core.indirect import DispatchStrategy
+
+    program = make_program(indirect_fraction=0.2, indirect_targets=(6, 10))
+    spec = WorkloadSpec(calls=2000, seed=2)
+    engine = PcceEngine(program, profile_edge_frequencies(program, spec))
+    assert engine.indirect.sites()
+    for site in engine.indirect.sites():
+        assert site.strategy is DispatchStrategy.INLINE_CACHE
+
+
+def test_hot_edges_get_zero_encoding_with_profile():
+    program = make_program()
+    spec = WorkloadSpec(calls=6000, seed=2)
+    profile = profile_edge_frequencies(program, spec)
+    engine = PcceEngine(program, profile)
+    dictionary = engine.current_dictionary
+    # For each node with several encoded in-edges, the hottest profiled
+    # edge must carry encoding 0.
+    checked = 0
+    for fn in engine.graph.functions():
+        infos = dictionary.encoded_in_edges(fn)
+        if len(infos) < 2:
+            continue
+        hottest = max(
+            infos, key=lambda i: profile.get((i.callsite, i.callee), 0)
+        )
+        if profile.get((hottest.callsite, hottest.callee), 0) == 0:
+            continue
+        assert hottest.encoding == 0
+        checked += 1
+    assert checked > 0

@@ -1,0 +1,103 @@
+"""Shared fixtures: small graphs, programs and engines used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.callgraph import CallGraph
+from repro.core.encoder import encode_graph
+from repro.core.engine import DacceConfig, DacceEngine
+from repro.core.events import CallEvent, CallKind, ReturnEvent, SampleEvent
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import WorkloadSpec
+
+# Function ids used by the hand-built graphs, named after the paper's
+# figures for readability.
+A, B, C, D, E, F, I = range(7)
+
+
+@pytest.fixture
+def diamond_graph():
+    """Figure 1's graph: A→{B,C}→D→{E,F}."""
+    graph = CallGraph(A)
+    graph.add_edge(A, B, 1)
+    graph.add_edge(A, C, 2)
+    graph.add_edge(B, D, 3)
+    graph.add_edge(C, D, 4)
+    graph.add_edge(D, E, 5)
+    graph.add_edge(D, F, 6)
+    return graph
+
+
+@pytest.fixture
+def diamond_dictionary(diamond_graph):
+    return encode_graph(diamond_graph)
+
+
+@pytest.fixture
+def small_program():
+    return generate_program(
+        GeneratorConfig(
+            seed=3,
+            functions=30,
+            edges=70,
+            recursive_sites=3,
+            indirect_fraction=0.1,
+            tail_fraction=0.05,
+            library_functions=4,
+        )
+    )
+
+
+@pytest.fixture
+def small_spec():
+    return WorkloadSpec(calls=8_000, seed=5, sample_period=37,
+                        recursion_affinity=0.4)
+
+
+class EngineDriver:
+    """Minimal helper to feed hand-written call/return streams."""
+
+    def __init__(self, engine: DacceEngine):
+        self.engine = engine
+        self._stack = [engine.graph.root]
+        self._next_site = 1000
+
+    def call(self, callee, callsite=None, kind=CallKind.NORMAL):
+        site = self._next_site if callsite is None else callsite
+        if callsite is None:
+            self._next_site += 1
+        self.engine.on_event(
+            CallEvent(
+                thread=0,
+                callsite=site,
+                caller=self._stack[-1],
+                callee=callee,
+                kind=kind,
+            )
+        )
+        if kind is CallKind.TAIL:
+            self._stack[-1] = callee
+        else:
+            self._stack.append(callee)
+        return site
+
+    def ret(self):
+        self.engine.on_event(ReturnEvent(thread=0))
+        self._stack.pop()
+
+    def sample(self):
+        return self.engine.on_sample(SampleEvent(thread=0))
+
+    def decode_current(self):
+        sample = self.sample()
+        return self.engine.decoder().decode(sample)
+
+    @property
+    def stack(self):
+        return list(self._stack)
+
+
+@pytest.fixture
+def driver():
+    return EngineDriver(DacceEngine(root=A))

@@ -1,0 +1,180 @@
+"""Adaptive-policy tests: the three triggers, compression analysis, SCCs."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptivePolicy,
+    WindowStats,
+    classify_back_edges,
+    strongly_connected_components,
+)
+from repro.core.callgraph import CallGraph
+
+
+class TestTriggers:
+    def policy(self, **kwargs):
+        return AdaptivePolicy(AdaptiveConfig(**kwargs))
+
+    def test_trigger1_new_edges(self):
+        policy = self.policy(new_edge_threshold=10)
+        decision = policy.evaluate(WindowStats(calls=100), pending_new_edges=10)
+        assert decision.reencode
+        assert "new-edges" in decision.reasons
+
+    def test_trigger1_below_threshold(self):
+        policy = self.policy(new_edge_threshold=10)
+        decision = policy.evaluate(WindowStats(calls=100), pending_new_edges=9)
+        assert not decision.reencode
+
+    def test_trigger2_hot_unencoded_paths(self):
+        policy = self.policy(hot_unencoded_fraction=0.05)
+        window = WindowStats(calls=100, unencoded_calls=6)
+        decision = policy.evaluate(window, pending_new_edges=0)
+        assert "hot-paths-changed" in decision.reasons
+
+    def test_trigger3_ccstack_traffic(self):
+        policy = self.policy(ccstack_rate_threshold=0.2)
+        window = WindowStats(calls=100, ccstack_ops=30)
+        decision = policy.evaluate(window, pending_new_edges=0)
+        assert "ccstack-traffic" in decision.reasons
+
+    def test_multiple_reasons_accumulate(self):
+        policy = self.policy(
+            new_edge_threshold=1,
+            hot_unencoded_fraction=0.01,
+            ccstack_rate_threshold=0.01,
+        )
+        window = WindowStats(calls=100, unencoded_calls=50, ccstack_ops=50)
+        decision = policy.evaluate(window, pending_new_edges=5)
+        assert len(decision.reasons) == 3
+
+    def test_empty_window_only_checks_edges(self):
+        policy = self.policy(new_edge_threshold=5)
+        decision = policy.evaluate(WindowStats(), pending_new_edges=0)
+        assert not decision.reencode
+
+
+class TestCompressionAnalysis:
+    def test_repetitive_edge_gets_compressed(self):
+        config = AdaptiveConfig(
+            compression_min_pushes=4, compression_repetition_fraction=0.5
+        )
+        policy = AdaptivePolicy(config)
+        key = (10, 2)
+        for _ in range(3):
+            policy.observe_back_edge_push(key, repetitive=True)
+        policy.observe_back_edge_push(key, repetitive=False)
+        assert not policy.is_compressed(key)
+        policy.refresh_compressed_edges()
+        assert policy.is_compressed(key)
+
+    def test_sporadic_edge_not_compressed(self):
+        config = AdaptiveConfig(
+            compression_min_pushes=4, compression_repetition_fraction=0.5
+        )
+        policy = AdaptivePolicy(config)
+        key = (10, 2)
+        for _ in range(8):
+            policy.observe_back_edge_push(key, repetitive=False)
+        policy.refresh_compressed_edges()
+        assert not policy.is_compressed(key)
+
+    def test_too_few_observations_not_compressed(self):
+        config = AdaptiveConfig(compression_min_pushes=100)
+        policy = AdaptivePolicy(config)
+        key = (10, 2)
+        for _ in range(10):
+            policy.observe_back_edge_push(key, repetitive=True)
+        policy.refresh_compressed_edges()
+        assert not policy.is_compressed(key)
+
+
+class TestScc:
+    def test_dag_has_singleton_components(self):
+        graph = CallGraph.from_edges([(0, 1, 1), (1, 2, 2), (0, 2, 3)])
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_cycle_is_one_component(self):
+        graph = CallGraph(0)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 2)
+        graph.add_edge(2, 1, 3)
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_deep_chain_does_not_recurse(self):
+        """Iterative Tarjan must survive xalancbmk-deep graphs."""
+        graph = CallGraph(0)
+        for n in range(4000):
+            graph.add_edge(n, n + 1, n + 10, classify=False)
+        components = strongly_connected_components(graph)
+        assert len(components) == 4001
+
+
+class TestClassification:
+    def _cycle_graph(self):
+        graph = CallGraph(0)
+        hot = graph.add_edge(0, 1, 1)
+        mid = graph.add_edge(1, 2, 2)
+        cold = graph.add_edge(2, 0, 3)
+        hot.invocations = 1000
+        mid.invocations = 900
+        cold.invocations = 1
+        return graph
+
+    def test_frequency_priority_traps_cold_edge(self):
+        graph = self._cycle_graph()
+        # Pervert the initial classification: force the hot edge back.
+        graph.edge(1, 1).is_back = True
+        graph.edge(3, 0).is_back = False
+        changed = classify_back_edges(graph, priority="frequency")
+        assert changed == 2
+        assert not graph.edge(1, 1).is_back
+        assert graph.edge(3, 0).is_back
+
+    def test_random_priority_is_deterministic_in_seed(self):
+        picks = set()
+        for _ in range(3):
+            graph = self._cycle_graph()
+            classify_back_edges(graph, priority="random", seed=42)
+            picks.add(
+                tuple(sorted(e.callsite for e in graph.edges() if e.is_back))
+            )
+        assert len(picks) == 1
+
+    def test_random_priority_can_trap_hot_edges(self):
+        trapped_hot = 0
+        for seed in range(20):
+            graph = self._cycle_graph()
+            classify_back_edges(graph, priority="random", seed=seed)
+            if graph.edge(1, 1).is_back:
+                trapped_hot += 1
+        # Blind classification traps the hot edge a fair share of the time.
+        assert 0 < trapped_hot < 20
+
+    def test_self_edges_always_back(self):
+        graph = CallGraph(0)
+        graph.add_edge(0, 0, 1)
+        classify_back_edges(graph, priority="frequency")
+        assert graph.edge(1, 0).is_back
+
+    def test_cross_component_edges_never_back(self):
+        graph = CallGraph.from_edges([(0, 1, 1), (1, 2, 2)])
+        graph.edge(2, 2).is_back = True  # corrupt
+        classify_back_edges(graph)
+        assert not graph.edge(2, 2).is_back
+
+    def test_result_is_acyclic(self):
+        graph = CallGraph(0)
+        site = iter(range(1, 1000))
+        # Dense tangle among 6 nodes.
+        for u in range(6):
+            for v in range(6):
+                if u != v:
+                    graph.add_edge(u, v, next(site), classify=False)
+        classify_back_edges(graph, priority="random", seed=3)
+        assert len(graph.topological_order()) == graph.num_nodes

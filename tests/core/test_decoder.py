@@ -1,0 +1,212 @@
+"""Decoder (Algorithm 1) unit tests on hand-built dictionaries."""
+
+import pytest
+
+from repro.core.callgraph import CallGraph
+from repro.core.ccstack import CLONE_CALLSITE
+from repro.core.context import CcStackEntry, CollectedSample
+from repro.core.decoder import Decoder, decode_sample
+from repro.core.dictionary import DictionaryStore
+from repro.core.encoder import encode_graph
+from repro.core.errors import DecodingError, StaleDictionaryError
+from tests.conftest import A, B, C, D, E, F
+
+
+def store_for(graph, timestamp=0):
+    store = DictionaryStore()
+    store.add(encode_graph(graph, timestamp=timestamp))
+    return store
+
+
+def functions_of(context):
+    return [step.function for step in context.steps]
+
+
+class TestPlainPaths:
+    def test_decode_root_only(self, diamond_graph):
+        store = store_for(diamond_graph)
+        sample = CollectedSample(timestamp=0, context_id=0, function=A)
+        assert functions_of(decode_sample(sample, store)) == [A]
+
+    def test_decode_all_figure1_contexts(self, diamond_graph):
+        store = store_for(diamond_graph)
+        cases = [
+            (0, E, [A, B, D, E]),
+            (1, E, [A, C, D, E]),
+            (0, F, [A, B, D, F]),
+            (1, F, [A, C, D, F]),
+            (0, D, [A, B, D]),
+            (1, D, [A, C, D]),
+            (0, B, [A, B]),
+            (0, C, [A, C]),
+        ]
+        for context_id, at, expected in cases:
+            sample = CollectedSample(timestamp=0, context_id=context_id, function=at)
+            assert functions_of(decode_sample(sample, store)) == expected
+
+    def test_decoded_callsites_are_correct(self, diamond_graph):
+        store = store_for(diamond_graph)
+        sample = CollectedSample(timestamp=0, context_id=1, function=E)
+        steps = decode_sample(sample, store).steps
+        assert [s.callsite for s in steps] == [None, 2, 4, 5]
+
+
+class TestUnencodedEdges:
+    """Figure 2: edge AD is not encoded; context saved on the ccStack."""
+
+    def graph(self):
+        graph = CallGraph(A)
+        graph.add_edge(A, C, 1)
+        graph.add_edge(C, D, 2)
+        # Edge A->D exists dynamically but carries no encoding: the
+        # decoder resolves the caller through the callsite-owner map.
+        return graph
+
+    def test_decode_ad_via_ccstack(self):
+        store = store_for(self.graph())
+        max_id = store.latest.max_id
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=max_id + 1,
+            function=D,
+            ccstack=(CcStackEntry(0, 9, D),),
+        )
+        decoder = Decoder(store, callsite_owners={9: A})
+        assert functions_of(decoder.decode(sample)) == [A, D]
+
+    def test_decode_acd_not_confused_with_ad(self):
+        store = store_for(self.graph())
+        sample = CollectedSample(timestamp=0, context_id=0, function=D)
+        assert functions_of(decode_sample(sample, store)) == [A, C, D]
+
+    def test_unknown_callsite_raises(self):
+        store = store_for(self.graph())
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=store.latest.max_id + 1,
+            function=D,
+            ccstack=(CcStackEntry(0, 99, D),),
+        )
+        with pytest.raises(DecodingError):
+            Decoder(store).decode(sample)
+
+    def test_multi_level_unencoded(self):
+        """Path A--->B->C--->D with AB and CD unencoded (Section 3.1)."""
+        graph = CallGraph(A)
+        graph.add_edge(B, C, 1)
+        graph.add_node(D)
+        store = store_for(graph)
+        max_id = store.latest.max_id
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=max_id + 1,
+            function=D,
+            ccstack=(
+                CcStackEntry(0, 8, B),
+                CcStackEntry(max_id + 1, 9, D),
+            ),
+        )
+        decoder = Decoder(store, callsite_owners={8: A, 9: C})
+        assert functions_of(decoder.decode(sample)) == [A, B, C, D]
+
+
+class TestRecursionCounts:
+    def graph(self):
+        """Figure 5(d): A->C->D encoded, A->D encoded (+1), D->A back."""
+        graph = CallGraph(A)
+        graph.add_edge(A, C, 1)
+        graph.add_edge(C, D, 2)
+        graph.add_edge(A, D, 3)
+        graph.add_edge(D, A, 4)  # back edge
+        return graph
+
+    def test_compressed_entry_expansion(self):
+        """A C D (A D)^3 compressed to two entries + count=1."""
+        store = store_for(self.graph())
+        d = store.latest
+        max_id = d.max_id
+        en_ad = d.encoding(3, D)
+        # Execution from the worked example in the decoder design:
+        # stack [(0, 4, A, 0), (maxID+1+en_ad, 4, A, 1)], id at D marked.
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=max_id + 1 + en_ad,
+            function=D,
+            ccstack=(
+                CcStackEntry(0, 4, A),
+                CcStackEntry(max_id + 1 + en_ad, 4, A, count=1),
+            ),
+        )
+        decoded = Decoder(store).decode(sample, expand_recursion=True)
+        assert functions_of(decoded) == [A, C, D, A, D, A, D, A, D]
+
+    def test_unexpanded_keeps_count(self):
+        store = store_for(self.graph())
+        d = store.latest
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=d.max_id + 1 + d.encoding(3, D),
+            function=D,
+            ccstack=(
+                CcStackEntry(0, 4, A),
+                CcStackEntry(d.max_id + 1 + d.encoding(3, D), 4, A, count=1),
+            ),
+        )
+        decoded = Decoder(store).decode(sample, expand_recursion=False)
+        counted = [s for s in decoded.steps if s.count]
+        assert len(counted) == 1
+        assert counted[0].count == 1
+
+
+class TestThreadStitching:
+    def test_sentinel_terminates_and_prepends_parent(self, diamond_graph):
+        store = store_for(diamond_graph)
+        parent_sample = CollectedSample(timestamp=0, context_id=1, function=D)
+        child_sample = CollectedSample(
+            timestamp=0,
+            context_id=store.latest.max_id + 1,
+            function=B,
+            ccstack=(CcStackEntry(0, CLONE_CALLSITE, B),),
+            thread=1,
+        )
+        decoder = Decoder(store, thread_parents={1: parent_sample})
+        decoded = decoder.decode(child_sample)
+        assert functions_of(decoded) == [A, C, D, B]
+        assert decoded.steps[3].callsite == CLONE_CALLSITE
+
+    def test_without_follow_threads(self, diamond_graph):
+        store = store_for(diamond_graph)
+        child_sample = CollectedSample(
+            timestamp=0,
+            context_id=store.latest.max_id + 1,
+            function=B,
+            ccstack=(CcStackEntry(0, CLONE_CALLSITE, B),),
+            thread=1,
+        )
+        decoded = Decoder(store, thread_parents={}).decode(child_sample)
+        assert functions_of(decoded) == [B]
+
+
+class TestErrorHandling:
+    def test_missing_dictionary(self, diamond_graph):
+        store = store_for(diamond_graph)
+        sample = CollectedSample(timestamp=5, context_id=0, function=A)
+        with pytest.raises(StaleDictionaryError):
+            decode_sample(sample, store)
+
+    def test_invalid_id_raises(self, diamond_graph):
+        store = store_for(diamond_graph)
+        # id=1 at B is out of range (numCC(B)=1): no edge interval matches.
+        sample = CollectedSample(timestamp=0, context_id=1, function=B)
+        with pytest.raises(DecodingError):
+            decode_sample(sample, store)
+
+    def test_marked_id_with_empty_stack_raises(self, diamond_graph):
+        store = store_for(diamond_graph)
+        sample = CollectedSample(
+            timestamp=0,
+            context_id=store.latest.max_id + 1,
+            function=B,
+        )
+        with pytest.raises(DecodingError):
+            decode_sample(sample, store)

@@ -1,0 +1,114 @@
+"""Adversarial decoder tests: corrupted samples must fail loudly.
+
+A deployed tool decodes logs that may be truncated or damaged; the
+decoder's contract is that corruption raises :class:`DecodingError` (or
+decodes to *some* context when the corruption happens to be consistent)
+— it never hangs, never throws foreign exceptions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import CcStackEntry, CollectedSample
+from repro.core.engine import DacceEngine
+from repro.core.errors import DacceError, DecodingError
+from repro.core.events import SampleEvent
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import TraceExecutor, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def engine_with_samples():
+    program = generate_program(
+        GeneratorConfig(seed=6, functions=40, edges=100, recursive_sites=3,
+                        indirect_fraction=0.1)
+    )
+    spec = WorkloadSpec(calls=8_000, seed=2, sample_period=29,
+                        recursion_affinity=0.4)
+    engine = DacceEngine(root=program.main)
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    assert engine.samples
+    return engine
+
+
+def _mutate(sample, rng):
+    """Randomly corrupt one field of a valid sample."""
+    choice = rng.randrange(5)
+    if choice == 0:
+        return CollectedSample(
+            timestamp=sample.timestamp,
+            context_id=sample.context_id + rng.randrange(1, 10_000),
+            function=sample.function,
+            ccstack=sample.ccstack,
+            thread=sample.thread,
+        )
+    if choice == 1:
+        return CollectedSample(
+            timestamp=sample.timestamp,
+            context_id=sample.context_id,
+            function=sample.function + rng.randrange(1, 500),
+            ccstack=sample.ccstack,
+            thread=sample.thread,
+        )
+    if choice == 2 and sample.ccstack:
+        return CollectedSample(
+            timestamp=sample.timestamp,
+            context_id=sample.context_id,
+            function=sample.function,
+            ccstack=sample.ccstack[:-1],  # drop the top entry
+            thread=sample.thread,
+        )
+    if choice == 3:
+        extra = CcStackEntry(rng.randrange(100), rng.randrange(500),
+                             rng.randrange(100))
+        return CollectedSample(
+            timestamp=sample.timestamp,
+            context_id=sample.context_id,
+            function=sample.function,
+            ccstack=sample.ccstack + (extra,),
+            thread=sample.thread,
+        )
+    return CollectedSample(
+        timestamp=sample.timestamp + 1000,  # unknown dictionary
+        context_id=sample.context_id,
+        function=sample.function,
+        ccstack=sample.ccstack,
+        thread=sample.thread,
+    )
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=120, deadline=None)
+def test_corrupted_samples_never_crash(engine_with_samples, seed):
+    engine = engine_with_samples
+    rng = random.Random(seed)
+    sample = engine.samples[rng.randrange(len(engine.samples))]
+    corrupted = _mutate(sample, rng)
+    decoder = engine.decoder()
+    try:
+        context = decoder.decode(corrupted)
+        assert context.steps  # consistent corruption decodes to *something*
+    except DacceError:
+        pass  # loud, typed failure is the other acceptable outcome
+
+
+def test_wildly_invalid_sample(engine_with_samples):
+    decoder = engine_with_samples.decoder()
+    junk = CollectedSample(
+        timestamp=0,
+        context_id=10**30,
+        function=424242,
+        ccstack=(CcStackEntry(10**20, 999999, 888888, 7),),
+    )
+    with pytest.raises(DacceError):
+        decoder.decode(junk)
+
+
+def test_negative_id_rejected(engine_with_samples):
+    decoder = engine_with_samples.decoder()
+    sample = CollectedSample(timestamp=0, context_id=-5, function=0)
+    with pytest.raises(DacceError):
+        decoder.decode(sample)

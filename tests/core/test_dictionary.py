@@ -1,0 +1,90 @@
+"""Dictionary store and snapshot tests (Figure 6)."""
+
+import pytest
+
+from repro.core.callgraph import CallGraph
+from repro.core.dictionary import DictionaryStore
+from repro.core.encoder import encode_graph
+from repro.core.errors import StaleDictionaryError
+
+
+def make_dictionary(timestamp=0, edges=((0, 1, 1),)):
+    graph = CallGraph(0)
+    for caller, callee, callsite in edges:
+        graph.add_edge(caller, callee, callsite)
+    return encode_graph(graph, timestamp=timestamp)
+
+
+def test_store_indexes_by_timestamp():
+    store = DictionaryStore()
+    store.add(make_dictionary(0))
+    store.add(make_dictionary(1, edges=((0, 1, 1), (1, 2, 2))))
+    assert store.get(0).num_edges == 1
+    assert store.get(1).num_edges == 2
+    assert len(store) == 2
+    assert 1 in store and 5 not in store
+
+
+def test_latest_tracks_highest_timestamp():
+    store = DictionaryStore()
+    store.add(make_dictionary(2))
+    store.add(make_dictionary(1))
+    assert store.latest.timestamp == 2
+
+
+def test_missing_timestamp_raises():
+    store = DictionaryStore()
+    with pytest.raises(StaleDictionaryError):
+        store.get(0)
+    with pytest.raises(StaleDictionaryError):
+        _ = store.latest
+
+
+def test_dictionary_is_snapshot_of_graph():
+    """Mutating the graph after encoding must not change the dictionary."""
+    graph = CallGraph(0)
+    graph.add_edge(0, 1, 1)
+    dictionary = encode_graph(graph)
+    graph.add_edge(1, 2, 2)
+    assert dictionary.num_edges == 1
+    assert dictionary.find_edge(2, 2) is None
+
+
+def test_unknown_function_numcc_is_one():
+    dictionary = make_dictionary()
+    assert dictionary.numcc(999) == 1
+
+
+def test_encoded_in_edges_excludes_back_edges():
+    graph = CallGraph(0)
+    graph.add_edge(0, 1, 1)
+    graph.add_edge(1, 0, 2)  # back
+    dictionary = encode_graph(graph)
+    assert dictionary.encoded_in_edges(0) == []
+    assert len(dictionary.in_edges(0)) == 1
+
+
+def test_counts_and_repr():
+    dictionary = make_dictionary()
+    assert dictionary.num_nodes == 2
+    assert dictionary.num_edges == 1
+    assert dictionary.num_encoded_edges == 1
+    assert "EncodingDictionary" in repr(dictionary)
+
+
+def test_prune_drops_old_dictionaries():
+    store = DictionaryStore()
+    for ts in range(5):
+        store.add(make_dictionary(ts))
+    assert store.prune(before=3) == 3
+    assert store.timestamps() == [3, 4]
+    with pytest.raises(StaleDictionaryError):
+        store.get(1)
+    assert store.latest.timestamp == 4
+
+
+def test_prune_never_drops_latest():
+    store = DictionaryStore()
+    store.add(make_dictionary(2))
+    assert store.prune(before=10) == 0
+    assert store.latest.timestamp == 2

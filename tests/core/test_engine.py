@@ -1,0 +1,223 @@
+"""DACCE engine behaviour: handler, re-encoding, threads, stats, errors."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+from repro.core.errors import TraceError
+from repro.core.events import (
+    CallEvent,
+    CallKind,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadStartEvent,
+)
+from tests.conftest import A, B, C, D, E, EngineDriver
+
+
+def functions_of(context):
+    return [step.function for step in context.steps]
+
+
+class TestRuntimeHandler:
+    def test_first_invocation_invokes_handler_once(self, driver):
+        driver.call(B, callsite=1)
+        driver.ret()
+        driver.call(B, callsite=1)
+        assert driver.engine.stats.handler_invocations == 1
+        assert driver.engine.graph.num_edges == 1
+
+    def test_graph_grows_only_with_invoked_edges(self, driver):
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2)
+        assert driver.engine.graph.num_edges == 2
+        assert driver.engine.graph.num_nodes == 3
+
+    def test_initial_dictionary_contains_only_root(self, driver):
+        assert driver.engine.current_dictionary.num_nodes == 1
+        assert driver.engine.max_id == 0
+
+
+class TestReencoding:
+    def test_reencode_bumps_timestamp_and_stores_dictionary(self, driver):
+        driver.call(B, callsite=1)
+        driver.ret()
+        driver.engine.reencode()
+        assert driver.engine.timestamp == 1
+        assert 0 in driver.engine.dictionaries
+        assert 1 in driver.engine.dictionaries
+
+    def test_old_samples_decode_after_reencode(self, driver):
+        driver.call(B, callsite=1)
+        old_sample = driver.sample()
+        driver.call(C, callsite=2)
+        driver.ret()
+        driver.ret()
+        driver.engine.reencode()
+        driver.call(B, callsite=1)
+        new_sample = driver.sample()
+        decoder = driver.engine.decoder()
+        assert functions_of(decoder.decode(old_sample)) == [A, B]
+        assert functions_of(decoder.decode(new_sample)) == [A, B]
+        assert old_sample.timestamp == 0
+        assert new_sample.timestamp == 1
+
+    def test_live_state_regenerated_mid_stack(self, driver):
+        """Re-encoding with frames alive rewrites id and ccStack."""
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2)
+        driver.engine.reencode()
+        # The live context must decode under the *new* dictionary.
+        assert functions_of(driver.decode_current()) == [A, B, C]
+        # And unwinding afterwards must restore the regenerated values.
+        driver.ret()
+        assert functions_of(driver.decode_current()) == [A, B]
+        driver.ret()
+        assert driver.engine._threads[0].id_value == 0
+
+    def test_reencode_log_records_figure9_series(self, driver):
+        driver.call(B, callsite=1)
+        driver.ret()
+        driver.engine.reencode(("new-edges",))
+        record = driver.engine.reencode_log[-1]
+        assert record.timestamp == 1
+        assert record.nodes == 2
+        assert record.edges == 1
+        assert record.reasons == ("new-edges",)
+
+    def test_max_reencodings_cap(self):
+        config = DacceConfig(
+            max_reencodings=0,
+            adaptive=AdaptiveConfig(check_interval=4, new_edge_threshold=1),
+        )
+        driver = EngineDriver(DacceEngine(root=A, config=config))
+        for n in range(12):
+            driver.call(B + n, callsite=100 + n)
+            driver.ret()
+        assert driver.engine.stats.reencodings == 0
+
+    def test_triggers_fire_automatically(self):
+        config = DacceConfig(
+            adaptive=AdaptiveConfig(check_interval=8, new_edge_threshold=2),
+        )
+        driver = EngineDriver(DacceEngine(root=A, config=config))
+        for n in range(16):
+            driver.call(B + (n % 4), callsite=100 + (n % 4))
+            driver.ret()
+        assert driver.engine.stats.reencodings >= 1
+
+
+class TestThreads:
+    def test_thread_lifecycle(self, driver):
+        engine = driver.engine
+        driver.call(B, callsite=1)
+        engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+        engine.on_event(CallEvent(thread=1, callsite=50, caller=C, callee=D))
+        sample = engine.on_sample(SampleEvent(thread=1))
+        decoded = engine.decoder().decode(sample)
+        # Parent context A->B, then the thread entry C and its call D.
+        assert functions_of(decoded) == [A, B, C, D]
+        engine.on_event(ReturnEvent(thread=1))
+        engine.on_event(ThreadExitEvent(thread=1))
+        assert 1 not in engine._threads
+
+    def test_duplicate_thread_rejected(self, driver):
+        driver.engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+        with pytest.raises(TraceError):
+            driver.engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+
+    def test_thread_exit_with_live_frames_rejected(self, driver):
+        engine = driver.engine
+        engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+        engine.on_event(CallEvent(thread=1, callsite=50, caller=C, callee=D))
+        with pytest.raises(TraceError):
+            engine.on_event(ThreadExitEvent(thread=1))
+
+    def test_ccstack_stats_survive_thread_exit(self, driver):
+        engine = driver.engine
+        engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+        engine.on_event(CallEvent(thread=1, callsite=50, caller=C, callee=D))
+        engine.on_event(ReturnEvent(thread=1))
+        engine.on_event(ThreadExitEvent(thread=1))
+        stats = engine.ccstack_stats()
+        assert stats["pushes"] >= 2  # sentinel + discovery push
+
+    def test_reencode_regenerates_spawned_threads(self, driver):
+        engine = driver.engine
+        engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+        engine.on_event(CallEvent(thread=1, callsite=50, caller=C, callee=D))
+        engine.reencode()
+        sample = engine.on_sample(SampleEvent(thread=1))
+        assert functions_of(engine.decoder().decode(sample)) == [A, C, D]
+
+
+class TestErrors:
+    def test_wrong_caller_rejected(self, driver):
+        with pytest.raises(TraceError):
+            driver.engine.on_event(
+                CallEvent(thread=0, callsite=1, caller=B, callee=C)
+            )
+
+    def test_return_from_bottom_frame_rejected(self, driver):
+        with pytest.raises(TraceError):
+            driver.engine.on_event(ReturnEvent(thread=0))
+
+    def test_unknown_thread_rejected(self, driver):
+        with pytest.raises(TraceError):
+            driver.engine.on_event(ReturnEvent(thread=42))
+
+    def test_tail_call_from_bottom_frame_rejected(self, driver):
+        with pytest.raises(TraceError):
+            driver.engine.on_event(
+                CallEvent(
+                    thread=0, callsite=1, caller=A, callee=B, kind=CallKind.TAIL
+                )
+            )
+
+    def test_library_load_is_noop(self, driver):
+        driver.engine.on_event(LibraryLoadEvent(thread=0, library="libx.so"))
+
+    def test_unknown_event_rejected(self, driver):
+        with pytest.raises(TraceError):
+            driver.engine.on_event(object())
+
+
+class TestStatsAndSamples:
+    def test_sample_retention_configurable(self):
+        config = DacceConfig(retain_samples=False)
+        driver = EngineDriver(DacceEngine(root=A, config=config))
+        driver.call(B, callsite=1)
+        driver.sample()
+        assert driver.engine.samples == []
+        assert driver.engine.stats.samples == 1
+
+    def test_call_and_return_counters(self, driver):
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2)
+        driver.ret()
+        stats = driver.engine.stats
+        assert stats.calls == 2
+        assert stats.returns == 1
+
+    def test_call_stack_depth_counts_tail_chain(self, driver):
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2, kind=CallKind.TAIL)
+        assert driver.engine.call_stack_depth(0) == 3
+
+    def test_discovery_ops_tracked_separately(self, driver):
+        driver.call(B, callsite=1)
+        driver.ret()
+        assert driver.engine.stats.discovery_ccstack_ops == 2  # push + pop
+        assert driver.engine.stats.back_edge_calls == 0
+
+    def test_expected_context_matches_decode_under_churn(self, driver):
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2)
+        driver.engine.reencode()
+        driver.call(D, callsite=3)
+        driver.ret()
+        driver.call(E, callsite=4)
+        expected = functions_of(driver.engine.expected_context(0))
+        assert functions_of(driver.decode_current()) == expected

@@ -1,0 +1,46 @@
+"""Public convenience API tests: summary(), current_context()."""
+
+from repro.core.engine import DacceEngine
+from tests.conftest import A, B, C, EngineDriver
+
+
+def test_current_context_matches_oracle(driver):
+    driver.call(B, callsite=1)
+    driver.call(C, callsite=2)
+    decoded = driver.engine.current_context(0)
+    expected = driver.engine.expected_context(0)
+    assert [s.function for s in decoded.steps] == [
+        s.function for s in expected.steps
+    ]
+
+
+def test_current_context_does_not_retain_samples(driver):
+    driver.call(B, callsite=1)
+    driver.engine.current_context(0)
+    assert driver.engine.samples == []
+    assert driver.engine.stats.samples == 0
+
+
+def test_summary_fields(driver):
+    driver.call(B, callsite=1)
+    driver.ret()
+    driver.engine.reencode()
+    summary = driver.engine.summary()
+    assert summary["calls"] == 1
+    assert summary["returns"] == 1
+    assert summary["nodes"] == 2
+    assert summary["edges"] == 1
+    assert summary["encoded_edges"] == 1
+    assert summary["gts"] == 1
+    assert summary["reencodings"] == 1
+    assert summary["live_threads"] == 1
+    assert summary["overflowed"] is False
+    assert isinstance(summary["ccstack"], dict)
+
+
+def test_summary_after_fresh_start():
+    engine = DacceEngine(root=A)
+    summary = engine.summary()
+    assert summary["calls"] == 0
+    assert summary["nodes"] == 1
+    assert summary["max_id"] == 0

@@ -1,0 +1,52 @@
+"""PLT-call handling tests (Section 5.1)."""
+
+from repro.core.events import CallKind, LibraryLoadEvent
+from tests.conftest import A, B, C, EngineDriver
+from repro.core.engine import DacceEngine
+
+
+def functions_of(context):
+    return [step.function for step in context.steps]
+
+
+def test_plt_call_first_invocation_unencoded(driver):
+    driver.engine.on_event(LibraryLoadEvent(thread=0, library="libm.so"))
+    driver.call(B, callsite=7, kind=CallKind.PLT)
+    # First invocation: lazily bound, saved on the ccStack.
+    assert len(driver.engine._threads[0].ccstack) == 1
+    assert functions_of(driver.decode_current()) == [A, B]
+
+
+def test_plt_call_encoded_after_reencoding(driver):
+    driver.call(B, callsite=7, kind=CallKind.PLT)
+    driver.ret()
+    driver.engine.reencode()
+    driver.call(B, callsite=7, kind=CallKind.PLT)
+    # Bound and encoded: pure id arithmetic, no ccStack.
+    assert len(driver.engine._threads[0].ccstack) == 0
+    assert functions_of(driver.decode_current()) == [A, B]
+
+
+def test_plt_edge_kind_recorded(driver):
+    driver.call(B, callsite=7, kind=CallKind.PLT)
+    edge = driver.engine.graph.edge(7, B)
+    assert edge.kind is CallKind.PLT
+
+
+def test_library_function_called_from_many_sites(driver):
+    """The fprintf case: one library function, many call sites.
+
+    With dynamic encoding each (callsite, target) pair is just another
+    edge — the encoding space grows additively, not multiplicatively.
+    """
+    driver.call(B, callsite=1)
+    driver.call(C, callsite=20, kind=CallKind.PLT)
+    driver.ret()
+    driver.ret()
+    driver.call(C, callsite=21, kind=CallKind.PLT)  # from main directly
+    driver.ret()
+    driver.engine.reencode()
+    dictionary = driver.engine.current_dictionary
+    assert len(dictionary.encoded_in_edges(C)) == 2
+    # numCC(C) = numCC(B) + numCC(A) = 2: linear in callers.
+    assert dictionary.numcc(C) == 2

@@ -1,0 +1,83 @@
+"""Indirect dispatch tests: inline cache vs hash table (Figures 3-4)."""
+
+from repro.core.indirect import (
+    DEFAULT_HASH_THRESHOLD,
+    DispatchStrategy,
+    IndirectCallSite,
+    IndirectDispatchTable,
+)
+
+
+def test_unpatched_site_misses_everything():
+    site = IndirectCallSite(1)
+    result = site.dispatch(42)
+    assert not result.hit
+    assert site.misses == 1
+
+
+def test_inline_cache_hit_cost_is_position():
+    site = IndirectCallSite(1)
+    site.patch([10, 11, 12])
+    assert site.strategy is DispatchStrategy.INLINE_CACHE
+    assert site.dispatch(10).comparisons == 1
+    assert site.dispatch(11).comparisons == 2
+    assert site.dispatch(12).comparisons == 3
+
+
+def test_inline_cache_miss_costs_full_chain():
+    site = IndirectCallSite(1)
+    site.patch([10, 11, 12])
+    result = site.dispatch(99)
+    assert not result.hit
+    assert result.comparisons == 3
+
+
+def test_hash_table_above_threshold():
+    site = IndirectCallSite(1)
+    site.patch(list(range(10, 20)), hash_threshold=4)
+    assert site.strategy is DispatchStrategy.HASH_TABLE
+    hit = site.dispatch(15)
+    assert hit.hit and hit.hashed and hit.comparisons == 1
+    miss = site.dispatch(99)
+    assert not miss.hit and miss.hashed
+
+
+def test_threshold_boundary_stays_inline():
+    site = IndirectCallSite(1)
+    site.patch(list(range(4)), hash_threshold=4)
+    assert site.strategy is DispatchStrategy.INLINE_CACHE
+    site.patch(list(range(5)), hash_threshold=4)
+    assert site.strategy is DispatchStrategy.HASH_TABLE
+
+
+def test_repatching_reorders_chain():
+    site = IndirectCallSite(1)
+    site.patch([10, 11])
+    assert site.dispatch(11).comparisons == 2
+    site.patch([11, 10])  # adaptive reorder: 11 is hotter now
+    assert site.dispatch(11).comparisons == 1
+
+
+def test_stats_accumulate():
+    site = IndirectCallSite(1)
+    site.patch([10])
+    site.dispatch(10)
+    site.dispatch(99)
+    assert site.hits == 1
+    assert site.misses == 1
+    assert site.total_comparisons == 2
+    assert site.num_targets == 1
+
+
+def test_table_creates_and_reuses_sites():
+    table = IndirectDispatchTable()
+    first = table.site(5)
+    second = table.site(5)
+    assert first is second
+    assert table.get(6) is None
+    assert len(table) == 1
+    assert table.sites() == [first]
+
+
+def test_default_threshold_is_small():
+    assert 2 <= DEFAULT_HASH_THRESHOLD <= 8

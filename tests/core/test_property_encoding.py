@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the encoding/decoding core.
+
+The central theorem the system rests on: for any call graph and any
+execution, the (id, ccStack) pair decodes to exactly the executed path.
+These tests probe it from three angles — pure path encoding on random
+DAGs, interval-partition structure, and full engine runs over random
+synthetic programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.callgraph import CallGraph
+from repro.core.context import CollectedSample
+from repro.core.decoder import decode_sample
+from repro.core.dictionary import DictionaryStore
+from repro.core.encoder import encode_graph, frequency_order, insertion_order
+from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+from repro.analysis.validate import validate_run
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import ThreadSpec, WorkloadSpec
+
+import random
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_dag(draw):
+    """A random call DAG (nodes 0..n-1, edges forward only, multi-edges)."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    edge_count = draw(st.integers(min_value=1, max_value=3 * n))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = CallGraph(0)
+    callsite = 1
+    # Connectivity: each node gets one caller below it.
+    for node in range(1, n):
+        graph.add_edge(rng.randrange(node), node, callsite)
+        callsite += 1
+    for _ in range(edge_count):
+        caller = rng.randrange(n - 1)
+        callee = rng.randrange(caller + 1, n)
+        graph.add_edge(caller, callee, callsite)
+        callsite += 1
+    return graph, seed
+
+
+def random_root_path(graph, rng):
+    """A random path over encoded edges starting at the root."""
+    path = [(None, graph.root)]
+    current = graph.root
+    while True:
+        out = [e for e in graph.out_edges(current) if not e.is_back]
+        if not out or rng.random() < 0.3:
+            break
+        edge = rng.choice(out)
+        path.append((edge.callsite, edge.callee))
+        current = edge.callee
+    return path
+
+
+# ----------------------------------------------------------------------
+# pure encoding properties
+# ----------------------------------------------------------------------
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_every_root_path_roundtrips(dag):
+    graph, seed = dag
+    dictionary = encode_graph(graph)
+    store = DictionaryStore()
+    store.add(dictionary)
+    rng = random.Random(seed + 1)
+    for _ in range(10):
+        path = random_root_path(graph, rng)
+        context_id = sum(
+            dictionary.encoding(cs, fn) for cs, fn in path[1:]
+        ) if len(path) > 1 else 0
+        sample = CollectedSample(
+            timestamp=0, context_id=context_id, function=path[-1][1]
+        )
+        decoded = decode_sample(sample, store)
+        assert [s.function for s in decoded.steps] == [fn for _cs, fn in path]
+        assert [s.callsite for s in decoded.steps] == [cs for cs, _fn in path]
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_distinct_paths_have_distinct_ids(dag):
+    graph, seed = dag
+    dictionary = encode_graph(graph)
+    rng = random.Random(seed + 2)
+    seen = {}
+    for _ in range(25):
+        path = random_root_path(graph, rng)
+        context_id = sum(dictionary.encoding(cs, fn) for cs, fn in path[1:])
+        key = (path[-1][1], context_id)
+        signature = tuple(path)
+        if key in seen:
+            assert seen[key] == signature
+        seen[key] = signature
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_in_edge_intervals_partition(dag):
+    graph, _seed = dag
+    dictionary = encode_graph(graph)
+    for node in graph.functions():
+        intervals = sorted(
+            (info.encoding, info.encoding + dictionary.numcc(info.caller))
+            for info in dictionary.encoded_in_edges(node)
+        )
+        cursor = 0
+        for low, high in intervals:
+            assert low == cursor
+            cursor = high
+        if intervals:
+            assert cursor == dictionary.numcc(node)
+        assert dictionary.numcc(node) >= 1
+
+
+@given(random_dag())
+@settings(max_examples=40, deadline=None)
+def test_maxid_independent_of_edge_order_policy(dag):
+    graph, _seed = dag
+    a = encode_graph(graph, order_policy=insertion_order)
+    b = encode_graph(graph, order_policy=frequency_order)
+    assert a.max_id == b.max_id  # ordering permutes, never grows, the space
+
+
+@given(random_dag(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_maxid_monotone_under_edge_addition(dag, extra_seed):
+    graph, _seed = dag
+    before = encode_graph(graph).max_id
+    rng = random.Random(extra_seed)
+    nodes = sorted(graph.functions())
+    caller = rng.choice(nodes[:-1])
+    callee = rng.choice([n for n in nodes if n > caller])
+    graph.add_edge(caller, callee, 9999)
+    after = encode_graph(graph).max_id
+    assert after >= before
+
+
+# ----------------------------------------------------------------------
+# full engine property: decode == oracle for arbitrary executions
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+    st.sampled_from([CompressionMode.ADAPTIVE, CompressionMode.ALWAYS,
+                     CompressionMode.NEVER]),
+)
+@settings(max_examples=15, deadline=None)
+def test_engine_decodes_every_sample_exactly(gen_seed, run_seed, compression):
+    program = generate_program(
+        GeneratorConfig(
+            seed=gen_seed,
+            functions=25,
+            edges=60,
+            recursive_sites=3,
+            indirect_fraction=0.12,
+            tail_fraction=0.06,
+            library_functions=4,
+            recursion_weight=0.08,
+        )
+    )
+    spec = WorkloadSpec(
+        calls=1_500,
+        seed=run_seed,
+        sample_period=13,
+        recursion_affinity=0.5,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=300)],
+    )
+    engine = DacceEngine(
+        root=program.main, config=DacceConfig(compression=compression)
+    )
+    result = validate_run(program, spec, engine)
+    assert result.ok, result.failures[:2]
+    assert result.samples > 0

@@ -1,0 +1,137 @@
+"""Sample-log serialisation tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import CcStackEntry, CollectedSample
+from repro.core.samplelog import (
+    SampleLog,
+    SampleLogError,
+    decode_sample_bytes,
+    encode_sample,
+    read_varint,
+    write_varint,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 127, 128, -128, 2**20, -(2**20), 2**70, -(2**70)]
+    )
+    def test_roundtrip(self, value):
+        buffer = bytearray()
+        write_varint(buffer, value)
+        decoded, offset = read_varint(bytes(buffer), 0)
+        assert decoded == value
+        assert offset == len(buffer)
+
+    def test_small_values_are_one_byte(self):
+        buffer = bytearray()
+        write_varint(buffer, 42)
+        assert len(buffer) == 1
+
+    def test_truncated_raises(self):
+        buffer = bytearray()
+        write_varint(buffer, 2**40)
+        with pytest.raises(SampleLogError):
+            read_varint(bytes(buffer[:-1]), 0)
+
+    @given(st.integers(min_value=-(2**80), max_value=2**80))
+    @settings(max_examples=200, deadline=None)
+    def test_property_roundtrip(self, value):
+        buffer = bytearray()
+        write_varint(buffer, value)
+        decoded, _ = read_varint(bytes(buffer), 0)
+        assert decoded == value
+
+
+def sample_strategy():
+    entries = st.lists(
+        st.builds(
+            CcStackEntry,
+            st.integers(min_value=0, max_value=2**50),
+            st.integers(min_value=-1, max_value=10_000),
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=0, max_value=1_000),
+        ),
+        max_size=6,
+    )
+    return st.builds(
+        CollectedSample,
+        st.integers(min_value=0, max_value=500),       # timestamp
+        st.integers(min_value=0, max_value=2**50),     # context_id
+        st.integers(min_value=0, max_value=10_000),    # function
+        entries.map(tuple),
+        st.integers(min_value=0, max_value=64),        # thread
+    )
+
+
+class TestSampleEncoding:
+    def test_single_roundtrip(self):
+        sample = CollectedSample(
+            timestamp=3,
+            context_id=12345,
+            function=7,
+            ccstack=(CcStackEntry(9, 4, 2, 1),),
+            thread=2,
+        )
+        buffer = bytearray()
+        encode_sample(sample, buffer, previous_timestamp=1)
+        decoded, offset = decode_sample_bytes(bytes(buffer), 0, 1)
+        assert decoded == sample
+        assert offset == len(buffer)
+
+    @given(st.lists(sample_strategy(), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_log_roundtrip(self, samples):
+        samples = sorted(samples, key=lambda s: s.timestamp)
+        log = SampleLog()
+        log.extend(samples)
+        assert len(log) == len(samples)
+        assert list(log) == samples
+        recovered = SampleLog.from_bytes(log.to_bytes())
+        assert list(recovered) == samples
+
+
+class TestSampleLog:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SampleLogError):
+            SampleLog.from_bytes(b"XXXX")
+
+    def test_empty_log(self):
+        log = SampleLog()
+        assert len(log) == 0
+        assert log.bytes_per_sample == 0.0
+        assert list(log) == []
+
+    def test_compactness_against_naive_paths(self):
+        """A logged context costs a few bytes, not a whole stack walk."""
+        log = SampleLog()
+        naive_bytes = 0
+        for n in range(500):
+            sample = CollectedSample(
+                timestamp=n // 100,
+                context_id=n * 17,
+                function=n % 40,
+            )
+            log.append(sample)
+            # A stack walk of ~12 frames at 8 bytes per return address.
+            naive_bytes += 12 * 8
+        assert log.bytes_per_sample < 12
+        assert log.size_bytes < naive_bytes / 5
+
+    def test_log_from_real_engine_run(self, small_program, small_spec):
+        from repro.core.engine import DacceEngine
+        from repro.program.trace import TraceExecutor
+
+        engine = DacceEngine(root=small_program.main)
+        for event in TraceExecutor(small_program, small_spec).events():
+            engine.on_event(event)
+        log = SampleLog()
+        log.extend(engine.samples)
+        recovered = list(SampleLog.from_bytes(log.to_bytes()))
+        assert recovered == engine.samples
+        # And everything recovered still decodes.
+        decoder = engine.decoder()
+        for sample in recovered:
+            decoder.decode(sample)

@@ -1,0 +1,117 @@
+"""Cost-model tests: categories, steady vs one-time, amortization."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cost.model import (
+    CLIENT_CATEGORIES,
+    ONETIME_CATEGORIES,
+    CostModel,
+    CostParameters,
+    CostReport,
+)
+
+
+def test_baseline_accumulates():
+    model = CostModel()
+    model.charge_call_baseline(calls=10)
+    expected = 10 * model.parameters.baseline_cycles_per_call
+    assert model.report.baseline_cycles == expected
+
+
+def test_baseline_custom_work():
+    model = CostModel()
+    model.charge_call_baseline(calls=2, work=50.0)
+    assert model.report.baseline_cycles == 100.0
+
+
+def test_zero_encoding_free_nonzero_charged():
+    model = CostModel()
+    model.charge_id_update(0)
+    assert model.report.instrumentation_cycles == 0.0
+    model.charge_id_update(2)
+    assert model.report.instrumentation_cycles == 2 * model.parameters.id_update
+
+
+def test_categories_split_steady_and_onetime():
+    model = CostModel()
+    model.charge_ccstack_push()
+    model.charge_handler()
+    model.charge_reencode(edges=10, threads=1)
+    report = model.report
+    assert report.steady_cycles == model.parameters.ccstack_push
+    assert report.onetime_cycles == (
+        model.parameters.handler
+        + 10 * model.parameters.reencode_per_edge
+        + model.parameters.thread_suspend
+    )
+
+
+def test_sample_cost_is_client_side():
+    model = CostModel()
+    model.charge_sample(ccstack_entries=3)
+    assert model.report.steady_cycles == 0.0
+    assert model.report.onetime_cycles == 0.0
+    assert model.report.instrumentation_cycles > 0
+
+
+def test_overhead_raw_vs_amortized():
+    model = CostModel(replace(CostParameters(), baseline_cycles_per_call=100))
+    model.charge_call_baseline(calls=100)  # baseline = 10_000 cycles
+    model.charge_ccstack_push()            # steady ~9
+    model.charge_handler()                 # onetime 2500
+    raw = model.report.overhead
+    amortized = model.report.amortized_overhead(full_run_cycles=1e12)
+    assert raw > amortized
+    assert amortized == pytest.approx(
+        model.parameters.ccstack_push / 10_000 + 2500 / 1e12
+    )
+
+
+def test_amortized_defaults_to_window():
+    model = CostModel()
+    model.charge_call_baseline(calls=10)
+    model.charge_handler()
+    assert model.report.amortized_overhead() == pytest.approx(
+        model.report.overhead, rel=0.05
+    )
+
+
+def test_empty_report_overheads_are_zero():
+    report = CostReport()
+    assert report.overhead == 0.0
+    assert report.amortized_overhead(1e9) == 0.0
+
+
+def test_merged_reports():
+    a = CostModel()
+    a.charge_ccstack_push()
+    a.charge_call_baseline(calls=1)
+    b = CostModel()
+    b.charge_ccstack_pop()
+    b.charge_call_baseline(calls=1)
+    merged = a.report.merged(b.report)
+    assert merged.instrumentation_cycles == (
+        a.parameters.ccstack_push + b.parameters.ccstack_pop
+    )
+    assert merged.baseline_cycles == (
+        a.report.baseline_cycles + b.report.baseline_cycles
+    )
+
+
+def test_category_sets_disjoint():
+    assert not (ONETIME_CATEGORIES & CLIENT_CATEGORIES)
+
+
+def test_all_charge_methods_touch_report():
+    model = CostModel()
+    model.charge_comparisons(3)
+    model.charge_hash_lookup()
+    model.charge_tcstack()
+    model.charge_stack_walk(5)
+    model.charge_cct_step()
+    model.charge_pcc_hash()
+    assert set(model.report.charges) == {
+        "indirect", "tcstack", "stackwalk", "cct", "pcc"
+    }

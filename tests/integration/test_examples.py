@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example must run and produce its output."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "decoded successfully" in result.stdout
+    assert "re-encoding passes" in result.stdout
+
+
+def test_python_profiler():
+    result = run_example("python_profiler.py")
+    assert result.returncode == 0, result.stderr
+    assert "hottest calling contexts" in result.stdout
+    assert "parse_expression" in result.stdout
+
+
+def test_race_context_logging():
+    result = run_example("race_context_logging.py")
+    assert result.returncode == 0, result.stderr
+    assert "pseudo-racy pairs found" in result.stdout
+    assert "T1:" in result.stdout or "T2:" in result.stdout
+
+
+def test_adaptive_phases():
+    result = run_example("adaptive_phases.py")
+    assert result.returncode == 0, result.stderr
+    assert "re-encoding timeline" in result.stdout
+    assert "decoded successfully" in result.stdout
+
+
+def test_offline_analysis():
+    result = run_example("offline_analysis.py")
+    assert result.returncode == 0, result.stderr
+    assert "[recorder]" in result.stdout
+    assert "[analyser] hottest contexts" in result.stdout

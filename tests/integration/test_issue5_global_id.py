@@ -1,0 +1,63 @@
+"""Issue 5 (Section 2.2): a global context id breaks under threads.
+
+The reproduction makes the paper's argument empirical: the *same* engine
+with a single shared id decodes perfectly when one thread runs, and
+produces wrong or undecodable contexts as soon as threads interleave —
+which is precisely why DACCE keeps the id (and ccStack) in TLS.
+"""
+
+from repro.analysis.validate import validate_run
+from repro.baselines.globalid import GlobalIdEngine
+from repro.core.engine import DacceEngine
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import ThreadSpec, WorkloadSpec
+
+
+def make_program():
+    return generate_program(
+        GeneratorConfig(seed=31, functions=40, edges=100, recursive_sites=2,
+                        indirect_fraction=0.08)
+    )
+
+
+def single_threaded_spec():
+    return WorkloadSpec(calls=8_000, seed=3, sample_period=37,
+                        recursion_affinity=0.3)
+
+
+def multi_threaded_spec():
+    return WorkloadSpec(
+        calls=12_000,
+        seed=3,
+        sample_period=37,
+        recursion_affinity=0.3,
+        scheduler_burst=6,  # frequent interleaving = frequent corruption
+        threads=[
+            ThreadSpec(thread=1, entry=2, spawn_at_call=500),
+            ThreadSpec(thread=2, entry=3, spawn_at_call=1_000),
+        ],
+    )
+
+
+def test_global_id_is_fine_single_threaded():
+    program = make_program()
+    engine = GlobalIdEngine(root=program.main)
+    result = validate_run(program, single_threaded_spec(), engine)
+    assert result.ok
+
+
+def test_global_id_corrupts_multi_threaded_contexts():
+    program = make_program()
+    engine = GlobalIdEngine(root=program.main)
+    result = validate_run(program, multi_threaded_spec(), engine)
+    wrong = result.mismatches + result.undecodable
+    assert wrong > 0, "a shared id should corrupt interleaved contexts"
+    # It is not just noise: a noticeable share of samples is wrong.
+    assert wrong / result.samples > 0.02
+
+
+def test_tls_engine_is_exact_on_the_same_workload():
+    program = make_program()
+    engine = DacceEngine(root=program.main)
+    result = validate_run(program, multi_threaded_spec(), engine)
+    assert result.ok, result.failures[:2]

@@ -1,0 +1,96 @@
+"""Reproduction-regression tests — the paper's headline claims, pinned.
+
+These run small-scale versions of the evaluation and assert the *shapes*
+the reproduction must preserve; a change that silently breaks a claim
+(e.g. DACCE losing to PCCE on perlbench) fails here rather than only in
+a regenerated EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.stats import measure_benchmark, overhead_rank_correlation
+from repro.bench import full_suite
+
+CALLS = 12_000
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def key_measurements():
+    suite = full_suite()
+    names = [
+        "400.perlbench",  # indirect-heavy: DACCE must win
+        "x264",           # many-target dispatch: DACCE must win
+        "470.lbm",        # call-sparse: both ~free
+        "445.gobmk",      # recursion-heavy: comparable
+        "401.bzip2",      # plain: comparable
+    ]
+    return {
+        name: measure_benchmark(suite.get(name), calls=CALLS, scale=SCALE)
+        for name in names
+    }
+
+
+def test_dacce_graph_always_within_pcce_graph(key_measurements):
+    for name, m in key_measurements.items():
+        assert m.dacce.nodes <= m.pcce.nodes, name
+        assert m.dacce.edges <= m.pcce.edges, name
+        assert m.dacce.max_id <= m.pcce.max_id, name
+
+
+def test_dacce_never_overflows_64_bits(key_measurements):
+    for name, m in key_measurements.items():
+        assert not m.dacce.overflowed, name
+
+
+def test_everything_decodes(key_measurements):
+    for name, m in key_measurements.items():
+        assert m.dacce.undecodable == 0, name
+
+
+def test_dacce_wins_on_indirect_heavy_benchmarks(key_measurements):
+    for name in ("400.perlbench", "x264"):
+        m = key_measurements[name]
+        assert m.dacce.overhead_pct <= m.pcce.overhead_pct * 1.05, (
+            name, m.dacce.overhead_pct, m.pcce.overhead_pct
+        )
+
+
+def test_call_sparse_benchmarks_are_free(key_measurements):
+    m = key_measurements["470.lbm"]
+    assert m.dacce.overhead_pct < 0.2
+    assert m.pcce.overhead_pct < 0.2
+
+
+def test_overheads_comparable_on_plain_benchmarks(key_measurements):
+    m = key_measurements["401.bzip2"]
+    assert abs(m.dacce.overhead_pct - m.pcce.overhead_pct) < 1.5
+
+
+def test_adaptive_engine_actually_adapts(key_measurements):
+    for name in ("400.perlbench", "445.gobmk"):
+        assert key_measurements[name].dacce.gts >= 2, name
+
+
+def test_overhead_rank_correlation_positive(key_measurements):
+    correlation = overhead_rank_correlation(list(key_measurements.values()))
+    # Five points only, so demand sign, not strength.
+    assert correlation["dacce"] > 0
+    assert correlation["pcce"] > 0
+
+
+def test_self_validation_mode_runs_clean():
+    from repro.core.engine import DacceConfig, DacceEngine
+    from repro.program.generator import generate_program
+    from repro.program.trace import TraceExecutor
+
+    benchmark = full_suite().get("401.bzip2")
+    program = generate_program(benchmark.generator_config(SCALE))
+    spec = benchmark.workload_spec(calls=6_000, seed=2)
+    engine = DacceEngine(
+        root=program.main, config=DacceConfig(self_validate=True)
+    )
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+    assert engine.stats.samples > 0
+    assert engine.stats.validation_failures == 0

@@ -1,0 +1,106 @@
+"""Generator tests: structure, determinism, parameter effects."""
+
+from repro.core.events import CallKind
+from repro.program.generator import GeneratorConfig, generate_program
+
+
+def test_deterministic_in_seed():
+    a = generate_program(GeneratorConfig(seed=5))
+    b = generate_program(GeneratorConfig(seed=5))
+    assert a.num_functions == b.num_functions
+    sites_a = [(f.id, s.id, tuple(s.targets)) for f, s in a.all_callsites()]
+    sites_b = [(f.id, s.id, tuple(s.targets)) for f, s in b.all_callsites()]
+    assert sites_a == sites_b
+
+
+def test_different_seeds_differ():
+    a = generate_program(GeneratorConfig(seed=1))
+    b = generate_program(GeneratorConfig(seed=2))
+    sites_a = [(f.id, s.id, tuple(s.targets)) for f, s in a.all_callsites()]
+    sites_b = [(f.id, s.id, tuple(s.targets)) for f, s in b.all_callsites()]
+    assert sites_a != sites_b
+
+
+def test_function_count_matches_config():
+    program = generate_program(
+        GeneratorConfig(functions=40, library_functions=6,
+                        static_only_functions=10)
+    )
+    assert program.num_functions == 56
+
+
+def test_every_function_has_a_caller():
+    program = generate_program(GeneratorConfig(seed=9, functions=50))
+    called = set()
+    for _fn, site in program.all_callsites():
+        called.update(site.targets)
+    for fid in range(1, 50):  # app functions (main excluded)
+        assert fid in called
+
+
+def test_indirect_sites_present_with_false_targets():
+    program = generate_program(
+        GeneratorConfig(seed=3, indirect_fraction=0.2,
+                        pointsto_false_targets=(3, 5))
+    )
+    indirect = [
+        s for _f, s in program.all_callsites() if s.kind is CallKind.INDIRECT
+    ]
+    assert indirect
+    assert any(len(s.static_targets) > len(s.targets) for s in indirect)
+
+
+def test_static_only_edges_have_zero_weight():
+    program = generate_program(GeneratorConfig(seed=3, static_only_edges=40))
+    dead = [s for _f, s in program.all_callsites() if s.weight == 0]
+    assert len(dead) >= 40
+
+
+def test_hot_cycle_edges_point_backward():
+    program = generate_program(
+        GeneratorConfig(seed=3, hot_cycle_edges=10)
+    )
+    dead_backward = [
+        (f.id, s.targets[0])
+        for f, s in program.all_callsites()
+        if s.weight == 0 and s.targets[0] < f.id
+    ]
+    assert dead_backward
+
+
+def test_recursive_sites_are_phase_stable():
+    program = generate_program(GeneratorConfig(seed=3, recursive_sites=4))
+    recursive = [
+        s
+        for f, s in program.all_callsites()
+        if s.weight > 0 and any(t <= f.id for t in s.targets)
+    ]
+    assert recursive
+    assert all(s.phase_stable for s in recursive)
+
+
+def test_tail_sites_not_in_main():
+    program = generate_program(GeneratorConfig(seed=7, tail_fraction=0.5))
+    main_sites = program.function(0).callsites
+    assert all(s.kind is not CallKind.TAIL for s in main_sites)
+
+
+def test_libraries_created_with_plt_callsites():
+    program = generate_program(
+        GeneratorConfig(seed=3, library_functions=8, libraries=2,
+                        lazy_library=True)
+    )
+    assert len(program.libraries) == 2
+    lazy = [l for l in program.libraries.values() if l.load_lazily]
+    assert len(lazy) == 1
+    plt = [s for _f, s in program.all_callsites() if s.kind is CallKind.PLT]
+    assert len(plt) == 8
+
+
+def test_scale_free_of_crashes_for_tiny_configs():
+    program = generate_program(
+        GeneratorConfig(functions=3, edges=3, library_functions=0,
+                        static_only_functions=0, static_only_edges=0,
+                        recursive_sites=1, indirect_fraction=0)
+    )
+    assert program.num_functions == 3

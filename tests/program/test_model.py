@@ -1,0 +1,117 @@
+"""Program-model validation tests."""
+
+import pytest
+
+from repro.core.errors import ProgramModelError
+from repro.core.events import CallKind
+from repro.program.model import CallSiteDef, FunctionDef, LibraryDef, Program
+
+
+def simple_program(**kwargs):
+    functions = [
+        FunctionDef(0, "main", callsites=[CallSiteDef(id=1, targets=[1])]),
+        FunctionDef(1, "leaf"),
+    ]
+    return Program(functions, **kwargs)
+
+
+def test_basic_construction():
+    program = simple_program()
+    assert program.num_functions == 2
+    assert program.function(0).name == "main"
+    assert program.callsite_owner(1) == 0
+    assert program.callsite(1).targets == [1]
+
+
+def test_callsite_without_targets_rejected():
+    with pytest.raises(ProgramModelError):
+        CallSiteDef(id=1, targets=[])
+
+
+def test_target_weight_mismatch_rejected():
+    with pytest.raises(ProgramModelError):
+        CallSiteDef(id=1, targets=[1, 2], target_weights=[1.0])
+
+
+def test_static_targets_default_to_dynamic():
+    site = CallSiteDef(id=1, targets=[3, 4])
+    assert site.static_targets == [3, 4]
+
+
+def test_duplicate_function_id_rejected():
+    with pytest.raises(ProgramModelError):
+        Program([FunctionDef(0, "a"), FunctionDef(0, "b")])
+
+
+def test_duplicate_callsite_rejected():
+    functions = [
+        FunctionDef(0, "main", callsites=[CallSiteDef(id=1, targets=[1])]),
+        FunctionDef(1, "x", callsites=[CallSiteDef(id=1, targets=[0])]),
+    ]
+    with pytest.raises(ProgramModelError):
+        Program(functions)
+
+
+def test_unknown_entry_rejected():
+    with pytest.raises(ProgramModelError):
+        Program([FunctionDef(0, "main")], main=7)
+
+
+def test_unknown_target_rejected():
+    functions = [
+        FunctionDef(0, "main", callsites=[CallSiteDef(id=1, targets=[9])]),
+    ]
+    with pytest.raises(ProgramModelError):
+        Program(functions)
+
+
+def test_unknown_lookups_raise():
+    program = simple_program()
+    with pytest.raises(ProgramModelError):
+        program.function(42)
+    with pytest.raises(ProgramModelError):
+        program.callsite_owner(42)
+    with pytest.raises(ProgramModelError):
+        program.function(0).callsite(99)
+
+
+def test_static_edges_expand_pointsto():
+    functions = [
+        FunctionDef(
+            0,
+            "main",
+            callsites=[
+                CallSiteDef(
+                    id=1,
+                    kind=CallKind.INDIRECT,
+                    targets=[1],
+                    static_targets=[1, 2],
+                )
+            ],
+        ),
+        FunctionDef(1, "a"),
+        FunctionDef(2, "b"),
+    ]
+    program = Program(functions)
+    edges = program.static_edges()
+    assert len(edges) == 2
+    assert {callee for _caller, callee, _cs, _k in edges} == {1, 2}
+
+
+def test_lazy_library_hidden_from_static_view():
+    functions = [
+        FunctionDef(0, "main", callsites=[
+            CallSiteDef(id=1, targets=[1]),
+            CallSiteDef(id=2, kind=CallKind.PLT, targets=[2]),
+        ]),
+        FunctionDef(1, "app"),
+        FunctionDef(2, "plugin_fn", library="plugin.so"),
+    ]
+    library = LibraryDef("plugin.so", functions=[2], load_lazily=True)
+    program = Program(functions, libraries=[library])
+    static = program.static_edges()
+    assert all(callee != 2 for _c, callee, _cs, _k in static)
+    full = program.static_edges(include_lazy_libraries=True)
+    assert any(callee == 2 for _c, callee, _cs, _k in full)
+    assert program.library_of(2) == "plugin.so"
+    assert program.library_of(1) is None

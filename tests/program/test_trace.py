@@ -1,0 +1,214 @@
+"""Trace-executor tests: balance, determinism, threads, phases, recursion."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import (
+    CallEvent,
+    CallKind,
+    LibraryLoadEvent,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadStartEvent,
+)
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import (
+    PhaseSpec,
+    ThreadSpec,
+    TraceExecutor,
+    WorkloadSpec,
+    run_workload,
+)
+
+
+def collect(program, spec):
+    return list(TraceExecutor(program, spec).events())
+
+
+def test_deterministic_in_seed(small_program):
+    spec = WorkloadSpec(calls=2000, seed=3)
+    assert collect(small_program, spec) == collect(small_program, spec)
+
+
+def test_emits_requested_call_count(small_program):
+    spec = WorkloadSpec(calls=2000, seed=3)
+    calls = sum(
+        1 for e in collect(small_program, spec) if isinstance(e, CallEvent)
+    )
+    assert calls == 2000
+
+
+def test_calls_and_returns_balance_per_thread(small_program):
+    """Every thread fully unwinds; tail calls collapse a whole chain."""
+    spec = WorkloadSpec(
+        calls=3000,
+        seed=5,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=500)],
+    )
+    depth = {0: 1, 1: 1}
+    for event in collect(small_program, spec):
+        if isinstance(event, CallEvent):
+            if event.kind is not CallKind.TAIL:
+                depth[event.thread] += 1
+        elif isinstance(event, ReturnEvent):
+            depth[event.thread] -= 1
+            assert depth[event.thread] >= 1
+        elif isinstance(event, ThreadExitEvent):
+            assert depth[event.thread] == 1
+    assert depth[0] == 1
+
+
+def test_caller_consistency(small_program):
+    """Each call's caller is the current top frame of its thread."""
+    spec = WorkloadSpec(calls=3000, seed=7)
+    stack = {0: [small_program.main]}
+    for event in collect(small_program, spec):
+        if isinstance(event, CallEvent):
+            assert event.caller == stack[event.thread][-1]
+            if event.kind is CallKind.TAIL:
+                stack[event.thread][-1] = event.callee
+            else:
+                stack[event.thread].append(event.callee)
+        elif isinstance(event, ReturnEvent):
+            stack[event.thread].pop()
+        elif isinstance(event, ThreadStartEvent):
+            stack[event.thread] = [event.entry]
+
+
+def test_calls_use_existing_callsites(small_program):
+    spec = WorkloadSpec(calls=2000, seed=9)
+    for event in collect(small_program, spec):
+        if isinstance(event, CallEvent):
+            site = small_program.callsite(event.callsite)
+            assert event.callee in site.targets
+            assert small_program.callsite_owner(event.callsite) == event.caller
+
+
+def test_samples_emitted_periodically(small_program):
+    spec = WorkloadSpec(calls=2000, seed=3, sample_period=20)
+    samples = sum(
+        1 for e in collect(small_program, spec) if isinstance(e, SampleEvent)
+    )
+    assert samples > 50
+
+
+def test_sampling_disabled(small_program):
+    spec = WorkloadSpec(calls=500, seed=3, sample_period=0)
+    assert not any(
+        isinstance(e, SampleEvent) for e in collect(small_program, spec)
+    )
+
+
+def test_threads_spawn_and_exit(small_program):
+    spec = WorkloadSpec(
+        calls=3000,
+        seed=3,
+        threads=[
+            ThreadSpec(thread=1, entry=2, spawn_at_call=100),
+            ThreadSpec(thread=2, entry=3, spawn_at_call=500),
+        ],
+    )
+    events = collect(small_program, spec)
+    starts = [e for e in events if isinstance(e, ThreadStartEvent)]
+    exits = [e for e in events if isinstance(e, ThreadExitEvent)]
+    assert {s.thread for s in starts} == {1, 2}
+    assert {x.thread for x in exits} == {1, 2}
+
+
+def test_lazy_library_load_event_before_first_plt_call():
+    program = generate_program(
+        GeneratorConfig(seed=11, library_functions=6, libraries=2,
+                        lazy_library=True)
+    )
+    lazy = [l for l in program.libraries.values() if l.load_lazily][0]
+    spec = WorkloadSpec(calls=30_000, seed=3)
+    loaded = False
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, LibraryLoadEvent) and event.library == lazy.name:
+            loaded = True
+        if isinstance(event, CallEvent) and event.callee in lazy.functions:
+            assert loaded
+            return
+    # The lazy library may legitimately never be called for some seeds;
+    # then no load event is required either.
+    assert not loaded or True
+
+
+def test_phase_changes_shift_hot_sites(small_program):
+    base = WorkloadSpec(calls=6000, seed=3)
+    phased = WorkloadSpec(
+        calls=6000, seed=3, phases=[PhaseSpec(at_call=3000, seed=77)]
+    )
+    def hot_sites(spec, start, end):
+        counts = Counter()
+        calls = 0
+        for event in collect(small_program, spec):
+            if isinstance(event, CallEvent):
+                calls += 1
+                if start <= calls < end:
+                    counts[event.callsite] += 1
+        return {s for s, _c in counts.most_common(5)}
+
+    before = hot_sites(phased, 0, 3000)
+    after = hot_sites(phased, 3000, 6000)
+    assert before != after
+
+
+def test_recursion_affinity_creates_recursive_calls():
+    program = generate_program(
+        GeneratorConfig(seed=5, recursive_sites=4, recursion_weight=0.1)
+    )
+    spec = WorkloadSpec(calls=8000, seed=3, recursion_affinity=0.7)
+    on_stack = [program.main]
+    recursive_calls = 0
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent):
+            if event.callee in on_stack:
+                recursive_calls += 1
+            if event.kind is CallKind.TAIL:
+                on_stack[-1] = event.callee
+            else:
+                on_stack.append(event.callee)
+        elif isinstance(event, ReturnEvent):
+            on_stack.pop()
+    assert recursive_calls > 10
+
+
+def test_run_workload_drives_engine(small_program):
+    class Recorder:
+        def __init__(self):
+            self.count = 0
+
+        def on_event(self, _event):
+            self.count += 1
+
+    recorder = Recorder()
+    run_workload(small_program, WorkloadSpec(calls=500, seed=1), recorder)
+    assert recorder.count > 500
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=15, deadline=None)
+def test_property_stream_always_balanced(seed):
+    program = generate_program(
+        GeneratorConfig(seed=seed % 7, functions=20, edges=40,
+                        recursive_sites=2, tail_fraction=0.1)
+    )
+    spec = WorkloadSpec(calls=800, seed=seed, recursion_affinity=0.3,
+                        threads=[ThreadSpec(thread=1, entry=2,
+                                            spawn_at_call=200)])
+    depth = {}
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, ThreadStartEvent):
+            depth[event.thread] = 1
+        elif isinstance(event, CallEvent):
+            depth.setdefault(event.thread, 1)
+            if event.kind is not CallKind.TAIL:
+                depth[event.thread] += 1
+        elif isinstance(event, ReturnEvent):
+            depth[event.thread] -= 1
+            assert depth[event.thread] >= 1
+    for thread, d in depth.items():
+        assert d == 1

@@ -1,0 +1,116 @@
+"""Executor dynamics tests: unwind episodes, phase clamping, coverage."""
+
+from collections import Counter
+
+from repro.core.events import CallEvent, CallKind, ReturnEvent
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import PhaseSpec, TraceExecutor, WorkloadSpec
+
+
+def depths_over_time(program, spec):
+    depth = 1
+    out = []
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent):
+            if event.kind is not CallKind.TAIL:
+                depth += 1
+        elif isinstance(event, ReturnEvent):
+            depth -= 1
+        out.append(depth)
+    return out
+
+
+def test_unwind_episodes_return_to_shallow_depth():
+    program = generate_program(GeneratorConfig(seed=4, functions=40))
+    spec = WorkloadSpec(calls=10_000, seed=2, unwind_period=150,
+                        sample_period=0)
+    depths = depths_over_time(program, spec)
+    shallow_visits = sum(1 for d in depths if d <= 2)
+    # The walk repeatedly restarts from (near) the bottom frame.
+    assert shallow_visits > 20
+
+
+def test_no_unwind_episodes_when_disabled():
+    program = generate_program(GeneratorConfig(seed=4, functions=40))
+    lively = WorkloadSpec(calls=8_000, seed=2, unwind_period=100,
+                          sample_period=0)
+    frozen = WorkloadSpec(calls=8_000, seed=2, unwind_period=0,
+                          sample_period=0)
+    lively_shallow = sum(1 for d in depths_over_time(program, lively) if d <= 2)
+    frozen_shallow = sum(1 for d in depths_over_time(program, frozen) if d <= 2)
+    assert lively_shallow > frozen_shallow
+
+
+def test_unwind_improves_function_coverage():
+    program = generate_program(GeneratorConfig(seed=4, functions=60,
+                                               edges=140))
+    def coverage(unwind):
+        spec = WorkloadSpec(calls=10_000, seed=2, unwind_period=unwind,
+                            sample_period=0)
+        seen = set()
+        for event in TraceExecutor(program, spec).events():
+            if isinstance(event, CallEvent):
+                seen.add(event.callee)
+        return len(seen)
+
+    assert coverage(200) >= coverage(0)
+
+
+def test_phase_multipliers_are_clamped():
+    program = generate_program(GeneratorConfig(seed=6, functions=40))
+    executor = TraceExecutor(
+        program, WorkloadSpec(calls=100, seed=1,
+                              phases=[PhaseSpec(at_call=0, seed=9)])
+    )
+    list(executor.events())
+    scales = list(executor._site_scale.values())
+    assert scales
+    assert all(0.25 <= s <= 4.0 for s in scales)
+
+
+def test_recursion_bases_capped():
+    from repro.program.trace import _ExecThread
+
+    state = _ExecThread(stack=[], persist_bases=True)
+    state.push(0, False)
+    for n in range(1, 30):
+        state.push(n, True)
+    assert len(state.rec_positions) == _ExecThread.MAX_BASES
+    # Unwinding drops bases exactly when their frames pop.
+    while state.depth > 1:
+        state.pop()
+    assert state.rec_positions == []
+
+
+def test_effective_depth_resets_at_base():
+    from repro.program.trace import _ExecThread
+
+    state = _ExecThread(stack=[], persist_bases=True)
+    state.push(0, False)
+    state.push(1, False)
+    state.push(2, True)   # base at index 2
+    state.push(3, False)
+    assert state.depth == 4
+    assert state.effective_depth == 2  # frames above the base
+
+
+def test_scheduler_interleaves_threads(small_program):
+    from repro.program.trace import ThreadSpec
+
+    spec = WorkloadSpec(
+        calls=6_000, seed=2, scheduler_burst=8, sample_period=0,
+        # fn 3 has live call sites in the fixture program (a thread whose
+        # entry only contains dead code would idle, which is legal).
+        threads=[ThreadSpec(thread=1, entry=3, spawn_at_call=200)],
+    )
+    switches = 0
+    last = None
+    per_thread = Counter()
+    for event in TraceExecutor(small_program, spec).events():
+        if isinstance(event, CallEvent):
+            per_thread[event.thread] += 1
+            if last is not None and event.thread != last:
+                switches += 1
+            last = event.thread
+    assert per_thread[0] > 100 and per_thread[1] > 100
+    assert switches > 50

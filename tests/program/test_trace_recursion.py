@@ -1,0 +1,135 @@
+"""Executor recursion/tail-chain behaviour tests (shape calibration)."""
+
+from collections import Counter
+
+from repro.core.events import CallEvent, CallKind, ReturnEvent
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.model import CallSiteDef, FunctionDef, Program
+from repro.program.trace import TraceExecutor, WorkloadSpec
+
+
+def tail_chain_program(length=30):
+    """main -> f1, plus a long forward chain of tail-call sites."""
+    functions = [FunctionDef(0, "main", callsites=[
+        CallSiteDef(id=1, targets=[1]),
+    ])]
+    for n in range(1, length):
+        functions.append(
+            FunctionDef(
+                n,
+                "f%d" % n,
+                callsites=[
+                    CallSiteDef(
+                        id=n + 1, kind=CallKind.TAIL, targets=[n + 1]
+                    )
+                ],
+            )
+        )
+    functions.append(FunctionDef(length, "leaf"))
+    return Program(functions)
+
+
+def test_tail_chains_are_capped():
+    program = tail_chain_program()
+    spec = WorkloadSpec(calls=2_000, seed=1, max_tail_chain=3,
+                        sample_period=0)
+    longest = 0
+    current = 0
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent):
+            if event.kind is CallKind.TAIL:
+                current += 1
+                longest = max(longest, current)
+            else:
+                current = 0
+        elif isinstance(event, ReturnEvent):
+            current = 0
+    assert longest <= 3
+
+
+def test_tail_cap_configurable():
+    program = tail_chain_program()
+    spec = WorkloadSpec(calls=2_000, seed=1, max_tail_chain=10,
+                        sample_period=0)
+    longest = 0
+    current = 0
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent) and event.kind is CallKind.TAIL:
+            current += 1
+            longest = max(longest, current)
+        else:
+            current = 0
+    assert 3 < longest <= 10
+
+
+def test_recursion_only_through_designated_sites():
+    """Incidental on-stack targets must not trigger burst machinery."""
+    program = generate_program(
+        GeneratorConfig(seed=5, functions=40, edges=100, recursive_sites=3,
+                        recursion_weight=0.05)
+    )
+    recursive_sites = {
+        s.id for _f, s in program.all_callsites() if s.recursive
+    }
+    spec = WorkloadSpec(calls=10_000, seed=2, recursion_affinity=0.7)
+    by_site = Counter()
+    stack = [program.main]
+    cycle_calls_not_at_designated = 0
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent):
+            if event.callee in stack and event.callsite not in recursive_sites:
+                cycle_calls_not_at_designated += 1
+            if event.kind is CallKind.TAIL:
+                stack[-1] = event.callee
+            else:
+                stack.append(event.callee)
+            by_site[event.callsite] += 1
+        elif isinstance(event, ReturnEvent):
+            stack.pop()
+    designated_calls = sum(by_site[s] for s in recursive_sites)
+    # Designated sites execute; nothing else closes cycles (normal
+    # edges are strictly forward in generated programs).
+    assert designated_calls > 0
+    assert cycle_calls_not_at_designated == 0
+
+
+def test_depth_stays_bounded_under_persistent_recursion():
+    program = generate_program(
+        GeneratorConfig(seed=7, functions=60, edges=150, recursive_sites=6,
+                        recursion_weight=0.05)
+    )
+    spec = WorkloadSpec(calls=15_000, seed=3, recursion_affinity=0.8,
+                        persistent_recursion=True, max_depth=200)
+    depth = 1
+    peak = 0
+    for event in TraceExecutor(program, spec).events():
+        if isinstance(event, CallEvent):
+            if event.kind is not CallKind.TAIL:
+                depth += 1
+            peak = max(peak, depth)
+        elif isinstance(event, ReturnEvent):
+            depth -= 1
+    assert peak <= 200
+
+
+def test_transient_recursion_unwinds_quickly():
+    """Non-persistent mode: high op rate but near-zero resident depth."""
+    program = generate_program(
+        GeneratorConfig(seed=9, functions=40, edges=100, recursive_sites=4,
+                        recursion_weight=0.1)
+    )
+    spec = WorkloadSpec(calls=10_000, seed=4, recursion_affinity=0.2,
+                        persistent_recursion=False, sample_period=31)
+    from repro.core.engine import DacceEngine
+    from repro.core.events import SampleEvent
+
+    engine = DacceEngine(root=program.main)
+    depths = []
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            depths.append(
+                engine.ccstack_depth(event.thread, include_discovery=False)
+            )
+    assert depths
+    assert sum(depths) / len(depths) < 1.5

@@ -1,0 +1,71 @@
+"""Context-profile aggregation tests."""
+
+from repro.pytrace import (
+    PythonDacceTracer,
+    build_profile,
+    profile_callable,
+)
+
+
+def _workload():
+    def leaf(n):
+        return sum(range(n))
+
+    def via_a():
+        return leaf(50)
+
+    def via_b():
+        return leaf(50)
+
+    total = 0
+    for _ in range(200):
+        total += via_a() + via_b()
+    return total
+
+
+def test_profile_counts_sum_to_samples():
+    result, profile = profile_callable(_workload, sample_every=7)
+    assert result > 0
+    assert profile.total_samples == sum(e.count for e in profile.contexts)
+    assert profile.total_samples > 20
+
+
+def test_context_sensitivity_distinguishes_paths():
+    _result, profile = profile_callable(_workload, sample_every=7)
+    leaf_contexts = [
+        e.rendered for e in profile.contexts if e.rendered.endswith("leaf")
+    ]
+    # The same leaf appears under two different calling contexts.
+    via = {c for c in leaf_contexts if "via_a" in c or "via_b" in c}
+    assert len(via) >= 2
+    # Flat view merges them.
+    assert profile.flat.get("leaf", 0) >= sum(
+        e.count for e in profile.contexts if e.rendered in via
+    )
+
+
+def test_hottest_is_sorted():
+    _result, profile = profile_callable(_workload, sample_every=7)
+    counts = [e.count for e in profile.hottest(5)]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_flat_hottest_and_self_count():
+    _result, profile = profile_callable(_workload, sample_every=7)
+    flat = dict(profile.flat_hottest(10))
+    assert flat
+    assert profile.self_count("leaf") == profile.flat.get("leaf", 0)
+
+
+def test_format_renders_counts():
+    _result, profile = profile_callable(_workload, sample_every=7)
+    text = profile.format(3)
+    assert "count" in text
+    assert "->" in text
+
+
+def test_build_profile_from_manual_tracer():
+    tracer = PythonDacceTracer(sample_every=11)
+    tracer.run(_workload)
+    profile = build_profile(tracer)
+    assert profile.total_samples == len(tracer.samples)
