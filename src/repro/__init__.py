@@ -17,8 +17,7 @@ Quickstart::
     for event in TraceExecutor(program, WorkloadSpec(calls=20_000)).events():
         engine.on_event(event)
     decoder = engine.decoder()
-    for sample in engine.samples[:3]:
-        print(decoder.decode(sample))
+    contexts = [decoder.decode(sample) for sample in engine.samples[:3]]
 """
 
 from .core import (
@@ -38,6 +37,7 @@ from .core import (
     encode_graph,
 )
 from .baselines import CctEngine, PccEngine, PcceEngine, StackWalkEngine
+from .obs import MetricsRegistry, Telemetry, TelemetryConfig
 from .program import (
     GeneratorConfig,
     Program,
@@ -65,10 +65,13 @@ __all__ = [
     "Encoder",
     "EncodingDictionary",
     "GeneratorConfig",
+    "MetricsRegistry",
     "PccEngine",
     "PcceEngine",
     "Program",
     "StackWalkEngine",
+    "Telemetry",
+    "TelemetryConfig",
     "TraceExecutor",
     "WorkloadSpec",
     "encode_graph",

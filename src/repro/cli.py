@@ -8,11 +8,15 @@ Examples::
     dacce fig10
     dacce validate --seeds 5
     dacce experiments --output EXPERIMENTS.md   # full paper-vs-measured report
+    dacce metrics --calls 20000                 # Prometheus-format telemetry
+    dacce trace --calls 20000 --limit 30        # structured JSONL engine trace
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from typing import List, Optional
@@ -227,6 +231,91 @@ def cmd_decode(args) -> int:
     return 0
 
 
+def _telemetry_workload(args):
+    """A synthetic workload shared by ``metrics`` and ``trace``.
+
+    Recursion, indirect and tail call sites plus a spawned thread and a
+    phase shift, so every telemetry surface (depth histograms, indirect
+    dispatch counters, re-encoding pass reports) has something to show.
+    """
+    program = generate_program(
+        GeneratorConfig(
+            seed=args.seed,
+            recursive_sites=4,
+            indirect_fraction=0.12,
+            tail_fraction=0.05,
+            library_functions=6,
+        )
+    )
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=max(10, args.calls // 500),
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=3, spawn_at_call=args.calls // 10)],
+        phases=[PhaseSpec(at_call=args.calls // 2, seed=7)],
+    )
+    return program, spec
+
+
+def cmd_metrics(args) -> int:
+    """Run an instrumented workload; emit the metrics snapshot."""
+    from .obs import Telemetry
+    from .program.trace import TraceExecutor
+
+    program, spec = _telemetry_workload(args)
+    telemetry = Telemetry()
+    engine = DacceEngine(root=program.main, telemetry=telemetry)
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+
+    if args.format == "json":
+        output = telemetry.to_json(indent=2)
+    else:
+        output = telemetry.to_prometheus()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print("wrote %s" % args.output)
+    else:
+        print(output, end="")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run an instrumented workload; emit the structured JSONL trace."""
+    from .obs import Telemetry
+    from .program.trace import TraceExecutor
+
+    program, spec = _telemetry_workload(args)
+    handle = open(args.output, "w") if args.output else None
+    try:
+        telemetry = Telemetry(trace_stream=handle)
+        engine = DacceEngine(root=program.main, telemetry=telemetry)
+        for event in TraceExecutor(program, spec).events():
+            engine.on_event(event)
+    finally:
+        if handle is not None:
+            handle.close()
+    if args.output:
+        print(
+            "wrote %d trace records to %s"
+            % (telemetry.trace.emitted, args.output)
+        )
+    else:
+        shown = 0
+        for record in telemetry.trace.events():
+            if args.limit and shown >= args.limit:
+                print(
+                    "... (%d more retained, %d emitted)"
+                    % (len(telemetry.trace) - shown, telemetry.trace.emitted)
+                )
+                break
+            print(json.dumps(record))
+            shown += 1
+    return 0
+
+
 def cmd_experiments(args) -> int:
     """Write the paper-vs-measured EXPERIMENTS.md report."""
     from .analysis.experiments import write_experiments_report
@@ -290,7 +379,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(fn=cmd_decode)
 
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload; print the telemetry snapshot",
+    )
+    p.add_argument("--calls", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--format", choices=("prom", "json"), default="prom",
+                   help="Prometheus text format (default) or JSON snapshot")
+    p.add_argument("--output", default=None,
+                   help="write to this path instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented workload; print the JSONL engine trace",
+    )
+    p.add_argument("--calls", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--limit", type=int, default=50,
+                   help="max records printed to stdout (0 = all)")
+    p.add_argument("--output", default=None,
+                   help="stream JSONL records to this path instead")
+    p.set_defaults(fn=cmd_trace)
+
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.WARNING,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     return args.fn(args)
 
 

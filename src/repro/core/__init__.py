@@ -44,6 +44,7 @@ from .indirect import (
 from .samplelog import SampleLog, SampleLogError
 from .serialize import (
     SerializationError,
+    decode_log,
     export_decoding_state,
     load_decoder,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "assert_sound",
     "check_dictionary",
     "classify_back_edges",
+    "decode_log",
     "decode_sample",
     "dfs_classify_back_edges",
     "encode_graph",

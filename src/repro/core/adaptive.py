@@ -70,10 +70,28 @@ class WindowStats:
 
 @dataclass
 class TriggerDecision:
-    """Outcome of one policy evaluation, with the reasons that fired."""
+    """Outcome of one policy evaluation, with the reasons that fired.
+
+    Carries the evidence behind the decision (the observed window and
+    the pending new-edge count) so telemetry can report *why* a
+    re-encoding pass started, not just that it did.
+    """
 
     reencode: bool
     reasons: List[str] = field(default_factory=list)
+    window: Optional[WindowStats] = None
+    pending_new_edges: int = 0
+
+    def window_dict(self) -> Optional[Dict[str, int]]:
+        """The window counters as plain data (for pass reports)."""
+        if self.window is None:
+            return None
+        return {
+            "calls": self.window.calls,
+            "unencoded_calls": self.window.unencoded_calls,
+            "ccstack_ops": self.window.ccstack_ops,
+            "pending_new_edges": self.pending_new_edges,
+        }
 
 
 class AdaptivePolicy:
@@ -84,11 +102,15 @@ class AdaptivePolicy:
         #: (callsite, callee) -> [pushes, repetitive pushes] per back edge.
         self._recursion_pushes: Dict[EdgeKey, List[int]] = {}
         self._compressed_edges: Set[EdgeKey] = set()
+        #: Telemetry: evaluations performed / evaluations that fired.
+        self.evaluations = 0
+        self.fired = 0
 
     # -- trigger evaluation --------------------------------------------
     def evaluate(self, window: WindowStats, pending_new_edges: int) -> TriggerDecision:
         """Check the three triggers against the latest window."""
         config = self.config
+        self.evaluations += 1
         reasons: List[str] = []
         if pending_new_edges >= config.new_edge_threshold:
             reasons.append("new-edges")
@@ -99,7 +121,14 @@ class AdaptivePolicy:
             ccstack_rate = window.ccstack_ops / window.calls
             if ccstack_rate > config.ccstack_rate_threshold:
                 reasons.append("ccstack-traffic")
-        return TriggerDecision(reencode=bool(reasons), reasons=reasons)
+        if reasons:
+            self.fired += 1
+        return TriggerDecision(
+            reencode=bool(reasons),
+            reasons=reasons,
+            window=window,
+            pending_new_edges=pending_new_edges,
+        )
 
     # -- recursion compression -----------------------------------------
     def observe_back_edge_push(self, key: EdgeKey, repetitive: bool) -> None:

@@ -34,13 +34,17 @@ cross-validates against stack walking (Section 6.1).
 from __future__ import annotations
 
 import enum
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..cost.model import CostModel
+from ..obs import NULL_TELEMETRY, ReencodePassReport, Telemetry
 from .adaptive import (
     AdaptiveConfig,
     AdaptivePolicy,
+    TriggerDecision,
     WindowStats,
     classify_back_edges,
 )
@@ -65,6 +69,8 @@ from .events import (
     ThreadStartEvent,
 )
 from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
+
+logger = logging.getLogger(__name__)
 
 
 class CompressionMode(enum.Enum):
@@ -194,9 +200,11 @@ class DacceEngine:
         cost_model: Optional[CostModel] = None,
         graph: Optional[CallGraph] = None,
         initial_order_policy=insertion_order,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.config = config or DacceConfig()
         self.cost = cost_model or CostModel()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.graph = graph if graph is not None else CallGraph(root)
         if graph is not None:
             root = graph.root
@@ -244,6 +252,106 @@ class DacceEngine:
                 )
             ],
         )
+        # Telemetry: one boolean guards every hot-path hook; instruments
+        # are pre-bound so an enabled engine pays one dict-free call per
+        # event and a disabled engine pays only the guard.
+        self._obs = bool(self.telemetry.enabled)
+        if self._obs:
+            self._init_telemetry()
+
+    # ------------------------------------------------------------------
+    # telemetry wiring
+    # ------------------------------------------------------------------
+    def _init_telemetry(self) -> None:
+        """Create push-mode instruments and the pull-mode collector."""
+        registry = self.telemetry.registry
+        depth_buckets = self.telemetry.config.depth_buckets
+        events = registry.counter(
+            "events_total",
+            "Engine events processed, by type.",
+            labelnames=("type",),
+        )
+        self._m_calls = {
+            kind: events.labels("call:%s" % kind.value) for kind in CallKind
+        }
+        self._m_returns = events.labels("return")
+        self._m_samples = events.labels("sample")
+        self._h_ccstack_depth = registry.histogram(
+            "ccstack_depth",
+            "Logical ccStack depth observed at each push/pop.",
+            buckets=depth_buckets,
+        )
+        self._h_callstack_depth = registry.histogram(
+            "callstack_depth",
+            "Logical call-stack depth at each collected sample.",
+            buckets=depth_buckets,
+        )
+        registry.register_collector(self._collect_metrics)
+        # Pull-mode instruments fed by the collector below.
+        self._c_stats = registry.counter(
+            "runtime_total",
+            "Aggregate runtime statistics (DacceStats), by field.",
+            labelnames=("stat",),
+        )
+        self._c_ccstack_ops = registry.counter(
+            "ccstack_ops_total",
+            "ccStack operations summed over live and exited threads.",
+            labelnames=("op",),
+        )
+        self._c_indirect = registry.counter(
+            "indirect_dispatch_total",
+            "Indirect-call dispatch outcomes across all sites.",
+            labelnames=("result",),
+        )
+        self._c_promotions = registry.counter(
+            "indirect_promotions_total",
+            "Inline-cache to hash-table promotions across all sites.",
+        )
+        self._g_engine = registry.gauge(
+            "engine",
+            "Engine shape gauges (graph size, id space, threads).",
+            labelnames=("property",),
+        )
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time migration of the legacy counters onto the registry.
+
+        ``DacceStats``, the retired-ccStack merge and the indirect
+        dispatch table keep their existing in-band roles; this mirrors
+        them into instruments without adding hot-path work.
+        """
+        stats = self.stats
+        for name, value in (
+            ("calls", stats.calls),
+            ("returns", stats.returns),
+            ("samples", stats.samples),
+            ("handler_invocations", stats.handler_invocations),
+            ("unencoded_calls", stats.unencoded_calls),
+            ("back_edge_calls", stats.back_edge_calls),
+            ("tail_calls", stats.tail_calls),
+            ("reencodings", stats.reencodings),
+            ("validation_failures", stats.validation_failures),
+            ("discovery_ccstack_ops", stats.discovery_ccstack_ops),
+        ):
+            self._c_stats.set_total(value, name)
+        ccstack = self.ccstack_stats()
+        for op in ("pushes", "pops", "compressions", "decompressions"):
+            self._c_ccstack_ops.set_total(ccstack[op], op)
+        self._c_indirect.set_total(self.indirect.total_hits(), "hit")
+        self._c_indirect.set_total(self.indirect.total_misses(), "miss")
+        self._c_promotions.set_total(self.indirect.total_promotions())
+        for name, value in (
+            ("nodes", self.graph.num_nodes),
+            ("edges", self.graph.num_edges),
+            ("encoded_edges", self._current.num_encoded_edges),
+            ("max_id", self._current.max_id),
+            ("gtimestamp", self._timestamp),
+            ("live_threads", len(self._threads)),
+            ("indirect_sites", len(self.indirect)),
+            ("indirect_hash_sites", self.indirect.num_hash_sites()),
+            ("ccstack_max_depth", ccstack["max_depth"]),
+        ):
+            self._g_engine.set_labeled(value, name)
 
     # ------------------------------------------------------------------
     # public API
@@ -303,6 +411,8 @@ class DacceEngine:
         self.stats.calls += 1
         self._window.calls += 1
         self.cost.charge_call_baseline()
+        if self._obs:
+            self._m_calls[event.kind].inc()
 
         edge = self.graph.find_edge(event.callsite, event.callee)
         if edge is None:
@@ -322,6 +432,8 @@ class DacceEngine:
             )
         frame = state.frames.pop()
         self.stats.returns += 1
+        if self._obs:
+            self._m_returns.inc()
 
         if frame.is_tail_chain:
             # TcStack restoration: one restore covers the whole chain.
@@ -331,11 +443,15 @@ class DacceEngine:
             state.ccstack.pop()
             self.cost.charge_ccstack_pop()
             self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
         elif frame.action is _Action.DISCOVERY_PUSH:
             state.ccstack.pop()
             self._charge_discovery_pop()
             self.stats.discovery_ccstack_ops += 1
             self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
         elif frame.action is _Action.ID:
             self.cost.charge_id_update()
         state.id_value = frame.restore_id
@@ -353,6 +469,9 @@ class DacceEngine:
         )
         self.stats.samples += 1
         self.cost.charge_sample(len(sample.ccstack))
+        if self._obs:
+            self._m_samples.inc()
+            self._h_callstack_depth.observe(self.call_stack_depth(event.thread))
         if self.config.retain_samples:
             self.samples.append(sample)
         if self.config.self_validate:
@@ -364,14 +483,38 @@ class DacceEngine:
 
         try:
             decoded = self.decoder().decode(sample)
-        except DecodingError:
+        except DecodingError as error:
             self.stats.validation_failures += 1
+            logger.warning(
+                "self-validation: sample (gTS=%d, id=%d, thread=%d) failed "
+                "to decode: %s",
+                sample.timestamp, sample.context_id, thread, error,
+            )
+            self.telemetry.emit(
+                "validation-failure",
+                thread=thread,
+                gts=sample.timestamp,
+                context_id=sample.context_id,
+                mode="undecodable",
+            )
             return
         expected = self.expected_context(thread)
         if [s.function for s in decoded.steps] != [
             s.function for s in expected.steps
         ]:
             self.stats.validation_failures += 1
+            logger.warning(
+                "self-validation: decoded context of thread %d diverges "
+                "from the shadow stack (gTS=%d, id=%d)",
+                thread, sample.timestamp, sample.context_id,
+            )
+            self.telemetry.emit(
+                "validation-failure",
+                thread=thread,
+                gts=sample.timestamp,
+                context_id=sample.context_id,
+                mode="mismatch",
+            )
 
     def on_thread_start(self, event: ThreadStartEvent) -> None:
         if event.thread in self._threads:
@@ -404,6 +547,14 @@ class DacceEngine:
         )
         self.graph.add_node(event.entry)
         self._threads[event.thread] = state
+        if self._obs:
+            self.telemetry.emit(
+                "thread-start",
+                thread=event.thread,
+                parent=event.parent,
+                entry=event.entry,
+                gts=self._timestamp,
+            )
 
     def on_thread_exit(self, event: ThreadExitEvent) -> None:
         state = self._state(event.thread)
@@ -421,6 +572,16 @@ class DacceEngine:
             self._retired_ccstack["max_depth"], stats.max_depth
         )
         del self._threads[event.thread]
+        if self._obs:
+            self.telemetry.emit(
+                "thread-exit",
+                thread=event.thread,
+                gts=self._timestamp,
+                ccstack_pushes=stats.pushes,
+                ccstack_pops=stats.pops,
+                ccstack_compressions=stats.compressions,
+                ccstack_max_depth=stats.max_depth,
+            )
 
     # ------------------------------------------------------------------
     # oracles / introspection
@@ -508,6 +669,23 @@ class DacceEngine:
             "ccstack": self.ccstack_stats(),
             "indirect_sites": len(self.indirect),
         }
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """:meth:`summary` plus the telemetry layer's additions.
+
+        Every legacy ``summary()`` key is preserved; the indirect
+        dispatch counters and (when telemetry is enabled) the
+        re-encoding pass reports ride along.
+        """
+        snapshot = self.summary()
+        snapshot["indirect_hits"] = self.stats.indirect_hits
+        snapshot["indirect_misses"] = self.stats.indirect_misses
+        snapshot["indirect_promotions"] = self.indirect.total_promotions()
+        snapshot["trigger_evaluations"] = self.policy.evaluations
+        snapshot["telemetry_enabled"] = self._obs
+        if self._obs:
+            snapshot["reencode_passes"] = self.telemetry.pass_reports.to_list()
+        return snapshot
 
     def ccstack_stats(self) -> Dict[str, int]:
         """Summed ccStack operation counters (live + exited threads)."""
@@ -632,6 +810,8 @@ class DacceEngine:
             else:
                 self.cost.charge_ccstack_push()
             self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
             state.id_value = self._current.max_id + 1
             return _Action.COMPRESS if compressed else _Action.PUSH
         # A non-back edge without an encoding *yet*: it was discovered in
@@ -646,6 +826,8 @@ class DacceEngine:
         )
         self._charge_discovery_push()
         self._window.ccstack_ops += 1
+        if self._obs:
+            self._h_ccstack_depth.observe(state.ccstack.depth())
         state.id_value = self._current.max_id + 1
         return _Action.DISCOVERY_PUSH
 
@@ -722,19 +904,29 @@ class DacceEngine:
         decision = self.policy.evaluate(self._window, pending)
         self._window = WindowStats()
         if decision.reencode:
-            self.reencode(tuple(decision.reasons))
+            self.reencode(tuple(decision.reasons), decision=decision)
 
-    def reencode(self, reasons: Tuple[str, ...] = ("manual",)) -> None:
+    def reencode(
+        self,
+        reasons: Tuple[str, ...] = ("manual",),
+        decision: Optional[TriggerDecision] = None,
+    ) -> None:
         """One full adaptive re-encoding pass (Section 4).
 
         Suspends the world (cost-modelled), reclassifies back edges,
         re-encodes with frequency ordering, re-patches indirect sites,
         bumps ``gTimeStamp``, and regenerates every thread's live id and
-        ccStack under the new dictionary.
+        ccStack under the new dictionary.  When telemetry is enabled a
+        structured :class:`~repro.obs.report.ReencodePassReport` records
+        the trigger decision, what changed, and the wall-clock cost.
         """
+        started = time.perf_counter()
+        previous_max_id = self._current.max_id
+        new_edges = self.graph.num_edges - self._edges_at_last_encode
+        edges_reclassified = 0
         if self.config.reclassify_back_edges:
-            classify_back_edges(self.graph)
-        self.policy.refresh_compressed_edges()
+            edges_reclassified = classify_back_edges(self.graph)
+        compressed_edges = self.policy.refresh_compressed_edges()
 
         self._timestamp += 1
         order = (
@@ -745,7 +937,7 @@ class DacceEngine:
         self.dictionaries.add(self._current)
         self._edges_at_last_encode = self.graph.num_edges
 
-        self._repatch_indirect_sites()
+        sites_patched = self._repatch_indirect_sites()
         for state in self._threads.values():
             self._regenerate_thread(state)
 
@@ -767,19 +959,57 @@ class DacceEngine:
                 cost_cycles=cost,
             )
         )
+        logger.debug(
+            "re-encoding pass %d at call %d: reasons=%s edges=%d maxID=%d",
+            self._timestamp, self.stats.calls, ",".join(reasons),
+            self.graph.num_edges, self._current.max_id,
+        )
+        if self._obs:
+            self.telemetry.record_pass(
+                ReencodePassReport(
+                    timestamp=self._timestamp,
+                    reasons=tuple(reasons),
+                    at_call=self.stats.calls,
+                    nodes=self.graph.num_nodes,
+                    edges=self.graph.num_edges,
+                    edges_reclassified=edges_reclassified,
+                    new_edges=new_edges,
+                    encoded_edges=self._current.num_encoded_edges,
+                    max_id=self._current.max_id,
+                    previous_max_id=previous_max_id,
+                    threads_regenerated=len(self._threads),
+                    indirect_sites_patched=sites_patched,
+                    compressed_edges=len(compressed_edges),
+                    duration_seconds=time.perf_counter() - started,
+                    cost_cycles=cost,
+                    window=decision.window_dict() if decision else None,
+                )
+            )
 
-    def _repatch_indirect_sites(self) -> None:
-        """Install per-site target sets ordered hottest-first (Figure 3(d))."""
+    def _repatch_indirect_sites(self) -> int:
+        """Install per-site target sets ordered hottest-first (Figure 3(d)).
+
+        Returns the number of sites patched; promotions to the hash
+        strategy (Figure 4) are traced when telemetry is enabled.
+        """
         by_site: Dict[CallSiteId, List[CallEdge]] = {}
         for edge in self.graph.edges():
             if edge.kind is CallKind.INDIRECT:
                 by_site.setdefault(edge.callsite, []).append(edge)
         for callsite, edges in by_site.items():
             ordered = sorted(edges, key=lambda e: -e.invocations)
-            self.indirect.site(callsite).patch(
+            promoted = self.indirect.site(callsite).patch(
                 [e.callee for e in ordered],
                 hash_threshold=self.config.hash_threshold,
             )
+            if promoted and self._obs:
+                self.telemetry.emit(
+                    "indirect-promotion",
+                    callsite=callsite,
+                    targets=len(ordered),
+                    gts=self._timestamp,
+                )
+        return len(by_site)
 
     def _regenerate_thread(self, state: _ThreadState) -> None:
         """Rebuild id/ccStack/frames under the new dictionary.

@@ -64,19 +64,33 @@ class IndirectCallSite:
     hits: int = 0
     misses: int = 0
     total_comparisons: int = 0
+    #: Inline-cache → hash-table strategy switches over the site's life.
+    promotions: int = 0
 
     def patch(
         self,
         targets: List[FunctionId],
         hash_threshold: int = DEFAULT_HASH_THRESHOLD,
-    ) -> None:
-        """Install the target set, choosing the strategy by its size."""
+    ) -> bool:
+        """Install the target set, choosing the strategy by its size.
+
+        Returns ``True`` when the patch *promoted* the site from the
+        inline cache to the hash table (the Figure 4 upgrade).
+        """
+        previous = self.strategy
         self.order = list(targets)
         self._positions = {t: i for i, t in enumerate(self.order)}
         if len(self.order) > hash_threshold:
             self.strategy = DispatchStrategy.HASH_TABLE
         else:
             self.strategy = DispatchStrategy.INLINE_CACHE
+        promoted = (
+            previous is DispatchStrategy.INLINE_CACHE
+            and self.strategy is DispatchStrategy.HASH_TABLE
+        )
+        if promoted:
+            self.promotions += 1
+        return promoted
 
     def dispatch(self, target: FunctionId) -> DispatchResult:
         """Test ``target`` against the patched set and record the cost."""
@@ -129,3 +143,24 @@ class IndirectDispatchTable:
 
     def __len__(self) -> int:
         return len(self._sites)
+
+    # -- aggregate counters (telemetry pull surface) -------------------
+    def total_hits(self) -> int:
+        return sum(site.hits for site in self._sites.values())
+
+    def total_misses(self) -> int:
+        return sum(site.misses for site in self._sites.values())
+
+    def total_comparisons(self) -> int:
+        return sum(site.total_comparisons for site in self._sites.values())
+
+    def total_promotions(self) -> int:
+        """Inline-cache → hash-table promotions across all sites."""
+        return sum(site.promotions for site in self._sites.values())
+
+    def num_hash_sites(self) -> int:
+        return sum(
+            1
+            for site in self._sites.values()
+            if site.strategy is DispatchStrategy.HASH_TABLE
+        )

@@ -24,16 +24,19 @@ this completes the offline pipeline::
 
     # analysis process (later, elsewhere)
     decoder = load_decoder("run.state.json")
-    for sample in SampleLog.from_bytes(open("run.log", "rb").read()):
-        print(decoder.decode(sample))
+    log = SampleLog.from_bytes(open("run.log", "rb").read())
+    contexts = decode_log(decoder, log)          # lazy iterator of contexts
+
+Decoded contexts are *returned*, never printed — library code writes
+nothing to stdout (rendering is the CLI's job; see ``dacce decode``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, Iterator
 
-from .context import CcStackEntry, CollectedSample
+from .context import CallingContext, CcStackEntry, CollectedSample
 from .decoder import Decoder
 from .dictionary import DictionaryStore, EdgeInfo, EncodingDictionary
 from .errors import DacceError
@@ -182,3 +185,17 @@ def load_decoder(path: str) -> Decoder:
         except json.JSONDecodeError as error:
             raise SerializationError("not a decoding-state file") from error
     return decoder_from_dict(data)
+
+
+def decode_log(
+    decoder: Decoder, samples: Iterable[CollectedSample]
+) -> Iterator[CallingContext]:
+    """Lazily decode a recorded sample stream to calling contexts.
+
+    The offline counterpart of the engine's live queries: pairs a
+    reconstructed decoder with a :class:`~repro.core.samplelog.SampleLog`
+    (or any sample iterable) and yields one
+    :class:`~repro.core.context.CallingContext` per record.
+    """
+    for sample in samples:
+        yield decoder.decode(sample)

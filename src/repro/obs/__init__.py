@@ -1,0 +1,51 @@
+"""Unified observability layer: metrics, traces, pass reports.
+
+See :mod:`repro.obs.registry` (instruments), :mod:`repro.obs.trace`
+(structured JSONL event stream), :mod:`repro.obs.report` (re-encoding
+pass reports), :mod:`repro.obs.exporters` (Prometheus / JSON rendering)
+and :mod:`repro.obs.telemetry` (the engine-facing facade).
+"""
+
+from .exporters import (
+    SNAPSHOT_FORMAT_VERSION,
+    parse_json_snapshot,
+    to_json_snapshot,
+    to_prometheus_text,
+)
+from .registry import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    null_registry,
+)
+from .report import PassReportLog, ReencodePassReport
+from .telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
+from .trace import DEFAULT_TRACE_CAPACITY, TraceEmitter
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DEPTH_BUCKETS",
+    "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_TELEMETRY",
+    "PassReportLog",
+    "ReencodePassReport",
+    "SNAPSHOT_FORMAT_VERSION",
+    "Telemetry",
+    "TelemetryConfig",
+    "TraceEmitter",
+    "null_registry",
+    "parse_json_snapshot",
+    "to_json_snapshot",
+    "to_prometheus_text",
+]

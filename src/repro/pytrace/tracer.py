@@ -60,7 +60,7 @@ class PythonDacceTracer:
         with tracer:
             my_workload()
         sample = tracer.last_samples[-1]
-        print(tracer.format_context(tracer.decode(sample)))
+        text = tracer.format_context(tracer.decode(sample))
 
     Samples are taken with :meth:`sample` (callable from inside the
     traced code), or automatically every ``sample_every`` calls.

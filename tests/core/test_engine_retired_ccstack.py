@@ -1,0 +1,100 @@
+"""Retired-thread ccStack counter merging (Table 1 sums whole-run traffic)."""
+
+import pytest
+
+from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+from repro.core.events import (
+    CallEvent,
+    ReturnEvent,
+    ThreadExitEvent,
+    ThreadStartEvent,
+)
+
+A, B, C = 0, 1, 2
+
+
+def _spawn_recurse_exit(engine, thread, entry, callsite, depth):
+    """Spawn ``thread`` at ``entry``, self-recurse ``depth`` times, exit."""
+    engine.on_event(ThreadStartEvent(thread=thread, parent=0, entry=entry))
+    for _ in range(depth):
+        engine.on_event(
+            CallEvent(thread=thread, callsite=callsite, caller=entry,
+                      callee=entry)
+        )
+    for _ in range(depth):
+        engine.on_event(ReturnEvent(thread=thread))
+    engine.on_event(ThreadExitEvent(thread=thread))
+
+
+def test_single_retired_thread_counters_merged():
+    engine = DacceEngine(root=A)
+    _spawn_recurse_exit(engine, thread=1, entry=B, callsite=50, depth=2)
+    # Spawn push (clone sentinel) + 2 recursive back-edge pushes, of
+    # which only the recursion is popped on return.
+    retired = engine._retired_ccstack
+    assert retired["pushes"] == 3
+    assert retired["pops"] == 2
+    assert retired["compressions"] == 0
+    assert retired["max_depth"] == 3
+    # The public merge reports the same totals once the thread is gone.
+    assert engine.ccstack_stats() == {
+        "pushes": 3,
+        "pops": 2,
+        "compressions": 0,
+        "decompressions": 0,
+        "max_depth": 3,
+    }
+    assert 1 not in engine.live_threads()
+
+
+def test_multiple_retired_threads_sum_and_max():
+    engine = DacceEngine(root=A)
+    _spawn_recurse_exit(engine, thread=1, entry=B, callsite=50, depth=2)
+    _spawn_recurse_exit(engine, thread=2, entry=C, callsite=60, depth=4)
+    stats = engine.ccstack_stats()
+    assert stats["pushes"] == 3 + 5
+    assert stats["pops"] == 2 + 4
+    # max_depth merges with max(), not sum: thread 2 reached depth 5.
+    assert stats["max_depth"] == 5
+
+
+def test_compressions_survive_retirement():
+    config = DacceConfig(compression=CompressionMode.ALWAYS)
+    engine = DacceEngine(root=A, config=config)
+    _spawn_recurse_exit(engine, thread=1, entry=B, callsite=50, depth=3)
+    retired = engine._retired_ccstack
+    # First recursion pushes, the identical repetitions compress, and
+    # the compressed repetitions decompress on the unwind.
+    assert retired["compressions"] == 2
+    assert retired["decompressions"] == 2
+    assert retired["pushes"] == 2      # clone sentinel + first recursion
+    assert retired["pops"] == 1
+    merged = engine.ccstack_stats()
+    assert merged["compressions"] == 2
+    assert merged["decompressions"] == 2
+
+
+def test_live_and_retired_totals_combine():
+    engine = DacceEngine(root=A)
+    _spawn_recurse_exit(engine, thread=1, entry=B, callsite=50, depth=2)
+    # Thread 0 now produces its own ccStack traffic (recursive root call).
+    engine.on_event(CallEvent(thread=0, callsite=70, caller=A, callee=A))
+    live = engine._threads[0].ccstack.stats
+    assert live.pushes == 1
+    stats = engine.ccstack_stats()
+    assert stats["pushes"] == 3 + 1
+    assert stats["pops"] == 2
+    # Merging must not mutate the retired accumulator.
+    assert engine._retired_ccstack["pushes"] == 3
+
+
+def test_exit_with_live_frames_rejected():
+    from repro.core.errors import TraceError
+
+    engine = DacceEngine(root=A)
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=B))
+    engine.on_event(
+        CallEvent(thread=1, callsite=50, caller=B, callee=B)
+    )
+    with pytest.raises(TraceError):
+        engine.on_event(ThreadExitEvent(thread=1))

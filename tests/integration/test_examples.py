@@ -51,3 +51,12 @@ def test_offline_analysis():
     assert result.returncode == 0, result.stderr
     assert "[recorder]" in result.stdout
     assert "[analyser] hottest contexts" in result.stdout
+
+
+def test_telemetry_dashboard():
+    result = run_example("telemetry_dashboard.py")
+    assert result.returncode == 0, result.stderr
+    assert "DACCE telemetry dashboard" in result.stdout
+    assert "ccStack depth" in result.stdout
+    assert "re-encoding passes" in result.stdout
+    assert "gTS=1" in result.stdout

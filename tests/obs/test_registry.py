@@ -1,0 +1,174 @@
+"""Metrics registry: enabled, disabled/no-op, snapshot round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricError,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    null_registry,
+    parse_json_snapshot,
+    to_json_snapshot,
+    to_prometheus_text,
+)
+
+
+class TestEnabledRegistry:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labeled_counter_children(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total", "calls", labelnames=("kind",))
+        normal = counter.labels("normal")
+        normal.inc()
+        normal.inc()
+        counter.labels("tail").inc()
+        assert counter.value("normal") == 2
+        assert counter.value("tail") == 1
+        assert counter.value("indirect") == 0
+
+    def test_unlabelled_inc_on_labeled_counter_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total", "", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.inc()
+
+    def test_label_arity_checked(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total", "", labelnames=("kind",))
+        with pytest.raises(MetricError):
+            counter.labels("a", "b")
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("threads", "live threads")
+        gauge.set(3)
+        assert gauge.value() == 3
+        labeled = registry.gauge("shape", "", labelnames=("property",))
+        labeled.set_labeled(7, "edges")
+        assert labeled.value("edges") == 7
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("depth", "", buckets=(1, 4, 16))
+        for value in (0, 1, 2, 5, 100):
+            histogram.observe(value)
+        data = histogram.data()
+        assert data.count == 5
+        assert data.sum == 108
+        cumulative = dict(data.cumulative())
+        assert cumulative[1] == 2          # 0, 1
+        assert cumulative[4] == 3          # + 2
+        assert cumulative[16] == 4         # + 5
+        assert cumulative[float("inf")] == 5
+
+    def test_same_metric_registered_once(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "")
+        second = registry.counter("x_total", "")
+        assert first is second
+
+    def test_shape_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "")
+        with pytest.raises(MetricError):
+            registry.gauge("x_total", "")
+
+    def test_namespace_prefix(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total", "")
+        assert counter.name == "dacce_ops_total"
+        assert registry.get("ops_total") is counter
+        assert registry.get("dacce_ops_total") is counter
+
+    def test_collector_runs_at_snapshot(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("pulled", "")
+        registry.register_collector(lambda: gauge.set(42))
+        snapshot = registry.snapshot()
+        assert snapshot["dacce_pulled"]["series"][0]["value"] == 42
+
+
+class TestDisabledRegistry:
+    def test_instruments_are_shared_noops(self):
+        registry = null_registry()
+        counter = registry.counter("x_total", "")
+        gauge = registry.gauge("y", "")
+        histogram = registry.histogram("z", "")
+        assert counter is NULL_INSTRUMENT
+        assert gauge is NULL_INSTRUMENT
+        assert histogram is NULL_INSTRUMENT
+        counter.inc()
+        counter.labels("a").inc(5)
+        gauge.set(3)
+        histogram.observe(1.0)
+        assert counter.value() == 0
+
+    def test_snapshot_empty_and_collectors_dropped(self):
+        registry = null_registry()
+        calls = []
+        registry.register_collector(lambda: calls.append(1))
+        assert registry.snapshot() == {}
+        assert calls == []
+
+
+class TestSnapshotRoundTrip:
+    def _populated_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total", "calls", labelnames=("kind",))
+        counter.labels("normal").inc(10)
+        counter.labels("tail").inc(2)
+        registry.gauge("edges", "graph edges").set(17)
+        histogram = registry.histogram("depth", "", buckets=(1, 8))
+        for value in (0, 3, 50):
+            histogram.observe(value)
+        return registry
+
+    def test_json_round_trip(self):
+        registry = self._populated_registry()
+        document = parse_json_snapshot(to_json_snapshot(registry.snapshot()))
+        metrics = document["metrics"]
+        calls = metrics["dacce_calls_total"]
+        assert calls["kind"] == "counter"
+        by_kind = {
+            series["labels"]["kind"]: series["value"]
+            for series in calls["series"]
+        }
+        assert by_kind == {"normal": 10, "tail": 2}
+        depth = metrics["dacce_depth"]["series"][0]
+        assert depth["count"] == 3
+        assert depth["sum"] == 53
+        assert depth["buckets"][-1][1] == 3
+
+    def test_json_snapshot_is_valid_json(self):
+        registry = self._populated_registry()
+        json.loads(to_json_snapshot(registry.snapshot(), indent=2))
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(ValueError):
+            parse_json_snapshot(json.dumps({"format": 99}))
+
+    def test_prometheus_text_format(self):
+        registry = self._populated_registry()
+        text = to_prometheus_text(registry.snapshot())
+        assert "# TYPE dacce_calls_total counter" in text
+        assert 'dacce_calls_total{kind="normal"} 10' in text
+        assert "# TYPE dacce_depth histogram" in text
+        assert 'dacce_depth_bucket{le="+Inf"} 3' in text
+        assert "dacce_depth_sum 53" in text
+        assert "dacce_depth_count 3" in text
+        assert "dacce_edges 17" in text
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("odd_total", "", labelnames=("why",))
+        counter.labels('say "hi"\n').inc()
+        text = to_prometheus_text(registry.snapshot())
+        assert r'why="say \"hi\"\n"' in text

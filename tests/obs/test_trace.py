@@ -1,0 +1,66 @@
+"""Trace emitter: ring bounds, JSONL output, stream mirroring."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import TraceEmitter
+
+
+def test_emit_assigns_sequence_and_kind():
+    emitter = TraceEmitter(clock=lambda: 123.0)
+    record = emitter.emit("reencode-pass", gts=1, reasons=["new-edges"])
+    assert record["seq"] == 0
+    assert record["ts"] == 123.0
+    assert record["event"] == "reencode-pass"
+    assert record["gts"] == 1
+
+
+def test_ring_is_bounded_and_counts_drops():
+    emitter = TraceEmitter(capacity=3)
+    for index in range(5):
+        emitter.emit("tick", index=index)
+    assert len(emitter) == 3
+    assert emitter.emitted == 5
+    assert emitter.dropped == 2
+    assert [record["index"] for record in emitter.events()] == [2, 3, 4]
+
+
+def test_filter_and_last():
+    emitter = TraceEmitter()
+    emitter.emit("a", n=1)
+    emitter.emit("b", n=2)
+    emitter.emit("a", n=3)
+    assert [record["n"] for record in emitter.events("a")] == [1, 3]
+    assert emitter.last("b")["n"] == 2
+    assert emitter.last("missing") is None
+
+
+def test_jsonl_output_parses_line_by_line():
+    emitter = TraceEmitter(clock=lambda: 1.0)
+    emitter.emit("a", n=1)
+    emitter.emit("b", n=2)
+    lines = emitter.to_jsonl().strip().split("\n")
+    assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+
+def test_stream_mirroring():
+    stream = io.StringIO()
+    emitter = TraceEmitter(stream=stream, clock=lambda: 1.0)
+    emitter.emit("a", n=1)
+    emitter.emit("b", n=2)
+    lines = stream.getvalue().strip().split("\n")
+    assert [json.loads(line)["n"] for line in lines] == [1, 2]
+
+
+def test_write_jsonl(tmp_path):
+    emitter = TraceEmitter()
+    emitter.emit("a")
+    path = emitter.write_jsonl(str(tmp_path / "trace.jsonl"))
+    assert json.loads(open(path).read().strip())["event"] == "a"
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        TraceEmitter(capacity=0)
