@@ -10,6 +10,7 @@ Examples::
     dacce experiments --output EXPERIMENTS.md   # full paper-vs-measured report
     dacce metrics --calls 20000                 # Prometheus-format telemetry
     dacce trace --calls 20000 --limit 30        # structured JSONL engine trace
+    dacce doctor --state run.state.json --log run.log   # integrity check
 """
 
 from __future__ import annotations
@@ -210,24 +211,136 @@ def cmd_decode(args) -> int:
     from .core.samplelog import SampleLog
     from .core.serialize import load_decoder
 
-    decoder = load_decoder(args.state)
+    best_effort = getattr(args, "best_effort", False)
+    decoder = load_decoder(args.state, best_effort=best_effort)
     with open(args.log, "rb") as handle:
-        log = SampleLog.from_bytes(handle.read())
+        log = SampleLog.from_bytes(handle.read(), best_effort=best_effort)
+    for fault in getattr(decoder, "load_faults", []):
+        print("state fault: [%s] %s" % (fault["reason"], fault["message"]),
+              file=sys.stderr)
+    for fault in log.faults:
+        print("log fault @%d: [%s] %s"
+              % (fault.offset, fault.reason, fault.message), file=sys.stderr)
     shown = 0
     for sample in log:
         if args.limit and shown >= args.limit:
             remaining = len(log) - shown
             print("... (%d more)" % remaining)
             break
-        context = decoder.decode(sample)
+        if best_effort:
+            partial = decoder.decode_best_effort(sample)
+            context = partial.context
+            marker = "" if partial.complete else " (partial: %s)" % (
+                partial.fault.reason if partial.fault else "unknown"
+            )
+        else:
+            context = decoder.decode(sample)
+            marker = ""
         path = " -> ".join(
             "fn%d" % step.function
             + ("@%d" % step.callsite if step.callsite is not None else "")
             for step in context.steps
         )
-        print("[T%d gTS=%d id=%d] %s"
-              % (sample.thread, sample.timestamp, sample.context_id, path))
+        print("[T%d gTS=%d id=%d] %s%s"
+              % (sample.thread, sample.timestamp, sample.context_id, path,
+                 marker))
         shown += 1
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    """Validate a decoding-state file (and optionally a log) offline.
+
+    Checks, in order: the state file parses and carries a supported
+    format version; every dictionary passes its checksum (v2) and the
+    structural invariants of Algorithm 1; the sample log's framing and
+    per-record checksums hold; every sample decodes against the state.
+    Exits non-zero with a fault report when anything is damaged.
+    """
+    from .core.invariants import check_dictionary
+    from .core.samplelog import SampleLog
+    from .core.serialize import (
+        SerializationError,
+        _SUPPORTED_VERSIONS,
+        decoder_from_dict,
+        dictionary_from_dict,
+        verify_dictionary_entry,
+    )
+
+    problems = []
+
+    def report(message: str) -> None:
+        problems.append(message)
+        print("FAULT: %s" % message)
+
+    try:
+        with open(args.state) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        report("state file unreadable: %s" % error)
+        print("doctor: 1 fault, no further checks possible")
+        return 1
+
+    version = data.get("format")
+    if version not in _SUPPORTED_VERSIONS:
+        report("unsupported decoding-state format %r" % version)
+    entries = data.get("dictionaries", [])
+    checked = 0
+    for entry in entries:
+        ts = entry.get("timestamp")
+        if version == 2:
+            try:
+                verify_dictionary_entry(entry)
+            except SerializationError as error:
+                report(str(error))
+                continue
+        try:
+            dictionary = dictionary_from_dict(entry)
+        except SerializationError as error:
+            report(str(error))
+            continue
+        for violation in check_dictionary(dictionary):
+            report("dictionary ts=%s invariant: %s" % (ts, violation))
+        checked += 1
+    print("state: format v%s, %d/%d dictionaries verified"
+          % (version, checked, len(entries)))
+
+    if args.log:
+        try:
+            with open(args.log, "rb") as handle:
+                raw = handle.read()
+        except OSError as error:
+            report("log file unreadable: %s" % error)
+            raw = None
+        if raw is not None:
+            log = SampleLog.from_bytes(raw, best_effort=True)
+            for fault in log.faults:
+                report("log @%d [%s]: %s"
+                       % (fault.offset, fault.reason, fault.message))
+            decoded = partial = 0
+            if version in _SUPPORTED_VERSIONS:
+                decoder = decoder_from_dict(data, best_effort=True)
+                undecodable = {}
+                for sample in log:
+                    result = decoder.decode_best_effort(sample)
+                    if result.complete:
+                        decoded += 1
+                    else:
+                        partial += 1
+                        fault = result.fault
+                        key = (fault.reason if fault else "unknown",
+                               sample.timestamp)
+                        undecodable[key] = undecodable.get(key, 0) + 1
+                for (reason, ts), count in sorted(undecodable.items()):
+                    report("%d sample(s) at gTS=%d undecodable [%s]"
+                           % (count, ts, reason))
+            print("log: %d samples recovered, %d decoded, %d partial"
+                  % (len(log), decoded, partial))
+
+    if problems:
+        print("doctor: %d fault(s) found" % len(problems))
+        return 1
+    print("doctor: all checks passed")
     return 0
 
 
@@ -377,7 +490,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--state", required=True)
     p.add_argument("--log", required=True)
     p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--best-effort", action="store_true",
+                   help="recover what is decodable from damaged inputs "
+                        "instead of aborting on the first fault")
     p.set_defaults(fn=cmd_decode)
+
+    p = sub.add_parser(
+        "doctor",
+        help="validate a decoding-state file (and optionally a log) offline",
+    )
+    p.add_argument("--state", required=True)
+    p.add_argument("--log", default=None)
+    p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser(
         "metrics",

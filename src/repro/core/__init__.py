@@ -21,8 +21,18 @@ from .errors import (
     EncodingError,
     EncodingOverflowError,
     ProgramModelError,
+    ReencodeError,
     StaleDictionaryError,
     TraceError,
+)
+from .faults import (
+    DecodeFault,
+    FaultKind,
+    FaultLog,
+    FaultPolicy,
+    FaultRecord,
+    PartialDecode,
+    RecoveryAction,
 )
 from .events import (
     CallEvent,
@@ -41,7 +51,7 @@ from .indirect import (
     IndirectCallSite,
     IndirectDispatchTable,
 )
-from .samplelog import SampleLog, SampleLogError
+from .samplelog import SampleLog, SampleLogError, SampleLogFault
 from .serialize import (
     SerializationError,
     decode_log,
@@ -70,6 +80,7 @@ __all__ = [
     "DacceEngine",
     "DacceError",
     "DacceStats",
+    "DecodeFault",
     "Decoder",
     "DecodingError",
     "DictionaryStore",
@@ -80,15 +91,23 @@ __all__ = [
     "EncodingError",
     "EncodingOverflowError",
     "Event",
+    "FaultKind",
+    "FaultLog",
+    "FaultPolicy",
+    "FaultRecord",
     "IndirectCallSite",
     "IndirectDispatchTable",
     "LibraryLoadEvent",
+    "PartialDecode",
     "ProgramModelError",
+    "RecoveryAction",
+    "ReencodeError",
     "ReencodeRecord",
     "ReturnEvent",
     "SampleEvent",
     "SampleLog",
     "SampleLogError",
+    "SampleLogFault",
     "SerializationError",
     "export_decoding_state",
     "load_decoder",

@@ -161,6 +161,10 @@ class AdaptivePolicy:
     def compressed_edges(self) -> Set[EdgeKey]:
         return set(self._compressed_edges)
 
+    def restore_compressed(self, edges: Set[EdgeKey]) -> None:
+        """Reset the compressed-edge set (re-encoding rollback)."""
+        self._compressed_edges = set(edges)
+
 
 # ----------------------------------------------------------------------
 # back-edge reclassification

@@ -36,8 +36,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .ccstack import CLONE_CALLSITE
 from .context import CallingContext, CcStackEntry, CollectedSample, ContextStep
 from .dictionary import DictionaryStore, EncodingDictionary
-from .errors import DecodingError
+from .errors import DecodingError, StaleDictionaryError
 from .events import ThreadId
+from .faults import DecodeFault, PartialDecode
 
 
 @dataclass
@@ -116,12 +117,108 @@ class Decoder:
         return CallingContext(tuple(steps))
 
     # ------------------------------------------------------------------
+    def decode_best_effort(
+        self,
+        sample: CollectedSample,
+        expand_recursion: bool = True,
+        follow_threads: bool = True,
+    ) -> PartialDecode:
+        """Decode as much of ``sample`` as possible; never raise.
+
+        Returns a :class:`~repro.core.faults.PartialDecode`: on success
+        it wraps the same context :meth:`decode` returns with
+        ``complete=True``; on failure it wraps the longest decodable
+        leaf-most suffix plus a structured
+        :class:`~repro.core.faults.DecodeFault` saying why the rest is
+        missing.  Decoding walks leaf-to-root, so the recovered suffix
+        is exact — only the root-ward prefix is lost.
+        """
+        try:
+            dictionary = self._dictionaries.get(sample.timestamp)
+        except StaleDictionaryError as error:
+            # Without a dictionary only the sample point itself is known.
+            return PartialDecode(
+                context=CallingContext((ContextStep(sample.function),)),
+                complete=False,
+                fault=self._fault_from_error(
+                    error, sample, default_reason="stale-dictionary"
+                ),
+            )
+        try:
+            segments, crossed_thread = self._decode_segments(sample, dictionary)
+        except DecodingError as error:
+            partial = getattr(error, "partial_segments", None) or []
+            steps = _emit(partial, expand=expand_recursion)
+            if not steps:
+                steps = [ContextStep(sample.function)]
+            return PartialDecode(
+                context=CallingContext(tuple(steps)),
+                complete=False,
+                fault=self._fault_from_error(error, sample),
+            )
+
+        steps = _emit(segments, expand=expand_recursion)
+        complete = True
+        fault: Optional[DecodeFault] = None
+        if follow_threads and crossed_thread:
+            parent_sample = self._thread_parents.get(sample.thread)
+            if parent_sample is None:
+                complete = False
+                fault = DecodeFault(
+                    reason="missing-thread-parent",
+                    message="no spawn sample recorded for thread %d"
+                    % sample.thread,
+                    timestamp=sample.timestamp,
+                    context_id=sample.context_id,
+                    function=sample.function,
+                    thread=sample.thread,
+                )
+            else:
+                parent = self.decode_best_effort(
+                    parent_sample,
+                    expand_recursion=expand_recursion,
+                    follow_threads=follow_threads,
+                )
+                if steps:
+                    steps[0] = ContextStep(
+                        steps[0].function, CLONE_CALLSITE, steps[0].count
+                    )
+                steps = list(parent.context.steps) + steps
+                complete = parent.complete
+                fault = parent.fault
+        return PartialDecode(
+            context=CallingContext(tuple(steps)), complete=complete, fault=fault
+        )
+
+    @staticmethod
+    def _fault_from_error(
+        error: DecodingError,
+        sample: CollectedSample,
+        default_reason: str = "decoding-error",
+    ) -> DecodeFault:
+        return DecodeFault(
+            reason=getattr(error, "reason", None) or default_reason,
+            message=str(error),
+            timestamp=sample.timestamp,
+            context_id=sample.context_id,
+            function=sample.function,
+            thread=sample.thread,
+        )
+
+    # ------------------------------------------------------------------
     def _decode_segments(
         self,
         sample: CollectedSample,
         dictionary: EncodingDictionary,
     ) -> Tuple[List[_Segment], bool]:
-        """Run Algorithm 1; returns (leaf-first segments, crossed_thread)."""
+        """Run Algorithm 1; returns (leaf-first segments, crossed_thread).
+
+        Every failure raises a :class:`DecodingError` carrying a stable
+        ``reason`` slug, the decode position (``function``, remaining
+        ``context_id``, ``gts``, ``thread``) and ``partial_segments`` —
+        the leaf-most sub-paths decoded before the failure, which
+        :meth:`decode_best_effort` turns into a suffix context.
+        """
         max_id = dictionary.max_id
         id_value = sample.context_id
         ifun = sample.function
@@ -142,18 +239,34 @@ class Decoder:
         guard = 0
         limit = (dictionary.num_nodes + 2) * (sample.ccstack_depth() + 2) + 64
 
+        def fail(reason: str, message: str) -> DecodingError:
+            # Attach the already-decoded leaf-most suffix (including the
+            # in-progress segment) for decode_best_effort.
+            return DecodingError(
+                message,
+                reason=reason,
+                function=ifun,
+                context_id=id_value,
+                gts=sample.timestamp,
+                thread=sample.thread,
+                stack_depth=len(stack),
+                partial_segments=segments + [_Segment(list(current))],
+            )
+
         while True:
             guard += 1
             if guard > limit:
-                raise DecodingError(
-                    "decoding did not terminate after %d rounds" % limit
+                raise fail(
+                    "no-termination",
+                    "decoding did not terminate after %d rounds" % limit,
                 )
 
             # Lines 9-25: consume saved sub-paths from the ccStack.
             while id_value == 0 and onstack:
                 if not stack:
-                    raise DecodingError(
-                        "id marks a saved sub-path but the ccStack is empty"
+                    raise fail(
+                        "ccstack-underflow",
+                        "id marks a saved sub-path but the ccStack is empty",
                     )
                 top = stack[-1]
                 if top.callsite == CLONE_CALLSITE:
@@ -166,8 +279,9 @@ class Decoder:
                         break
                     stack.pop()
                     if stack:
-                        raise DecodingError(
-                            "entries found below the thread-base sentinel"
+                        raise fail(
+                            "entries-below-sentinel",
+                            "entries found below the thread-base sentinel",
                         )
                     segments.append(_Segment(current))
                     return segments, True
@@ -180,16 +294,26 @@ class Decoder:
                     else:
                         caller = self._callsite_owners.get(top.callsite)
                         if caller is None:
-                            raise DecodingError(
+                            raise fail(
+                                "unknown-callsite",
                                 "no edge at callsite %d to %d in dictionary "
                                 "%d and the call site is unknown"
-                                % (top.callsite, ifun, dictionary.timestamp)
+                                % (top.callsite, ifun, dictionary.timestamp),
                             )
                     unit = None
                     if top.count:
-                        unit = self._decode_repetition_unit(
-                            dictionary, caller, top
-                        )
+                        try:
+                            unit = self._decode_repetition_unit(
+                                dictionary, caller, top
+                            )
+                        except DecodingError as error:
+                            error.partial_segments = segments + [
+                                _Segment(list(current), entry=top)
+                            ]
+                            error.details["partial_segments"] = (
+                                error.partial_segments
+                            )
+                            raise
                     segments.append(_Segment(current, entry=top, unit=unit))
                     ifun = caller
                     current = [ContextStep(ifun)]
@@ -218,9 +342,10 @@ class Decoder:
             # Lines 34-36: termination.
             if not stack and id_value == 0:
                 break
-            raise DecodingError(
+            raise fail(
+                "stuck",
                 "stuck decoding at function %d with id %d (stack depth %d)"
-                % (ifun, id_value, len(stack))
+                % (ifun, id_value, len(stack)),
             )
 
         segments.append(_Segment(current))
@@ -246,7 +371,11 @@ class Decoder:
         remaining = entry.id - (dictionary.max_id + 1)
         if remaining < 0:
             raise DecodingError(
-                "compressed ccStack entry %r has an unmarked id" % (entry,)
+                "compressed ccStack entry %r has an unmarked id" % (entry,),
+                reason="unmarked-compressed-id",
+                gts=dictionary.timestamp,
+                context_id=entry.id,
+                function=entry.target,
             )
         ifun = caller
         steps: List[ContextStep] = [ContextStep(ifun)]
@@ -255,7 +384,11 @@ class Decoder:
             guard -= 1
             if guard < 0:
                 raise DecodingError(
-                    "repetition unit of %r did not terminate" % (entry,)
+                    "repetition unit of %r did not terminate" % (entry,),
+                    reason="repetition-no-termination",
+                    gts=dictionary.timestamp,
+                    context_id=entry.id,
+                    function=ifun,
                 )
             matched = None
             for edge in dictionary.encoded_in_edges(ifun):
@@ -266,7 +399,11 @@ class Decoder:
             if matched is None:
                 raise DecodingError(
                     "stuck decoding repetition unit of %r at function %d "
-                    "with id %d" % (entry, ifun, remaining)
+                    "with id %d" % (entry, ifun, remaining),
+                    reason="stuck-repetition",
+                    gts=dictionary.timestamp,
+                    context_id=remaining,
+                    function=ifun,
                 )
             head = steps[0]
             steps[0] = ContextStep(head.function, matched.callsite, head.count)

@@ -138,13 +138,19 @@ class DictionaryStore:
             return self._by_timestamp[timestamp]
         except KeyError:
             raise StaleDictionaryError(
-                "no decoding dictionary for timestamp %d" % timestamp
+                "no decoding dictionary for timestamp %d" % timestamp,
+                reason="stale-dictionary",
+                gts=timestamp,
+                available=sorted(self._by_timestamp),
             ) from None
 
     @property
     def latest(self) -> EncodingDictionary:
         if self._latest is None:
-            raise StaleDictionaryError("no dictionary has been produced yet")
+            raise StaleDictionaryError(
+                "no dictionary has been produced yet",
+                reason="stale-dictionary",
+            )
         return self._latest
 
     def prune(self, before: int) -> int:
@@ -163,6 +169,25 @@ class DictionaryStore:
         ]
         for ts in doomed:
             del self._by_timestamp[ts]
+        return len(doomed)
+
+    def discard_newer(self, timestamp: int) -> int:
+        """Drop dictionaries newer than ``timestamp`` (re-encoding rollback).
+
+        Returns the number removed and re-derives the latest pointer, so
+        an aborted pass leaves the store exactly as it found it.
+        """
+        doomed = [ts for ts in self._by_timestamp if ts > timestamp]
+        for ts in doomed:
+            del self._by_timestamp[ts]
+        if doomed:
+            self._latest = None
+            for dictionary in self._by_timestamp.values():
+                if (
+                    self._latest is None
+                    or dictionary.timestamp >= self._latest.timestamp
+                ):
+                    self._latest = dictionary
         return len(doomed)
 
     def timestamps(self) -> List[int]:

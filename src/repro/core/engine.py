@@ -54,7 +54,7 @@ from .context import CallingContext, CollectedSample, ContextStep
 from .decoder import Decoder
 from .dictionary import DictionaryStore, EncodingDictionary
 from .encoder import Encoder, frequency_order, insertion_order
-from .errors import TraceError
+from .errors import DacceError, ReencodeError, TraceError
 from .events import (
     CallEvent,
     CallKind,
@@ -68,7 +68,9 @@ from .events import (
     ThreadId,
     ThreadStartEvent,
 )
+from .faults import FaultKind, FaultLog, FaultPolicy, FaultRecord, RecoveryAction
 from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
+from .invariants import check_dictionary
 
 logger = logging.getLogger(__name__)
 
@@ -101,6 +103,15 @@ class DacceConfig:
     #: it with the shadow-stack oracle (the paper's §6.1 check, inline).
     #: Failures are counted in ``stats.validation_failures``.
     self_validate: bool = False
+    #: How malformed events are handled: ``STRICT`` raises (the paper's
+    #: semantics), ``RECOVER`` quarantines the event into ``engine.faults``,
+    #: resynchronises the thread and keeps encoding (docs/ROBUSTNESS.md).
+    fault_policy: FaultPolicy = FaultPolicy.STRICT
+    #: Retained quarantine records (older ones are evicted but counted).
+    fault_log_capacity: int = 1024
+    #: Run ``invariants.check_dictionary`` as the commit gate of every
+    #: re-encoding pass; a failing pass is rolled back completely.
+    reencode_commit_gate: bool = True
 
 
 class _Action(enum.Enum):
@@ -212,6 +223,10 @@ class DacceEngine:
         self.policy = AdaptivePolicy(self.config.adaptive)
         self.indirect = IndirectDispatchTable(self.config.hash_threshold)
         self.stats = DacceStats()
+        self.faults = FaultLog(capacity=self.config.fault_log_capacity)
+        # Fault policy behind one boolean (same pattern as telemetry): the
+        # strict hot path pays a single guard per event, nothing else.
+        self._recover = self.config.fault_policy is FaultPolicy.RECOVER
         self.samples: List[CollectedSample] = []
         self.reencode_log: List[ReencodeRecord] = []
         self.thread_parents: Dict[ThreadId, CollectedSample] = {}
@@ -312,6 +327,11 @@ class DacceEngine:
             "Engine shape gauges (graph size, id space, threads).",
             labelnames=("property",),
         )
+        self._c_faults = registry.counter(
+            "faults_total",
+            "Quarantined faults (recover policy), by kind.",
+            labelnames=("kind",),
+        )
 
     def _collect_metrics(self) -> None:
         """Scrape-time migration of the legacy counters onto the registry.
@@ -352,6 +372,8 @@ class DacceEngine:
             ("ccstack_max_depth", ccstack["max_depth"]),
         ):
             self._g_engine.set_labeled(value, name)
+        for kind, count in self.faults.counts_by_kind().items():
+            self._c_faults.set_total(count, kind)
 
     # ------------------------------------------------------------------
     # public API
@@ -375,6 +397,9 @@ class DacceEngine:
             self.on_event(event)
 
     def on_event(self, event: Event) -> None:
+        if self._recover:
+            self._on_event_recover(event)
+            return
         if isinstance(event, CallEvent):
             self.on_call(event)
         elif isinstance(event, ReturnEvent):
@@ -388,7 +413,230 @@ class DacceEngine:
         elif isinstance(event, LibraryLoadEvent):
             pass  # functions become callable; nothing to patch yet
         else:
-            raise TraceError("unknown event %r" % (event,))
+            raise TraceError(
+                "unknown event %r" % (event,),
+                event=repr(event),
+                gts=self._timestamp,
+            )
+
+    # ------------------------------------------------------------------
+    # fault quarantine (recover policy)
+    # ------------------------------------------------------------------
+    def _on_event_recover(self, event: Event) -> None:
+        """Event dispatch under ``FaultPolicy.RECOVER``.
+
+        Malformed events are detected *before* they mutate state where
+        possible, quarantined into ``self.faults``, and the affected
+        thread is resynchronised against its own shadow stack (the
+        paper's ccStack escape hatch: when the compact encoding state is
+        suspect, rebuild it from a stack walk).  Nothing raises.
+        """
+        try:
+            if isinstance(event, CallEvent):
+                state = self._threads.get(event.thread)
+                if state is None:
+                    self._quarantine(
+                        FaultKind.UNKNOWN_THREAD,
+                        "call on unknown thread %d" % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                if state.frames[-1].function != event.caller:
+                    self._recover_caller_mismatch(state, event)
+                    return
+                if event.kind is CallKind.TAIL and len(state.frames) <= 1:
+                    self._quarantine(
+                        FaultKind.TAIL_BOTTOM,
+                        "thread %d: tail call from the bottom frame"
+                        % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                self.on_call(event)
+            elif isinstance(event, ReturnEvent):
+                state = self._threads.get(event.thread)
+                if state is None:
+                    self._quarantine(
+                        FaultKind.UNKNOWN_THREAD,
+                        "return on unknown thread %d" % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                if len(state.frames) <= 1:
+                    self._quarantine(
+                        FaultKind.RETURN_BOTTOM,
+                        "thread %d: return from the bottom frame"
+                        % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                self.on_return(event)
+            elif isinstance(event, SampleEvent):
+                if event.thread not in self._threads:
+                    # The thread-exit-then-sample race: the sampler fired
+                    # after the thread's TLS block was torn down.
+                    self._quarantine(
+                        FaultKind.UNKNOWN_THREAD,
+                        "sample on unknown thread %d" % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                self.on_sample(event)
+            elif isinstance(event, ThreadStartEvent):
+                if event.thread in self._threads:
+                    self._quarantine(
+                        FaultKind.DUPLICATE_THREAD,
+                        "thread %d already exists" % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                if event.parent not in self._threads:
+                    self._quarantine(
+                        FaultKind.UNKNOWN_THREAD,
+                        "thread %d spawned by unknown parent %d"
+                        % (event.thread, event.parent),
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                self.on_thread_start(event)
+            elif isinstance(event, ThreadExitEvent):
+                state = self._threads.get(event.thread)
+                if state is None:
+                    self._quarantine(
+                        FaultKind.UNKNOWN_THREAD,
+                        "exit of unknown thread %d" % event.thread,
+                        thread=event.thread,
+                        event=event,
+                    )
+                    return
+                if len(state.frames) > 1:
+                    # Missed returns: unwind to the bottom frame, resync
+                    # the encoding state, then let the exit proceed.
+                    dropped = len(state.frames) - 1
+                    del state.frames[1:]
+                    self._resync_thread(state)
+                    self._quarantine(
+                        FaultKind.THREAD_EXIT_LIVE_FRAMES,
+                        "thread %d exited with %d live frames"
+                        % (event.thread, dropped + 1),
+                        thread=event.thread,
+                        event=event,
+                        recovery=RecoveryAction.UNWOUND,
+                        dropped_frames=dropped,
+                    )
+                self.on_thread_exit(event)
+            elif isinstance(event, LibraryLoadEvent):
+                pass
+            else:
+                self._quarantine(
+                    FaultKind.UNKNOWN_EVENT,
+                    "unknown event %r" % (event,),
+                    event=event,
+                )
+        except DacceError as error:
+            # Backstop: any inconsistency the pre-checks did not cover
+            # (e.g. a ccStack capacity trap mid-apply).  Quarantine and
+            # resynchronise the thread so encoding can continue.
+            thread = getattr(event, "thread", None)
+            state = self._threads.get(thread) if thread is not None else None
+            if state is not None:
+                self._resync_thread(state)
+            self._quarantine(
+                FaultKind.TRACE_ERROR,
+                str(error),
+                thread=thread,
+                event=event,
+                recovery=(
+                    RecoveryAction.RESYNCED
+                    if state is not None
+                    else RecoveryAction.DROPPED
+                ),
+                error=type(error).__name__,
+            )
+
+    def _recover_caller_mismatch(self, state: _ThreadState, event: CallEvent) -> None:
+        """Quarantine a call whose caller is not the current function.
+
+        If the claimed caller is live deeper in the shadow stack the
+        mismatch is a run of missed returns: unwind to that frame,
+        resynchronise, and apply the call normally.  Otherwise the call
+        has no consistent interpretation and is dropped.
+        """
+        for index in range(len(state.frames) - 2, -1, -1):
+            if state.frames[index].function == event.caller:
+                dropped = len(state.frames) - 1 - index
+                del state.frames[index + 1:]
+                self._resync_thread(state)
+                self._quarantine(
+                    FaultKind.CALLER_MISMATCH,
+                    "thread %d: call from %d reached with %d frames unwound"
+                    % (event.thread, event.caller, dropped),
+                    thread=event.thread,
+                    event=event,
+                    recovery=RecoveryAction.UNWOUND,
+                    dropped_frames=dropped,
+                )
+                self.on_call(event)
+                return
+        self._quarantine(
+            FaultKind.CALLER_MISMATCH,
+            "thread %d: call from %d but current function is %d"
+            % (event.thread, event.caller, state.frames[-1].function),
+            thread=event.thread,
+            event=event,
+            expected_function=state.frames[-1].function,
+        )
+
+    def _resync_thread(self, state: _ThreadState) -> None:
+        """The ccStack escape hatch: rebuild encoding state by stack walk.
+
+        Regenerates the thread's live id and ccStack from its shadow
+        frames under the current dictionary — exactly what the freshly
+        patched instrumentation would have produced — so decoding stays
+        consistent with the shadow stack after a quarantined fault.
+        """
+        self._regenerate_thread(state)
+
+    def _quarantine(
+        self,
+        kind: FaultKind,
+        message: str,
+        thread: Optional[ThreadId] = None,
+        event: Optional[Event] = None,
+        recovery: RecoveryAction = RecoveryAction.DROPPED,
+        **detail,
+    ) -> FaultRecord:
+        """Append one fault to the bounded log; mirror it to telemetry."""
+        record = FaultRecord(
+            kind=kind,
+            message=message,
+            thread=thread,
+            gts=self._timestamp,
+            at_call=self.stats.calls,
+            event=repr(event) if event is not None else None,
+            recovery=recovery,
+            detail=detail,
+        )
+        self.faults.record(record)
+        logger.debug("quarantined fault: %s", message)
+        if self._obs:
+            self.telemetry.emit(
+                "fault",
+                kind=kind.value,
+                thread=thread,
+                gts=self._timestamp,
+                at_call=self.stats.calls,
+                recovery=recovery.value,
+                message=message,
+            )
+        return record
 
     def decoder(self) -> Decoder:
         """A decoder over every dictionary produced so far."""
@@ -406,7 +654,11 @@ class DacceEngine:
         if top.function != event.caller:
             raise TraceError(
                 "thread %d: call from %d but current function is %d"
-                % (event.thread, event.caller, top.function)
+                % (event.thread, event.caller, top.function),
+                thread=event.thread,
+                gts=self._timestamp,
+                event=event,
+                expected_function=top.function,
             )
         self.stats.calls += 1
         self._window.calls += 1
@@ -428,7 +680,10 @@ class DacceEngine:
         state = self._state(event.thread)
         if len(state.frames) <= 1:
             raise TraceError(
-                "thread %d: return from the bottom frame" % event.thread
+                "thread %d: return from the bottom frame" % event.thread,
+                thread=event.thread,
+                gts=self._timestamp,
+                event=event,
             )
         frame = state.frames.pop()
         self.stats.returns += 1
@@ -518,7 +773,12 @@ class DacceEngine:
 
     def on_thread_start(self, event: ThreadStartEvent) -> None:
         if event.thread in self._threads:
-            raise TraceError("thread %d already exists" % event.thread)
+            raise TraceError(
+                "thread %d already exists" % event.thread,
+                thread=event.thread,
+                gts=self._timestamp,
+                event=event,
+            )
         parent = self._state(event.parent)
         # Intercepted ``clone``: record the spawning context (Section 5.3).
         self.thread_parents[event.thread] = CollectedSample(
@@ -561,7 +821,11 @@ class DacceEngine:
         if len(state.frames) > 1:
             raise TraceError(
                 "thread %d exited with %d live frames"
-                % (event.thread, len(state.frames))
+                % (event.thread, len(state.frames)),
+                thread=event.thread,
+                gts=self._timestamp,
+                event=event,
+                live_frames=len(state.frames),
             )
         stats = state.ccstack.stats
         self._retired_ccstack["pushes"] += stats.pushes
@@ -683,6 +947,9 @@ class DacceEngine:
         snapshot["indirect_promotions"] = self.indirect.total_promotions()
         snapshot["trigger_evaluations"] = self.policy.evaluations
         snapshot["telemetry_enabled"] = self._obs
+        snapshot["fault_policy"] = self.config.fault_policy.value
+        snapshot["faults"] = self.faults.total
+        snapshot["faults_by_kind"] = self.faults.counts_by_kind()
         if self._obs:
             snapshot["reencode_passes"] = self.telemetry.pass_reports.to_list()
         return snapshot
@@ -706,7 +973,16 @@ class DacceEngine:
         try:
             return self._threads[thread]
         except KeyError:
-            raise TraceError("unknown thread %d" % thread) from None
+            # Samples racing a thread's exit land here (Section 5.3): the
+            # sampler fires after the TLS block is torn down.  Strict mode
+            # reports it with full context; recover mode quarantines it
+            # (see _on_event_recover).
+            raise TraceError(
+                "unknown thread %d" % thread,
+                thread=thread,
+                gts=self._timestamp,
+                reason="unknown-thread",
+            ) from None
 
     def _runtime_handler(self, event: CallEvent) -> CallEdge:
         """First invocation of a call site/target pair (Section 3.1).
@@ -866,7 +1142,12 @@ class DacceEngine:
         """Replace the top frame (Figure 7); restoration via TcStack."""
         self.stats.tail_calls += 1
         if len(state.frames) <= 1:
-            raise TraceError("tail call from the bottom frame")
+            raise TraceError(
+                "tail call from the bottom frame",
+                thread=event.thread,
+                gts=self._timestamp,
+                event=event,
+            )
         old = state.frames.pop()
         self._tail_calling_functions.add(old.function)
 
@@ -910,8 +1191,8 @@ class DacceEngine:
         self,
         reasons: Tuple[str, ...] = ("manual",),
         decision: Optional[TriggerDecision] = None,
-    ) -> None:
-        """One full adaptive re-encoding pass (Section 4).
+    ) -> bool:
+        """One full adaptive re-encoding pass (Section 4), transactional.
 
         Suspends the world (cost-modelled), reclassifies back edges,
         re-encodes with frequency ordering, re-patches indirect sites,
@@ -919,27 +1200,77 @@ class DacceEngine:
         ccStack under the new dictionary.  When telemetry is enabled a
         structured :class:`~repro.obs.report.ReencodePassReport` records
         the trigger decision, what changed, and the wall-clock cost.
+
+        The pass is a transaction: the new dictionary is built against a
+        snapshot of the mutable state and must pass the commit gate
+        (``invariants.check_dictionary``) before taking effect.  On any
+        failure mid-pass everything is rolled back — ``gTimeStamp``, the
+        dictionary set, back-edge classification, indirect-site patches
+        and every thread's live encoding state — so a failed adaptation
+        can never leave threads straddling two timestamps.  In ``strict``
+        fault policy the rollback re-raises as
+        :class:`~repro.core.errors.ReencodeError`; in ``recover`` the
+        abort is quarantined and the engine keeps the old encoding.
+
+        Returns ``True`` when the pass committed.
         """
         started = time.perf_counter()
         previous_max_id = self._current.max_id
         new_edges = self.graph.num_edges - self._edges_at_last_encode
-        edges_reclassified = 0
-        if self.config.reclassify_back_edges:
-            edges_reclassified = classify_back_edges(self.graph)
-        compressed_edges = self.policy.refresh_compressed_edges()
+        snapshot = self._reencode_snapshot()
+        try:
+            edges_reclassified = 0
+            if self.config.reclassify_back_edges:
+                edges_reclassified = classify_back_edges(self.graph)
+            compressed_edges = self.policy.refresh_compressed_edges()
 
-        self._timestamp += 1
-        order = (
-            frequency_order if self.config.frequency_ordering else insertion_order
-        )
-        encoder = Encoder(order_policy=order, id_bits=self.config.id_bits)
-        self._current = encoder.encode(self.graph, timestamp=self._timestamp)
-        self.dictionaries.add(self._current)
-        self._edges_at_last_encode = self.graph.num_edges
+            self._timestamp += 1
+            order = (
+                frequency_order
+                if self.config.frequency_ordering
+                else insertion_order
+            )
+            encoder = Encoder(order_policy=order, id_bits=self.config.id_bits)
+            self._current = encoder.encode(self.graph, timestamp=self._timestamp)
+            if self.config.reencode_commit_gate:
+                violations = self._commit_gate(self._current)
+                if violations:
+                    raise ReencodeError(
+                        "re-encoding pass %d failed its commit gate: %s"
+                        % (self._timestamp, "; ".join(violations)),
+                        gts=self._timestamp,
+                        violations=list(violations),
+                    )
+            self.dictionaries.add(self._current)
+            self._edges_at_last_encode = self.graph.num_edges
 
-        sites_patched = self._repatch_indirect_sites()
-        for state in self._threads.values():
-            self._regenerate_thread(state)
+            sites_patched = self._repatch_indirect_sites()
+            for state in self._threads.values():
+                self._regenerate_thread(state)
+        except Exception as error:
+            self._rollback_reencode(snapshot)
+            failed_ts = snapshot["timestamp"] + 1
+            if isinstance(error, ReencodeError):
+                failure = error
+            else:
+                failure = ReencodeError(
+                    "re-encoding pass %d failed: %s" % (failed_ts, error),
+                    gts=failed_ts,
+                    cause=repr(error),
+                )
+                failure.__cause__ = error
+            logger.warning(
+                "re-encoding pass %d rolled back: %s", failed_ts, failure
+            )
+            if not self._recover:
+                raise failure
+            self._quarantine(
+                FaultKind.REENCODE_ABORTED,
+                str(failure),
+                recovery=RecoveryAction.ROLLED_BACK,
+                reasons=list(reasons),
+            )
+            return False
 
         cost = (
             self.graph.num_edges * self.cost.parameters.reencode_per_edge
@@ -985,6 +1316,53 @@ class DacceEngine:
                     window=decision.window_dict() if decision else None,
                 )
             )
+        return True
+
+    def _commit_gate(self, dictionary: EncodingDictionary) -> List[str]:
+        """Soundness check gating a re-encoding pass (overridable seam).
+
+        Returns the list of invariant violations; any non-empty result
+        aborts and rolls back the pass.  The fault-injection harness
+        replaces this to force mid-pass failures.
+        """
+        return check_dictionary(dictionary)
+
+    def _reencode_snapshot(self) -> Dict[str, object]:
+        """Capture everything a failed re-encoding pass must restore."""
+        return {
+            "timestamp": self._timestamp,
+            "current": self._current,
+            "edges_at_last_encode": self._edges_at_last_encode,
+            "generation": self.graph.generation,
+            "back_flags": [(edge, edge.is_back) for edge in self.graph.edges()],
+            "compressed": self.policy.compressed_edges,
+            "indirect": self.indirect.snapshot_patches(),
+            # Regeneration replaces the ccstack/frames objects wholesale
+            # (never mutates them in place), so holding references is a
+            # complete snapshot of the per-thread encoding state.
+            "threads": {
+                thread: (state.id_value, state.ccstack, list(state.frames))
+                for thread, state in self._threads.items()
+            },
+        }
+
+    def _rollback_reencode(self, snapshot: Dict[str, object]) -> None:
+        """Restore the exact pre-pass state captured by the snapshot."""
+        self._timestamp = snapshot["timestamp"]
+        self._current = snapshot["current"]
+        self._edges_at_last_encode = snapshot["edges_at_last_encode"]
+        for edge, was_back in snapshot["back_flags"]:
+            edge.is_back = was_back
+        self.graph.generation = snapshot["generation"]
+        self.policy.restore_compressed(snapshot["compressed"])
+        self.dictionaries.discard_newer(snapshot["timestamp"])
+        self.indirect.restore_patches(snapshot["indirect"])
+        for thread, (id_value, ccstack, frames) in snapshot["threads"].items():
+            state = self._threads.get(thread)
+            if state is not None:
+                state.id_value = id_value
+                state.ccstack = ccstack
+                state.frames = frames
 
     def _repatch_indirect_sites(self) -> int:
         """Install per-site target sets ordered hottest-first (Figure 3(d)).

@@ -2,13 +2,42 @@
 
 Every error raised by :mod:`repro` derives from :class:`DacceError` so that
 callers embedding the library can catch a single base class.
+
+Errors are *structured*: raise sites attach the runtime facts a fault
+handler (or a human reading a production log) needs — the affected
+``thread``, the ``gTimeStamp`` (``gts``), the offending ``event`` or
+context id — as keyword arguments.  They are stored both in the
+``details`` mapping and as attributes, so ``error.thread`` works wherever
+the site supplied it and ``error.details`` serialises cleanly into fault
+reports.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 
 class DacceError(Exception):
-    """Base class for all errors raised by the repro package."""
+    """Base class for all errors raised by the repro package.
+
+    ``details`` carries structured context supplied at the raise site
+    (``thread``, ``gts``, ``event``, ``context_id``, ...); each key is
+    also set as an attribute.  Attributes not supplied default to
+    ``None`` via ``__getattr__`` so handlers can probe uniformly.
+    """
+
+    def __init__(self, message: str = "", **details: Any):
+        super().__init__(message)
+        self.details: Dict[str, Any] = details
+        for key, value in details.items():
+            setattr(self, key, value)
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called when normal lookup fails: unknown detail keys read
+        # as None instead of raising, so handlers need no hasattr dance.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return None
 
 
 class CallGraphError(DacceError):
@@ -35,14 +64,21 @@ class EncodingOverflowError(EncodingError):
     def __init__(self, max_id: int, bits: int):
         super().__init__(
             "maximum context id %d does not fit in a %d-bit identifier"
-            % (max_id, bits)
+            % (max_id, bits),
+            max_id=max_id,
+            bits=bits,
         )
-        self.max_id = max_id
-        self.bits = bits
 
 
 class DecodingError(DacceError):
-    """A collected context id could not be decoded into a call path."""
+    """A collected context id could not be decoded into a call path.
+
+    Raise sites attach ``reason`` (a stable machine-readable slug),
+    the decode position (``function``, ``context_id``, ``gts``) and —
+    from inside Algorithm 1 — ``partial_segments``, the leaf-most
+    sub-paths already decoded, which powers
+    :meth:`~repro.core.decoder.Decoder.decode_best_effort`.
+    """
 
 
 class StaleDictionaryError(DecodingError):
@@ -51,6 +87,16 @@ class StaleDictionaryError(DecodingError):
 
 class TraceError(DacceError):
     """The trace executor was driven into an inconsistent state."""
+
+
+class ReencodeError(DacceError):
+    """A re-encoding pass failed its commit gate and was rolled back.
+
+    Raised (in ``strict`` fault policy) after the engine has already
+    restored the pre-pass state: ``gTimeStamp``, dictionary set,
+    back-edge classification, indirect-site patches and every thread's
+    live encoding state are exactly as before the pass started.
+    """
 
 
 class ProgramModelError(DacceError):

@@ -6,24 +6,53 @@ whole point of context encoding is that the logged record is a few words
 instead of a stack walk.  This module provides that log format:
 
 * varint (LEB128) encoding of ids, call sites and counts,
-* delta-encoded timestamps (gTimeStamp changes rarely),
-* ccStack entries serialised inline (most samples have none).
+* ccStack entries serialised inline (most samples have none),
+* per-record framing (length prefix + one CRC byte) so a corrupt or
+  truncated record can be *skipped and reported* instead of poisoning
+  everything after it (format ``DCL2``; the legacy delta-timestamped
+  ``DCL1`` format is still read).
 
 ``SampleLog`` is an append-only in-memory log with ``to_bytes`` /
 ``from_bytes`` round-tripping; the benchmark harness uses it to quantify
-bytes-per-context against the naive full-path representation.
+bytes-per-context against the naive full-path representation.  Passing
+``best_effort=True`` to :meth:`SampleLog.from_bytes` recovers every
+intact record from damaged data and reports the rest as structured
+:class:`SampleLogFault` entries on ``log.faults``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
 
 from .context import CcStackEntry, CollectedSample
 from .errors import DacceError
 
 
 class SampleLogError(DacceError):
-    """Corrupt or truncated sample-log data."""
+    """Corrupt or truncated sample-log data.
+
+    Structured attributes: ``reason`` (stable slug such as
+    ``bad-magic`` / ``truncated`` / ``checksum-mismatch`` /
+    ``corrupt-record``) and ``offset`` (byte position of the damage).
+    """
+
+
+@dataclass(frozen=True)
+class SampleLogFault:
+    """One damaged region skipped during a best-effort load."""
+
+    offset: int
+    reason: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "offset": self.offset,
+            "reason": self.reason,
+            "message": self.message,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -115,19 +144,43 @@ def decode_sample_bytes(
     return sample, offset
 
 
-_MAGIC = b"DCL1"
+#: Current write format: per-record framing, absolute timestamps.
+_MAGIC = b"DCL2"
+#: Legacy read-only format: unframed records, delta timestamps.
+_MAGIC_V1 = b"DCL1"
+
+
+def _record_checksum(payload: bytes) -> int:
+    """One CRC32-derived byte per record — cheap corruption tripwire."""
+    return zlib.crc32(payload) & 0xFF
 
 
 class SampleLog:
-    """Append-only compact log of collected samples."""
+    """Append-only compact log of collected samples.
+
+    The on-disk layout (``DCL2``) frames each record as::
+
+        varint(payload_length) | payload | checksum_byte
+
+    with the timestamp stored *absolute* inside the payload, so a
+    skipped record does not shift the timestamps of everything after
+    it.  ``DCL1`` data (unframed, delta timestamps) is still readable.
+    """
 
     def __init__(self) -> None:
         self._buffer = bytearray(_MAGIC)
         self._count = 0
         self._last_timestamp = 0
+        #: Damage skipped by a best-effort load (empty for clean data).
+        self.faults: List[SampleLogFault] = []
 
     def append(self, sample: CollectedSample) -> None:
-        encode_sample(sample, self._buffer, self._last_timestamp)
+        payload = bytearray()
+        # previous_timestamp=0 ⇒ the stored delta IS the absolute value.
+        encode_sample(sample, payload, 0)
+        write_varint(self._buffer, len(payload))
+        self._buffer += payload
+        self._buffer.append(_record_checksum(bytes(payload)))
         self._last_timestamp = sample.timestamp
         self._count += 1
 
@@ -152,27 +205,130 @@ class SampleLog:
         return bytes(self._buffer)
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "SampleLog":
-        if data[: len(_MAGIC)] != _MAGIC:
-            raise SampleLogError("bad magic")
+    def from_bytes(cls, data: bytes, best_effort: bool = False) -> "SampleLog":
+        """Parse serialised log data.
+
+        Strict mode (the default) raises :class:`SampleLogError` with a
+        structured ``reason``/``offset`` at the first sign of damage.
+        With ``best_effort=True`` every record whose frame and checksum
+        survive is recovered; damaged regions become
+        :class:`SampleLogFault` entries on the returned log's
+        ``faults`` list and the rebuilt buffer contains only the
+        recovered records.
+        """
+        magic = bytes(data[: len(_MAGIC)])
         log = cls()
-        log._buffer = bytearray(data)
-        offset = len(_MAGIC)
-        timestamp = 0
-        count = 0
-        while offset < len(data):
-            sample, offset = decode_sample_bytes(data, offset, timestamp)
-            timestamp = sample.timestamp
-            count += 1
-        log._count = count
-        log._last_timestamp = timestamp
+        if magic == _MAGIC:
+            samples, faults = _parse_v2(data, best_effort)
+        elif magic == _MAGIC_V1:
+            samples, faults = _parse_v1(data, best_effort)
+        else:
+            fault = SampleLogFault(
+                offset=0,
+                reason="bad-magic",
+                message="unrecognised magic %r" % magic,
+            )
+            if not best_effort:
+                raise SampleLogError(
+                    fault.message, reason=fault.reason, offset=0
+                )
+            log.faults.append(fault)
+            return log
+        log.extend(samples)
+        log.faults.extend(faults)
         return log
 
     def __iter__(self) -> Iterator[CollectedSample]:
-        data = bytes(self._buffer)
-        offset = len(_MAGIC)
-        timestamp = 0
-        while offset < len(data):
+        samples, _ = _parse_v2(bytes(self._buffer), best_effort=False)
+        return iter(samples)
+
+
+def _parse_v2(
+    data: bytes, best_effort: bool
+) -> Tuple[List[CollectedSample], List[SampleLogFault]]:
+    samples: List[CollectedSample] = []
+    faults: List[SampleLogFault] = []
+
+    def fail(offset: int, reason: str, message: str) -> bool:
+        """Record (or raise) one fault; returns True to stop parsing."""
+        if not best_effort:
+            raise SampleLogError(message, reason=reason, offset=offset)
+        faults.append(
+            SampleLogFault(offset=offset, reason=reason, message=message)
+        )
+        return True
+
+    offset = len(_MAGIC)
+    while offset < len(data):
+        record_start = offset
+        try:
+            length, offset = read_varint(data, offset)
+        except SampleLogError as error:
+            fail(record_start, "truncated", "truncated frame header: %s" % error)
+            break
+        if length < 0 or offset + length + 1 > len(data):
+            fail(
+                record_start,
+                "truncated",
+                "frame claims %d payload bytes but only %d remain"
+                % (length, len(data) - offset - 1),
+            )
+            break
+        payload = bytes(data[offset : offset + length])
+        stored = data[offset + length]
+        offset += length + 1
+        if _record_checksum(payload) != stored:
+            if fail(
+                record_start,
+                "checksum-mismatch",
+                "record checksum 0x%02x != stored 0x%02x"
+                % (_record_checksum(payload), stored),
+            ):
+                continue
+        try:
+            sample, consumed = decode_sample_bytes(payload, 0)
+            if consumed != len(payload):
+                raise SampleLogError(
+                    "record decoded %d of %d payload bytes"
+                    % (consumed, len(payload))
+                )
+        except SampleLogError as error:
+            fail(record_start, "corrupt-record", str(error))
+            continue
+        samples.append(sample)
+    return samples, faults
+
+
+def _parse_v1(
+    data: bytes, best_effort: bool
+) -> Tuple[List[CollectedSample], List[SampleLogFault]]:
+    """Legacy ``DCL1`` reader: unframed, delta-timestamped records.
+
+    Without framing there is no way to resynchronise after damage, so a
+    best-effort read keeps everything up to the first bad byte and
+    reports a single fault for the rest.
+    """
+    samples: List[CollectedSample] = []
+    faults: List[SampleLogFault] = []
+    offset = len(_MAGIC_V1)
+    timestamp = 0
+    while offset < len(data):
+        record_start = offset
+        try:
             sample, offset = decode_sample_bytes(data, offset, timestamp)
-            timestamp = sample.timestamp
-            yield sample
+        except SampleLogError as error:
+            if not best_effort:
+                raise SampleLogError(
+                    str(error), reason="corrupt-record", offset=record_start
+                ) from None
+            faults.append(
+                SampleLogFault(
+                    offset=record_start,
+                    reason="corrupt-record",
+                    message="%s (v1 log: remainder unrecoverable)" % error,
+                )
+            )
+            break
+        timestamp = sample.timestamp
+        samples.append(sample)
+    return samples, faults

@@ -34,19 +34,41 @@ nothing to stdout (rendering is the CLI's job; see ``dacce decode``).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, Iterator
+import zlib
+from typing import Any, Dict, Iterable, Iterator, List, Union
 
 from .context import CallingContext, CcStackEntry, CollectedSample
 from .decoder import Decoder
 from .dictionary import DictionaryStore, EdgeInfo, EncodingDictionary
 from .errors import DacceError
 from .events import CallKind
+from .faults import PartialDecode
 
-FORMAT_VERSION = 1
+#: Version 2 adds a per-dictionary ``checksum`` field (CRC32 of the
+#: canonical JSON of the dictionary payload).  Version 1 files — no
+#: checksums — are still loadable.
+FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class SerializationError(DacceError):
-    """Invalid or incompatible decoding-state data."""
+    """Invalid or incompatible decoding-state data.
+
+    Structured attributes: ``reason`` (``not-json`` /
+    ``unsupported-format`` / ``checksum-mismatch`` /
+    ``bad-dictionary``) plus context such as ``gts`` where it applies.
+    """
+
+
+def dictionary_checksum(payload: Dict[str, Any]) -> int:
+    """CRC32 over the canonical JSON of one dictionary payload.
+
+    The ``checksum`` key itself is excluded, so the stored value can be
+    verified against the rest of the entry.
+    """
+    trimmed = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(trimmed, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 # ----------------------------------------------------------------------
@@ -106,10 +128,11 @@ def sample_from_dict(data: Dict[str, Any]) -> CollectedSample:
 def decoding_state_to_dict(engine) -> Dict[str, Any]:
     """Everything a future decoder needs, as plain JSON-able data."""
     store = engine.dictionaries
-    dictionaries = [
-        dictionary_to_dict(store.get(ts))
-        for ts in sorted(store._by_timestamp)  # noqa: SLF001
-    ]
+    dictionaries = []
+    for ts in sorted(store._by_timestamp):  # noqa: SLF001
+        entry = dictionary_to_dict(store.get(ts))
+        entry["checksum"] = dictionary_checksum(entry)
+        dictionaries.append(entry)
     return {
         "format": FORMAT_VERSION,
         "dictionaries": dictionaries,
@@ -155,17 +178,54 @@ def dictionary_from_dict(data: Dict[str, Any]) -> EncodingDictionary:
             overflow_bits=data.get("overflow_bits"),
         )
     except (KeyError, ValueError, TypeError) as error:
-        raise SerializationError("bad dictionary data: %s" % error) from error
-
-
-def decoder_from_dict(data: Dict[str, Any]) -> Decoder:
-    if data.get("format") != FORMAT_VERSION:
         raise SerializationError(
-            "unsupported decoding-state format %r" % data.get("format")
+            "bad dictionary data: %s" % error,
+            reason="bad-dictionary",
+            gts=data.get("timestamp"),
+        ) from error
+
+
+def verify_dictionary_entry(entry: Dict[str, Any]) -> None:
+    """Raise :class:`SerializationError` when a v2 checksum fails."""
+    stored = entry.get("checksum")
+    actual = dictionary_checksum(entry)
+    if stored != actual:
+        raise SerializationError(
+            "dictionary ts=%r checksum mismatch (stored %r, computed %d)"
+            % (entry.get("timestamp"), stored, actual),
+            reason="checksum-mismatch",
+            gts=entry.get("timestamp"),
+            stored=stored,
+            actual=actual,
+        )
+
+
+def decoder_from_dict(data: Dict[str, Any], best_effort: bool = False) -> Decoder:
+    version = data.get("format")
+    if version not in _SUPPORTED_VERSIONS:
+        raise SerializationError(
+            "unsupported decoding-state format %r" % version,
+            reason="unsupported-format",
+            format=version,
+            supported=list(_SUPPORTED_VERSIONS),
         )
     store = DictionaryStore()
+    load_faults: List[Dict[str, Any]] = []
     for entry in data["dictionaries"]:
-        store.add(dictionary_from_dict(entry))
+        try:
+            if version >= 2:
+                verify_dictionary_entry(entry)
+            store.add(dictionary_from_dict(entry))
+        except SerializationError as error:
+            if not best_effort:
+                raise
+            load_faults.append(
+                {
+                    "reason": error.reason or "bad-dictionary",
+                    "message": str(error),
+                    "gts": error.gts,
+                }
+            )
     thread_parents = {
         int(thread): sample_from_dict(sample)
         for thread, sample in data.get("thread_parents", {}).items()
@@ -174,28 +234,48 @@ def decoder_from_dict(data: Dict[str, Any]) -> Decoder:
         int(callsite): owner
         for callsite, owner in data.get("callsite_owners", {}).items()
     }
-    return Decoder(store, thread_parents, callsite_owners=owners)
+    decoder = Decoder(store, thread_parents, callsite_owners=owners)
+    #: Dictionaries dropped by a best-effort load (empty when clean).
+    decoder.load_faults = load_faults
+    return decoder
 
 
-def load_decoder(path: str) -> Decoder:
-    """Reconstruct a decoder from an exported decoding-state file."""
+def load_decoder(path: str, best_effort: bool = False) -> Decoder:
+    """Reconstruct a decoder from an exported decoding-state file.
+
+    With ``best_effort=True`` dictionaries that fail their checksum (or
+    fail to parse) are skipped and reported on ``decoder.load_faults``
+    instead of aborting the load; samples tagged with a dropped
+    dictionary's timestamp then surface as stale-dictionary faults at
+    decode time.
+    """
     with open(path) as handle:
         try:
             data = json.load(handle)
         except json.JSONDecodeError as error:
-            raise SerializationError("not a decoding-state file") from error
-    return decoder_from_dict(data)
+            raise SerializationError(
+                "not a decoding-state file", reason="not-json"
+            ) from error
+    return decoder_from_dict(data, best_effort=best_effort)
 
 
 def decode_log(
-    decoder: Decoder, samples: Iterable[CollectedSample]
-) -> Iterator[CallingContext]:
+    decoder: Decoder,
+    samples: Iterable[CollectedSample],
+    best_effort: bool = False,
+) -> Iterator[Union[CallingContext, PartialDecode]]:
     """Lazily decode a recorded sample stream to calling contexts.
 
     The offline counterpart of the engine's live queries: pairs a
     reconstructed decoder with a :class:`~repro.core.samplelog.SampleLog`
     (or any sample iterable) and yields one
-    :class:`~repro.core.context.CallingContext` per record.
+    :class:`~repro.core.context.CallingContext` per record.  With
+    ``best_effort=True`` each record instead yields a
+    :class:`~repro.core.faults.PartialDecode` and undecodable samples
+    degrade to their longest decodable suffix rather than raising.
     """
     for sample in samples:
-        yield decoder.decode(sample)
+        if best_effort:
+            yield decoder.decode_best_effort(sample)
+        else:
+            yield decoder.decode(sample)

@@ -1,0 +1,244 @@
+"""Deterministic fault-policy tests: quarantine semantics per fault class.
+
+The hand-built streams make each malformed-event class hit its specific
+recovery path; the hypothesis sweeps live in ``tests/faultinject``.
+"""
+
+import pytest
+
+from repro.core.engine import DacceConfig, DacceEngine
+from repro.core.errors import StaleDictionaryError, TraceError
+from repro.core.events import (
+    CallEvent,
+    CallKind,
+    ReturnEvent,
+    SampleEvent,
+    ThreadExitEvent,
+    ThreadStartEvent,
+)
+from repro.core.faults import (
+    FaultKind,
+    FaultLog,
+    FaultPolicy,
+    FaultRecord,
+    RecoveryAction,
+)
+from tests.conftest import A, B, C, D, EngineDriver
+
+
+@pytest.fixture
+def recover_engine():
+    return DacceEngine(
+        root=A, config=DacceConfig(fault_policy=FaultPolicy.RECOVER)
+    )
+
+
+@pytest.fixture
+def rdriver(recover_engine):
+    return EngineDriver(recover_engine)
+
+
+# ----------------------------------------------------------------------
+# thread-exit-then-sample race (regression)
+# ----------------------------------------------------------------------
+def test_sample_after_thread_exit_strict_raises_structured():
+    engine = DacceEngine(root=A)
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=B))
+    engine.on_event(ThreadExitEvent(thread=1))
+    with pytest.raises(TraceError) as info:
+        engine.on_event(SampleEvent(thread=1))
+    assert info.value.thread == 1
+    assert info.value.reason == "unknown-thread"
+    assert info.value.gts == engine.timestamp
+
+
+def test_sample_after_thread_exit_recover_quarantines(recover_engine):
+    engine = recover_engine
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=B))
+    engine.on_event(ThreadExitEvent(thread=1))
+    engine.on_event(SampleEvent(thread=1))  # must not raise
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.UNKNOWN_THREAD
+    assert record.thread == 1
+    assert record.recovery is RecoveryAction.DROPPED
+    assert engine.stats.samples == 0
+    # Thread 0 is unaffected.
+    assert engine.on_sample(SampleEvent(thread=0)).context_id == 0
+
+
+# ----------------------------------------------------------------------
+# per-class quarantine semantics
+# ----------------------------------------------------------------------
+def test_caller_mismatch_unwinds_missed_returns(rdriver):
+    engine = rdriver.engine
+    rdriver.call(B)
+    rdriver.call(C)
+    # The instrumentation "missed" C's and B's returns: the next call
+    # claims A as caller while the engine believes it is inside C.
+    engine.on_event(CallEvent(thread=0, callsite=77, caller=A, callee=D))
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.CALLER_MISMATCH
+    assert record.recovery is RecoveryAction.UNWOUND
+    assert record.detail["dropped_frames"] == 2
+    # The call was applied after the unwind; state decodes as A -> D.
+    sample = engine.on_sample(SampleEvent(thread=0))
+    context = engine.decoder().decode(sample)
+    assert [s.function for s in context.steps] == [A, D]
+
+
+def test_caller_mismatch_with_unknown_caller_drops_event(rdriver):
+    engine = rdriver.engine
+    rdriver.call(B)
+    engine.on_event(
+        CallEvent(thread=0, callsite=88, caller=999, callee=C)
+    )
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.CALLER_MISMATCH
+    assert record.recovery is RecoveryAction.DROPPED
+    assert record.detail["expected_function"] == B
+    # Shadow state untouched: still inside B.
+    sample = engine.on_sample(SampleEvent(thread=0))
+    context = engine.decoder().decode(sample)
+    assert [s.function for s in context.steps] == [A, B]
+
+
+def test_return_from_bottom_frame_quarantined(recover_engine):
+    engine = recover_engine
+    engine.on_event(ReturnEvent(thread=0))
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.RETURN_BOTTOM
+    assert engine.live_threads() == [0]
+
+
+def test_tail_call_from_bottom_frame_quarantined(recover_engine):
+    engine = recover_engine
+    engine.on_event(
+        CallEvent(thread=0, callsite=5, caller=A, callee=B, kind=CallKind.TAIL)
+    )
+    assert engine.faults.records()[-1].kind is FaultKind.TAIL_BOTTOM
+    sample = engine.on_sample(SampleEvent(thread=0))
+    assert [s.function for s in engine.decoder().decode(sample).steps] == [A]
+
+
+def test_duplicate_thread_start_quarantined(recover_engine):
+    engine = recover_engine
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=B))
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=C))
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.DUPLICATE_THREAD
+    # First start wins; thread 1 still decodes through entry B.
+    sample = engine.on_sample(SampleEvent(thread=1))
+    steps = engine.decoder().decode(sample).steps
+    assert steps[-1].function == B
+
+
+def test_thread_exit_with_live_frames_unwinds(recover_engine):
+    engine = recover_engine
+    engine.on_event(ThreadStartEvent(thread=1, parent=0, entry=B))
+    engine.on_event(CallEvent(thread=1, callsite=9, caller=B, callee=C))
+    engine.on_event(ThreadExitEvent(thread=1))  # C never returned
+    record = engine.faults.records()[-1]
+    assert record.kind is FaultKind.THREAD_EXIT_LIVE_FRAMES
+    assert record.recovery is RecoveryAction.UNWOUND
+    assert 1 not in engine.live_threads()
+
+
+def test_unknown_event_quarantined(recover_engine):
+    recover_engine.on_event(object())
+    assert recover_engine.faults.records()[-1].kind is FaultKind.UNKNOWN_EVENT
+
+
+def test_strict_unknown_event_raises():
+    engine = DacceEngine(root=A)
+    with pytest.raises(TraceError) as info:
+        engine.on_event(object())
+    assert info.value.event is not None
+
+
+# ----------------------------------------------------------------------
+# fault log mechanics
+# ----------------------------------------------------------------------
+def test_fault_log_is_bounded_but_counts_everything():
+    log = FaultLog(capacity=4)
+    for index in range(10):
+        log.record(
+            FaultRecord(
+                kind=FaultKind.RETURN_BOTTOM,
+                message="fault %d" % index,
+                thread=0,
+                gts=0,
+                at_call=index,
+                event=None,
+                recovery=RecoveryAction.DROPPED,
+            )
+        )
+    assert log.total == 10
+    assert log.dropped == 6
+    assert len(log.records()) == 4
+    assert log.records()[-1].message == "fault 9"
+    assert log.counts_by_kind() == {"return-bottom": 10}
+
+
+def test_faults_surface_in_stats_snapshot(recover_engine):
+    engine = recover_engine
+    engine.on_event(ReturnEvent(thread=0))
+    snapshot = engine.stats_snapshot()
+    assert snapshot["fault_policy"] == "recover"
+    assert snapshot["faults"] == 1
+    assert snapshot["faults_by_kind"] == {"return-bottom": 1}
+    record_dict = engine.faults.to_list()[0]
+    assert record_dict["kind"] == "return-bottom"
+    assert record_dict["recovery"] == "dropped"
+
+
+# ----------------------------------------------------------------------
+# StaleDictionaryError coverage
+# ----------------------------------------------------------------------
+def test_stale_dictionary_error_is_structured(driver):
+    engine = driver.engine
+    driver.call(B)
+    sample = driver.sample()
+    bogus = sample.__class__(
+        timestamp=sample.timestamp + 50,
+        context_id=sample.context_id,
+        function=sample.function,
+        ccstack=sample.ccstack,
+        thread=sample.thread,
+    )
+    with pytest.raises(StaleDictionaryError) as info:
+        engine.decoder().decode(bogus)
+    assert info.value.gts == sample.timestamp + 50
+    assert info.value.available == engine.dictionaries.timestamps()
+    assert info.value.reason == "stale-dictionary"
+
+
+def test_stale_dictionary_survives_export_roundtrip(driver, tmp_path):
+    from repro.core.serialize import export_decoding_state, load_decoder
+
+    engine = driver.engine
+    samples = []
+    # Three encoding generations, one sample each.
+    for callee in (B, C, D):
+        driver.call(callee)
+        samples.append(driver.sample())
+        driver.ret()
+        assert engine.reencode() is True
+    assert len(engine.dictionaries.timestamps()) >= 4
+
+    path = export_decoding_state(engine, str(tmp_path / "state.json"))
+    offline = load_decoder(path)
+    online = engine.decoder()
+    for sample in samples:
+        assert offline.decode(sample) == online.decode(sample)
+    with pytest.raises(StaleDictionaryError) as info:
+        offline.decode(
+            samples[0].__class__(
+                timestamp=999,
+                context_id=0,
+                function=A,
+                ccstack=(),
+                thread=0,
+            )
+        )
+    assert info.value.gts == 999
+    assert info.value.available == engine.dictionaries.timestamps()

@@ -81,8 +81,9 @@ def test_state_is_plain_json(run, tmp_path):
     path = export_decoding_state(engine, str(tmp_path / "state.json"))
     with open(path) as handle:
         data = json.load(handle)
-    assert data["format"] == 1
+    assert data["format"] == 2
     assert len(data["dictionaries"]) == engine.stats.reencodings + 1
+    assert all("checksum" in entry for entry in data["dictionaries"])
     assert data["callsite_owners"]
     assert "1" in data["thread_parents"]
 

@@ -1,0 +1,3 @@
+"""Fault-injection harness: mutate event streams and serialized logs,
+then assert that ``FaultPolicy.RECOVER`` quarantines instead of raising
+and that degraded decoding recovers everything recoverable."""

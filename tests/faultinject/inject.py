@@ -1,0 +1,90 @@
+"""Event-stream and log mutators used by the fault-injection tests.
+
+Two families of faults, matching the two surfaces the robustness layer
+defends:
+
+* **Event faults** (:func:`inject`) — what broken instrumentation
+  produces: dropped/duplicated/reordered events and corrupt ids.
+* **Log faults** (:func:`truncate_log` / :func:`corrupt_log` /
+  :func:`stale_timestamps`) — what a crashed recorder or bad storage
+  produces: truncated byte streams, flipped bytes, and samples tagged
+  with a ``gTimeStamp`` that has no dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.context import CollectedSample
+from repro.core.events import CallEvent, Event
+
+#: Event-level fault classes understood by :func:`inject`.
+FAULT_CLASSES = ("drop", "duplicate", "reorder", "corrupt-id")
+
+#: A function id no generated program ever uses — calls claiming this
+#: caller can never match any shadow frame.
+BOGUS_FUNCTION = 999_983
+#: Offset applied to thread ids by ``corrupt-id`` on non-call events.
+BOGUS_THREAD_OFFSET = 7_919
+
+
+def inject(
+    events: Iterable[Event], faults: Sequence[Tuple[str, int]]
+) -> List[Event]:
+    """Apply ``(kind, position)`` mutations to a copy of ``events``.
+
+    Positions are taken modulo the current stream length, so callers
+    (hypothesis in particular) can draw unconstrained integers.  The
+    input iterable is never modified.
+    """
+    stream = list(events)
+    for kind, position in faults:
+        if not stream:
+            break
+        index = position % len(stream)
+        if kind == "drop":
+            del stream[index]
+        elif kind == "duplicate":
+            stream.insert(index, stream[index])
+        elif kind == "reorder":
+            if len(stream) < 2:
+                continue
+            other = (index + 1) % len(stream)
+            stream[index], stream[other] = stream[other], stream[index]
+        elif kind == "corrupt-id":
+            event = stream[index]
+            if isinstance(event, CallEvent):
+                stream[index] = replace(event, caller=BOGUS_FUNCTION)
+            else:
+                stream[index] = replace(
+                    event, thread=event.thread + BOGUS_THREAD_OFFSET
+                )
+        else:
+            raise ValueError("unknown fault class %r" % kind)
+    return stream
+
+
+def truncate_log(data: bytes, drop_bytes: int) -> bytes:
+    """Cut ``drop_bytes`` off the end — a recorder killed mid-write."""
+    return data[: max(0, len(data) - drop_bytes)]
+
+
+def corrupt_log(data: bytes, offset: int, mask: int = 0xFF) -> bytes:
+    """Flip bits of one byte past the magic — bad storage."""
+    index = 4 + offset % max(1, len(data) - 4)
+    raw = bytearray(data)
+    raw[index] ^= mask
+    return bytes(raw)
+
+
+def stale_timestamps(
+    samples: Iterable[CollectedSample], bogus_gts: int, every: int = 3
+) -> List[CollectedSample]:
+    """Retag every ``every``-th sample with an undecodable timestamp."""
+    out = []
+    for index, sample in enumerate(samples):
+        if index % every == 0:
+            sample = replace(sample, timestamp=bogus_gts)
+        out.append(sample)
+    return out

@@ -1,0 +1,188 @@
+"""Degraded decoding: damaged logs and state files lose only what was hit.
+
+Builds one recorded run (sample log + decoding state), damages it in
+every way the format defends against, and checks that best-effort
+loading/decoding recovers everything outside the damaged region with a
+structured fault for everything inside it.
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import DacceEngine
+from repro.core.errors import StaleDictionaryError
+from repro.core.events import SampleEvent
+from repro.core.faults import PartialDecode
+from repro.core.samplelog import SampleLog, SampleLogError
+from repro.core.serialize import (
+    SerializationError,
+    decode_log,
+    decoder_from_dict,
+    decoding_state_to_dict,
+)
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import ThreadSpec, TraceExecutor, WorkloadSpec
+
+from .inject import corrupt_log, stale_timestamps, truncate_log
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture(scope="module")
+def recording():
+    program = generate_program(
+        GeneratorConfig(
+            seed=21, functions=25, edges=60, recursive_sites=3,
+            indirect_fraction=0.1,
+        )
+    )
+    spec = WorkloadSpec(
+        calls=6_000, seed=5, sample_period=37, recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=600)],
+    )
+    engine = DacceEngine(root=program.main)
+    log = SampleLog()
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        if isinstance(event, SampleEvent):
+            log.append(engine.samples[-1])
+    assert engine.stats.reencodings >= 2  # multiple dictionaries in play
+    return engine, log, decoding_state_to_dict(engine)
+
+
+def test_truncated_log_strict_raises_best_effort_recovers(recording):
+    _, log, _ = recording
+    data = truncate_log(log.to_bytes(), 5)
+    with pytest.raises(SampleLogError) as info:
+        SampleLog.from_bytes(data)
+    assert info.value.reason == "truncated"
+    assert info.value.offset > 0
+
+    recovered = SampleLog.from_bytes(data, best_effort=True)
+    originals = list(log)
+    assert list(recovered) == originals[:-1]
+    assert len(recovered.faults) == 1
+    assert recovered.faults[0].reason == "truncated"
+
+
+def test_corrupt_byte_loses_one_record_not_the_tail(recording):
+    _, log, _ = recording
+    clean = log.to_bytes()
+    data = corrupt_log(clean, offset=len(clean) // 2)
+    recovered = SampleLog.from_bytes(data, best_effort=True)
+    originals = list(log)
+    survivors = list(recovered)
+    assert recovered.faults
+    assert all(f.reason in ("checksum-mismatch", "corrupt-record", "truncated")
+               for f in recovered.faults)
+    # Every survivor is byte-exact one of the original samples, in order.
+    iterator = iter(originals)
+    for sample in survivors:
+        for original in iterator:
+            if original == sample:
+                break
+        else:
+            pytest.fail("recovered sample not in original order: %r" % (sample,))
+    assert len(survivors) >= len(originals) - 2
+
+
+def test_stale_timestamp_strict_vs_best_effort(recording):
+    engine, log, _ = recording
+    decoder = engine.decoder()
+    samples = stale_timestamps(log, bogus_gts=9_999, every=3)
+    partial = complete = 0
+    for index, sample in enumerate(samples):
+        if index % 3 == 0:
+            with pytest.raises(StaleDictionaryError) as info:
+                decoder.decode(sample)
+            assert info.value.gts == 9_999
+            assert info.value.available  # structured: what WAS decodable
+            result = decoder.decode_best_effort(sample)
+            assert isinstance(result, PartialDecode)
+            assert not result.complete
+            assert result.fault.reason == "stale-dictionary"
+            # Degraded result: at least the sampled leaf function.
+            assert result.steps[-1].function == sample.function
+            partial += 1
+        else:
+            result = decoder.decode_best_effort(sample)
+            assert result.complete and result.fault is None
+            assert result.context == decoder.decode(sample)
+            complete += 1
+    assert partial and complete
+
+
+def test_corrupt_state_dictionary_degrades_to_partial(recording):
+    engine, log, state = recording
+    state = json.loads(json.dumps(state))  # deep copy
+    # Damage the newest dictionary: no thread-spawn context references
+    # it, so only samples tagged with that timestamp are affected.
+    bad_ts = state["dictionaries"][-1]["timestamp"]
+    assert bad_ts not in {
+        parent.timestamp for parent in engine.thread_parents.values()
+    }
+    state["dictionaries"][-1]["max_id"] += 1  # silently breaks the checksum
+
+    with pytest.raises(SerializationError) as info:
+        decoder_from_dict(state)
+    assert info.value.reason == "checksum-mismatch"
+    assert info.value.gts == bad_ts
+
+    decoder = decoder_from_dict(state, best_effort=True)
+    assert [f["gts"] for f in decoder.load_faults] == [bad_ts]
+    reference = engine.decoder()
+    hit = missed = 0
+    for result, sample in zip(decode_log(decoder, log, best_effort=True), log):
+        if sample.timestamp == bad_ts:
+            assert not result.complete
+            assert result.fault.reason == "stale-dictionary"
+            missed += 1
+        else:
+            # Samples outside the quarantined window decode exactly.
+            assert result.complete
+            assert result.context == reference.decode(sample)
+            hit += 1
+    assert hit and missed
+
+
+def test_legacy_v1_log_still_readable(recording):
+    from repro.core.samplelog import _MAGIC_V1, encode_sample
+
+    _, log, _ = recording
+    originals = list(log)
+    buffer = bytearray(_MAGIC_V1)
+    previous = 0
+    for sample in originals:
+        encode_sample(sample, buffer, previous)
+        previous = sample.timestamp
+    parsed = SampleLog.from_bytes(bytes(buffer))
+    assert list(parsed) == originals
+    # A truncated v1 log keeps the prefix in best-effort mode.
+    damaged = bytes(buffer[:-3])
+    with pytest.raises(SampleLogError):
+        SampleLog.from_bytes(damaged)
+    recovered = SampleLog.from_bytes(damaged, best_effort=True)
+    assert list(recovered) == originals[:-1]
+    assert recovered.faults[0].reason == "corrupt-record"
+
+
+def test_legacy_v1_state_still_loadable(recording):
+    engine, log, state = recording
+    state = json.loads(json.dumps(state))
+    state["format"] = 1
+    for entry in state["dictionaries"]:
+        del entry["checksum"]
+    decoder = decoder_from_dict(state)
+    reference = engine.decoder()
+    for sample in list(log)[:25]:
+        assert decoder.decode(sample) == reference.decode(sample)
+
+
+def test_bad_magic(recording):
+    with pytest.raises(SampleLogError) as info:
+        SampleLog.from_bytes(b"NOPE" + b"\x00" * 16)
+    assert info.value.reason == "bad-magic"
+    recovered = SampleLog.from_bytes(b"NOPE" + b"\x00" * 16, best_effort=True)
+    assert len(recovered) == 0
+    assert recovered.faults[0].reason == "bad-magic"

@@ -1,0 +1,141 @@
+"""Property tests: ``recover`` never raises, ``strict`` is unchanged.
+
+The stream mutator injects arbitrary combinations of event faults into
+a realistic workload; the recover-policy engine must absorb all of
+them, keep its shadow/encoding states consistent (checked inline by
+``self_validate``), and stay fully operational afterwards.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DacceConfig, DacceEngine
+from repro.core.events import SampleEvent
+from repro.core.faults import FaultPolicy
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import ThreadSpec, TraceExecutor, WorkloadSpec
+
+from .inject import FAULT_CLASSES, inject
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture(scope="module")
+def workload():
+    program = generate_program(
+        GeneratorConfig(
+            seed=11,
+            functions=25,
+            edges=60,
+            recursive_sites=3,
+            indirect_fraction=0.1,
+            tail_fraction=0.05,
+        )
+    )
+    spec = WorkloadSpec(
+        calls=2_000,
+        seed=7,
+        sample_period=31,
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=300)],
+    )
+    return program, list(TraceExecutor(program, spec).events())
+
+
+def _recover_engine(program) -> DacceEngine:
+    return DacceEngine(
+        root=program.main,
+        config=DacceConfig(
+            fault_policy=FaultPolicy.RECOVER, self_validate=True
+        ),
+    )
+
+
+fault_lists = st.lists(
+    st.tuples(
+        st.sampled_from(FAULT_CLASSES),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults=fault_lists)
+def test_recover_never_raises_and_stays_consistent(workload, faults):
+    program, events = workload
+    engine = _recover_engine(program)
+    for event in inject(events, faults):
+        engine.on_event(event)
+
+    # Inline decode-vs-shadow oracle: every sample taken during the
+    # mutated run (outside and after quarantined windows) decoded to
+    # exactly the shadow stack.
+    assert engine.stats.validation_failures == 0
+    # Every quarantined fault carries structured context.
+    for record in engine.faults.records():
+        assert record.kind is not None
+        assert record.message
+        assert record.gts >= 0
+        assert record.recovery is not None
+    # The engine is still operational: live threads sample and decode.
+    decoder = engine.decoder()
+    for thread in engine.live_threads():
+        sample = engine.on_sample(SampleEvent(thread=thread))
+        context = decoder.decode(sample)
+        assert context.steps
+    assert engine.stats.validation_failures == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(faults=fault_lists)
+def test_recover_reports_guaranteed_detectable_faults(workload, faults):
+    """A corrupt id can never look legal — it must be quarantined.
+
+    Restricted to event types where corruption is guaranteed
+    detectable: a bogus caller matches no shadow frame, and a bogus
+    thread id on return/sample/exit hits no live thread.  (A corrupted
+    ThreadStartEvent merely starts a different thread, and library
+    loads carry no checkable state.)
+    """
+    from repro.core.events import LibraryLoadEvent, ThreadStartEvent
+
+    program, events = workload
+    faults = [
+        ("corrupt-id", position)
+        for _, position in faults
+        if not isinstance(
+            events[position % len(events)],
+            (ThreadStartEvent, LibraryLoadEvent),
+        )
+    ]
+    if not faults:
+        return
+    engine = _recover_engine(program)
+    for event in inject(events, faults):
+        engine.on_event(event)
+    assert engine.faults.total > 0
+    for record in engine.faults.records():
+        assert record.kind.value
+        assert record.event is not None
+
+
+def test_strict_mode_unchanged_on_clean_stream(workload):
+    """The fault machinery is invisible when nothing is injected."""
+    program, events = workload
+    strict = DacceEngine(
+        root=program.main, config=DacceConfig(self_validate=True)
+    )
+    recover = _recover_engine(program)
+    for event in events:
+        strict.on_event(event)
+        recover.on_event(event)
+    assert strict.stats.validation_failures == 0
+    assert recover.stats.validation_failures == 0
+    assert recover.faults.total == 0
+    assert strict.samples == recover.samples
+    assert strict.timestamp == recover.timestamp
+    assert strict.max_id == recover.max_id
+    assert strict.stats.reencodings == recover.stats.reencodings
