@@ -22,7 +22,6 @@ from conftest import write_result
 
 def _run(config_name, bench_settings):
     from repro.bench import full_suite
-    from repro.core.adaptive import AdaptiveConfig
     from repro.core.engine import DacceConfig, DacceEngine
     from repro.cost.model import CostModel, CostParameters
     from repro.program.generator import generate_program

@@ -15,7 +15,6 @@ def test_eventlog_reduction(benchmark, bench_settings):
     from repro.analysis.report import render_table
     from repro.bench import full_suite
     from repro.core.engine import DacceEngine
-    from repro.core.events import SampleEvent
     from repro.core.samplelog import SampleLog
     from repro.program.generator import generate_program
     from repro.program.trace import TraceExecutor

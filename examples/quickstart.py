@@ -9,7 +9,6 @@ Run:  python examples/quickstart.py
 """
 
 from repro import DacceEngine, GeneratorConfig, WorkloadSpec, generate_program
-from repro.core.events import SampleEvent
 from repro.program.trace import TraceExecutor
 
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Static warm-start: pre-seed the encoding before the program runs.
+
+DACCE normally discovers the call graph purely at runtime: every new
+edge takes a handler hit, and calls over not-yet-encoded edges push
+ccStack entries until the next re-encoding pass.  A static call-graph
+analysis can predict most direct edges ahead of time, so the engine can
+start from a dictionary that already encodes them — at gTimeStamp 0,
+before the first call executes.
+
+This example extracts the static graph of a synthetic program, builds a
+warm-start plan from its HIGH-confidence edges, and runs the same
+workload cold and warm to show the discovery costs that seeding
+removes.  It finishes with the ``dacce lint`` cross-check: every
+dynamically discovered direct edge must have been statically predicted.
+
+Run:  python examples/static_warmstart.py
+"""
+
+from repro import DacceEngine, GeneratorConfig, WorkloadSpec, generate_program
+from repro.program.trace import run_workload
+from repro.static import build_warmstart, extract_program, lint_engine
+
+
+def main() -> None:
+    program = generate_program(
+        GeneratorConfig(
+            seed=7,
+            recursive_sites=3,
+            indirect_fraction=0.1,
+            tail_fraction=0.05,
+            library_functions=6,
+        )
+    )
+    spec = WorkloadSpec(calls=20_000, seed=11, sample_period=500,
+                        recursion_affinity=0.4)
+
+    # --- static analysis -------------------------------------------------
+    static_graph = extract_program(program)
+    print("static analysis:")
+    print("  functions          :", static_graph.num_functions)
+    print("  edges              :", static_graph.num_edges)
+    for confidence, count in static_graph.confidence_histogram().items():
+        print("  %-19s: %d" % ("confidence " + confidence, count))
+
+    plan = build_warmstart(static_graph)
+    print("  seeded (HIGH) edges:", plan.seeded_edges)
+
+    # --- cold start: everything discovered at runtime --------------------
+    cold = DacceEngine(root=program.main)
+    run_workload(program, spec, cold)
+
+    # --- warm start: static edges encoded at gTimeStamp 0 ----------------
+    warm = DacceEngine(warm_start=plan)
+    run_workload(program, spec, warm)
+
+    print("\ndiscovery costs, cold vs warm:")
+    rows = [
+        ("handler invocations", cold.stats.handler_invocations,
+         warm.stats.handler_invocations),
+        ("unencoded calls", cold.stats.unencoded_calls,
+         warm.stats.unencoded_calls),
+        ("discovery ccStack ops", cold.stats.discovery_ccstack_ops,
+         warm.stats.discovery_ccstack_ops),
+        ("re-encoding passes", cold.stats.reencodings,
+         warm.stats.reencodings),
+    ]
+    for label, before, after in rows:
+        saved = 100.0 * (before - after) / before if before else 0.0
+        print("  %-22s: %6d -> %6d  (-%.0f%%)" % (label, before, after, saved))
+    print("  handler hits avoided  : %d (seeded edges first seen live)"
+          % warm.stats.warmstart_handler_hits_avoided)
+
+    # --- decode check: warm contexts are as sound as cold ones -----------
+    decoder = warm.decoder()
+    context = decoder.decode(warm.samples[-1])
+    print("\nlast warm sample decodes to %d frames" % len(context.steps))
+
+    # --- lint cross-check ------------------------------------------------
+    findings = lint_engine(warm, static_graph=static_graph)
+    errors = [f for f in findings if f.severity.value == "error"]
+    print("\nlint cross-check: %d finding(s), %d error(s)"
+          % (len(findings), len(errors)))
+    for finding in findings:
+        print("  " + finding.render())
+    if errors:
+        raise SystemExit(1)
+    print("warm start verified: no unexplained dynamic edges")
+
+
+if __name__ == "__main__":
+    main()

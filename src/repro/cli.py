@@ -160,6 +160,23 @@ def cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
+def _record_program(seed: int):
+    """The synthetic program ``dacce record`` runs for a given seed.
+
+    ``dacce static --record-seed N`` must rebuild the *same* program so
+    its static graph shares the recording's id space — keep the two in
+    lockstep.
+    """
+    return generate_program(
+        GeneratorConfig(
+            seed=seed,
+            recursive_sites=3,
+            indirect_fraction=0.1,
+            library_functions=6,
+        )
+    )
+
+
 def cmd_record(args) -> int:
     """Run a synthetic workload; write a compact log + decoding state.
 
@@ -171,14 +188,7 @@ def cmd_record(args) -> int:
     from .core.samplelog import SampleLog
     from .core.serialize import export_decoding_state
 
-    program = generate_program(
-        GeneratorConfig(
-            seed=args.seed,
-            recursive_sites=3,
-            indirect_fraction=0.1,
-            library_functions=6,
-        )
-    )
+    program = _record_program(args.seed)
     spec = WorkloadSpec(
         calls=args.calls,
         seed=args.seed + 1,
@@ -344,6 +354,104 @@ def cmd_doctor(args) -> int:
     return 0
 
 
+def cmd_static(args) -> int:
+    """Extract a static call graph and save it for ``dacce lint``.
+
+    Three extraction modes: ``--source DIR`` runs the AST extractor over
+    a Python source tree; ``--benchmark NAME`` runs the exact extractor
+    over a synthetic benchmark program (the one ``dacce table1`` &c.
+    drive); ``--record-seed N`` extracts the exact program a
+    ``dacce record --seed N`` run executed, so ``dacce lint --static``
+    can cross-check that recording (the graphs must describe the same
+    program — ids from unrelated programs produce meaningless findings).
+    """
+    from .static import extract_package, extract_program
+
+    modes = [
+        args.source is not None,
+        args.benchmark is not None,
+        args.record_seed is not None,
+    ]
+    if sum(modes) != 1:
+        raise SystemExit(
+            "pass exactly one of --source, --benchmark, or --record-seed"
+        )
+    if args.source:
+        graph = extract_package(args.source)
+    elif args.record_seed is not None:
+        graph = extract_program(_record_program(args.record_seed))
+    else:
+        suite = full_suite()
+        if args.benchmark not in suite.names():
+            raise SystemExit(
+                "unknown benchmark %r\navailable: %s"
+                % (args.benchmark, ", ".join(suite.names()))
+            )
+        benchmark = suite.get(args.benchmark)
+        program = generate_program(benchmark.generator_config(args.scale))
+        graph = extract_program(program)
+    graph.save(args.output)
+    histogram = graph.confidence_histogram()
+    print(
+        "static graph: %d functions, %d edges (%s), %d unresolved sites"
+        % (
+            graph.num_functions,
+            graph.num_edges,
+            ", ".join("%s=%d" % (k, v) for k, v in histogram.items()),
+            len(graph.unresolved),
+        )
+    )
+    print("wrote %s" % args.output)
+    return 0
+
+
+def cmd_lint(args) -> int:
+    """Verify persisted encoding state; cross-check against a static graph.
+
+    Runs the full invariant suite over every dictionary in the state
+    file, scans for id-space hazards and dead encoded edges, and — when
+    ``--static`` supplies an extracted graph — verifies that every
+    dynamically discovered direct edge was statically predicted (misses
+    are static-extractor bugs, reported with source locations).  Exits
+    non-zero iff any error-severity finding survives.
+    """
+    from .static import Severity, StaticCallGraph, has_errors, lint_state
+    from .static.graph import StaticAnalysisError
+
+    try:
+        with open(args.state) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print("FAULT: state file unreadable: %s" % error)
+        return 1
+
+    static_graph = None
+    if args.static:
+        try:
+            static_graph = StaticCallGraph.load(args.static)
+        except (OSError, StaticAnalysisError) as error:
+            print("FAULT: static graph unreadable: %s" % error)
+            return 1
+
+    findings = lint_state(
+        data, static_graph=static_graph, margin_bits=args.margin_bits
+    )
+    for finding in findings:
+        print(finding.render())
+    by_severity = {severity: 0 for severity in Severity}
+    for finding in findings:
+        by_severity[finding.severity] += 1
+    print(
+        "lint: %d error(s), %d warning(s), %d info"
+        % (
+            by_severity[Severity.ERROR],
+            by_severity[Severity.WARNING],
+            by_severity[Severity.INFO],
+        )
+    )
+    return 1 if has_errors(findings) else 0
+
+
 def _telemetry_workload(args):
     """A synthetic workload shared by ``metrics`` and ``trace``.
 
@@ -502,6 +610,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--state", required=True)
     p.add_argument("--log", default=None)
     p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser(
+        "static",
+        help="extract a static call graph (AST or synthetic) to a file",
+    )
+    p.add_argument("--source", default=None,
+                   help="Python source tree to analyze")
+    p.add_argument("--benchmark", default=None,
+                   help="synthetic benchmark name to extract exactly")
+    p.add_argument("--record-seed", type=int, default=None,
+                   help="extract the program of `dacce record --seed N`")
+    p.add_argument("--scale", type=float, default=0.4)
+    p.add_argument("--output", default="dacce-static.json")
+    p.set_defaults(fn=cmd_static)
+
+    p = sub.add_parser(
+        "lint",
+        help="verify persisted encoding state against invariants "
+             "and an optional static call graph",
+    )
+    p.add_argument("--state", required=True)
+    p.add_argument("--static", default=None,
+                   help="static graph file from `dacce static`")
+    p.add_argument("--margin-bits", type=int, default=8,
+                   help="id-space headroom (bits) below which to warn")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
         "metrics",

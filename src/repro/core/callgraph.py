@@ -37,6 +37,9 @@ class CallEdge:
     kind: CallKind = CallKind.NORMAL
     is_back: bool = False
     invocations: int = 0
+    #: True when the edge entered the graph through static warm-start
+    #: seeding rather than runtime discovery (Section 3 handler).
+    seeded: bool = False
 
     def key(self) -> Tuple[CallSiteId, FunctionId]:
         """Identity of the edge: a call site plus a concrete target.
@@ -269,6 +272,7 @@ class CallGraph:
                 force_back=edge.is_back,
             )
             new.invocations = edge.invocations
+            new.seeded = edge.seeded
         return clone
 
     @staticmethod

@@ -37,7 +37,16 @@ import enum
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..cost.model import CostModel
 from ..obs import NULL_TELEMETRY, ReencodePassReport, Telemetry
@@ -53,7 +62,7 @@ from .ccstack import CLONE_CALLSITE, CcStack
 from .context import CallingContext, CollectedSample, ContextStep
 from .decoder import Decoder
 from .dictionary import DictionaryStore, EncodingDictionary
-from .encoder import Encoder, frequency_order, insertion_order
+from .encoder import EdgeOrderPolicy, Encoder, frequency_order, insertion_order
 from .errors import DacceError, ReencodeError, TraceError
 from .events import (
     CallEvent,
@@ -71,6 +80,9 @@ from .events import (
 from .faults import FaultKind, FaultLog, FaultPolicy, FaultRecord, RecoveryAction
 from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
 from .invariants import check_dictionary
+
+if TYPE_CHECKING:  # imported lazily: repro.static depends on repro.core
+    from ..static.warmstart import WarmStartPlan
 
 logger = logging.getLogger(__name__)
 
@@ -194,6 +206,12 @@ class DacceStats:
     #: (bounded per edge by the re-encoding latency; excluded from the
     #: steady-state ccStack rate of Table 1).
     discovery_ccstack_ops: int = 0
+    #: Edges pre-encoded at gTimeStamp 0 from the static warm-start plan.
+    static_seeded_edges: int = 0
+    #: First invocations that landed on a seeded edge — each one is a
+    #: runtime-handler call (plus the discovery ccStack traffic until the
+    #: next re-encoding pass) that cold-start DACCE would have paid.
+    warmstart_handler_hits_avoided: int = 0
 
     @property
     def gts(self) -> int:
@@ -210,12 +228,24 @@ class DacceEngine:
         config: Optional[DacceConfig] = None,
         cost_model: Optional[CostModel] = None,
         graph: Optional[CallGraph] = None,
-        initial_order_policy=insertion_order,
+        initial_order_policy: EdgeOrderPolicy = insertion_order,
         telemetry: Optional[Telemetry] = None,
+        warm_start: Optional["WarmStartPlan"] = None,
     ):
         self.config = config or DacceConfig()
         self.cost = cost_model or CostModel()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if warm_start is not None:
+            if graph is not None:
+                raise DacceError(
+                    "pass either graph or warm_start, not both"
+                )
+            if warm_start.dictionary.timestamp != 0:
+                raise DacceError(
+                    "warm-start dictionary must be at gTimeStamp 0, got %d"
+                    % warm_start.dictionary.timestamp
+                )
+            graph = warm_start.graph
         self.graph = graph if graph is not None else CallGraph(root)
         if graph is not None:
             root = graph.root
@@ -233,7 +263,7 @@ class DacceEngine:
         self._timestamp = 0
         self._window = WindowStats()
         self._edges_at_last_encode = 0
-        self._tail_calling_functions: set = set()
+        self._tail_calling_functions: Set[FunctionId] = set()
         self._threads: Dict[ThreadId, _ThreadState] = {}
         # ccStack counters of threads that already exited (Table 1 sums
         # traffic over the whole run, not just live threads).
@@ -246,13 +276,21 @@ class DacceEngine:
         }
 
         # Initial encoding: a graph containing only ``main`` (Section 6.1)
-        # for DACCE; subclasses may pass a pre-populated (static) graph.
+        # for DACCE; a warm-start plan instead supplies a pre-validated
+        # gTimeStamp-0 dictionary over the static subgraph, and subclasses
+        # may pass a pre-populated graph.
         self._encoder = Encoder(
             order_policy=initial_order_policy, id_bits=self.config.id_bits
         )
-        self._current = self._encoder.encode(self.graph, timestamp=0)
+        self._warm = warm_start is not None
+        if warm_start is not None:
+            self._current = warm_start.dictionary
+        else:
+            self._current = self._encoder.encode(self.graph, timestamp=0)
         self._edges_at_last_encode = self.graph.num_edges
         self.dictionaries.add(self._current)
+        if warm_start is not None:
+            self._apply_warmstart(warm_start)
         self._threads[0] = _ThreadState(
             thread=0,
             id_value=0,
@@ -273,6 +311,25 @@ class DacceEngine:
         self._obs = bool(self.telemetry.enabled)
         if self._obs:
             self._init_telemetry()
+
+    # ------------------------------------------------------------------
+    # warm-start wiring
+    # ------------------------------------------------------------------
+    def _apply_warmstart(self, plan: "WarmStartPlan") -> None:
+        """Prime the runtime structures the handler would have built.
+
+        Seeded indirect sites get their target lists patched up front
+        (hottest-first ordering is meaningless at call 0, so the static
+        order stands until the first re-encoding pass), and functions
+        statically known to tail-call are pre-registered so their callers
+        save the TcStack context from the very first call (Figure 7).
+        """
+        self.stats.static_seeded_edges = plan.seeded_edges
+        for callsite, targets in plan.indirect_sites().items():
+            self.indirect.site(callsite).patch(
+                targets, hash_threshold=self.config.hash_threshold
+            )
+        self._tail_calling_functions.update(plan.tail_callers())
 
     # ------------------------------------------------------------------
     # telemetry wiring
@@ -352,6 +409,11 @@ class DacceEngine:
             ("reencodings", stats.reencodings),
             ("validation_failures", stats.validation_failures),
             ("discovery_ccstack_ops", stats.discovery_ccstack_ops),
+            ("static_seeded_edges", stats.static_seeded_edges),
+            (
+                "warmstart_handler_hits_avoided",
+                stats.warmstart_handler_hits_avoided,
+            ),
         ):
             self._c_stats.set_total(value, name)
         ccstack = self.ccstack_stats()
@@ -669,6 +731,10 @@ class DacceEngine:
         edge = self.graph.find_edge(event.callsite, event.callee)
         if edge is None:
             edge = self._runtime_handler(event)
+        elif self._warm and edge.seeded and edge.invocations == 0:
+            # Cold-start DACCE would have entered the runtime handler
+            # here; the warm-start seed already encoded this edge.
+            self.stats.warmstart_handler_hits_avoided += 1
         edge.invocations += 1
 
         if event.kind is CallKind.TAIL:
@@ -929,6 +995,10 @@ class DacceEngine:
             "gts": self._timestamp,
             "reencodings": self.stats.reencodings,
             "handler_invocations": self.stats.handler_invocations,
+            "static_seeded_edges": self.stats.static_seeded_edges,
+            "warmstart_handler_hits_avoided": (
+                self.stats.warmstart_handler_hits_avoided
+            ),
             "live_threads": len(self._threads),
             "ccstack": self.ccstack_stats(),
             "indirect_sites": len(self.indirect),
@@ -1327,7 +1397,7 @@ class DacceEngine:
         """
         return check_dictionary(dictionary)
 
-    def _reencode_snapshot(self) -> Dict[str, object]:
+    def _reencode_snapshot(self) -> Dict[str, Any]:
         """Capture everything a failed re-encoding pass must restore."""
         return {
             "timestamp": self._timestamp,
@@ -1346,7 +1416,7 @@ class DacceEngine:
             },
         }
 
-    def _rollback_reencode(self, snapshot: Dict[str, object]) -> None:
+    def _rollback_reencode(self, snapshot: Dict[str, Any]) -> None:
         """Restore the exact pre-pass state captured by the snapshot."""
         self._timestamp = snapshot["timestamp"]
         self._current = snapshot["current"]

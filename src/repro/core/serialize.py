@@ -143,6 +143,24 @@ def decoding_state_to_dict(engine) -> Dict[str, Any]:
             str(thread): sample_to_dict(sample)
             for thread, sample in engine.thread_parents.items()
         },
+        # Additive sections (still format 2 — older loaders ignore them).
+        # ``config`` carries what offline verification needs to reason
+        # about the id space; ``edge_stats`` carries the dynamic edge
+        # list with invocation counts, which powers the ``dacce lint``
+        # cross-check against a static call graph and the dead-edge scan.
+        "config": {"id_bits": engine.config.id_bits},
+        "edge_stats": [
+            {
+                "caller": edge.caller,
+                "callee": edge.callee,
+                "callsite": edge.callsite,
+                "kind": edge.kind.value,
+                "is_back": edge.is_back,
+                "seeded": edge.seeded,
+                "invocations": edge.invocations,
+            }
+            for edge in engine.graph.edges()
+        ],
     }
 
 

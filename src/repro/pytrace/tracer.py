@@ -74,6 +74,8 @@ class PythonDacceTracer:
         self,
         config: Optional[DacceConfig] = None,
         sample_every: int = 0,
+        static_graph: Optional[Any] = None,
+        source_root: Optional[str] = None,
     ):
         self.engine = DacceEngine(root=ROOT_FUNCTION, config=config)
         self.sample_every = sample_every
@@ -85,6 +87,35 @@ class PythonDacceTracer:
         self._callsites: Dict[Tuple[int, int], int] = {}
         self._next_function = ROOT_FUNCTION + 1
         self._next_callsite = 1
+        # Code-object -> static-function-id mapping.  With a
+        # ``StaticCallGraph`` (from ``repro.static``) and the source root
+        # it was extracted from, traced functions take the *static* ids,
+        # so dynamic edges line up with static edges for the lint
+        # cross-check.  The graph's ids must avoid ``ROOT_FUNCTION``
+        # (allocate the FunctionIndex with ``first_id=1``); an id-0 entry
+        # is indistinguishable from the tracing root and is skipped.
+        self._static_ids: Dict[Tuple[str, str, int], int] = {}
+        self._source_root = ""
+        self.static_hits = 0
+        if static_graph is not None:
+            if source_root is None:
+                raise TraceError(
+                    "static_graph requires source_root to map filenames"
+                )
+            self._source_root = os.path.abspath(source_root)
+            highest = ROOT_FUNCTION
+            for fn in static_graph.functions():
+                if fn.id == ROOT_FUNCTION:
+                    continue
+                name = fn.qualname.rsplit(".", 1)[-1]
+                self._static_ids[(fn.module, name, fn.firstlineno)] = fn.id
+                self._function_names[fn.id] = FunctionInfo(
+                    fn.id, fn.qualname, fn.module, fn.firstlineno
+                )
+                highest = max(highest, fn.id)
+            # Dynamically discovered functions must not collide with the
+            # statically allocated id range.
+            self._next_function = highest + 1
         #: Frames we have emitted CallEvents for, bottom first.
         self._live_frames: List[FrameType] = []
         self._active = False
@@ -97,16 +128,43 @@ class PythonDacceTracer:
     def _function_id(self, code: CodeType) -> int:
         info = self._functions.get(code)
         if info is None:
+            assigned = self._static_function_id(code)
+            if assigned is None:
+                assigned = self._next_function
+                self._next_function += 1
+            else:
+                self.static_hits += 1
             info = FunctionInfo(
-                self._next_function,
+                assigned,
                 code.co_name,
                 code.co_filename,
                 code.co_firstlineno,
             )
             self._functions[code] = info
             self._function_names[info.id] = info
-            self._next_function += 1
         return info.id
+
+    def _static_function_id(self, code: CodeType) -> Optional[int]:
+        """The static id of ``code``, when a static mapping is loaded.
+
+        Matching is exact: the dotted module name (derived from the
+        filename relative to the source root) plus the bare function
+        name plus ``co_firstlineno`` — which the extractor computed
+        decorator-adjusted, the way live code objects report it.
+        """
+        if not self._static_ids:
+            return None
+        filename = os.path.abspath(code.co_filename)
+        if not filename.startswith(self._source_root + os.sep):
+            return None
+        from ..static.pyextract import MODULE_BODY, module_name_for
+
+        module = module_name_for(filename, self._source_root)
+        if code.co_name == "<module>":
+            return self._static_ids.get((module, MODULE_BODY, 0))
+        return self._static_ids.get(
+            (module, code.co_name, code.co_firstlineno)
+        )
 
     def _callsite_id(self, caller: int, lasti: int) -> int:
         key = (caller, lasti)

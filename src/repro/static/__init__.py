@@ -1,0 +1,73 @@
+"""Static call-graph analysis for DACCE: extraction, seeding, lint.
+
+Three layers, consumed independently:
+
+* **extraction** — :mod:`~repro.static.pyextract` builds a
+  :class:`StaticCallGraph` from real Python source by AST analysis
+  (with :class:`IncrementalAnalyzer` for hash-gated re-analysis), and
+  :mod:`~repro.static.synthetic` builds an *exact* one from the
+  synthetic ``repro.program`` model;
+* **warm-start** — :func:`build_warmstart` turns the high-confidence
+  subgraph into a pre-validated gTimeStamp-0 encoding that
+  :class:`~repro.core.engine.DacceEngine` accepts at construction;
+* **lint** — :func:`lint_state` verifies persisted decoding state and
+  cross-checks the dynamic graph against the static one.
+"""
+
+from .graph import (
+    Confidence,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+    UnresolvedSite,
+)
+from .incremental import IncrementalAnalyzer, RefreshStats
+from .lint import (
+    DEFAULT_MARGIN_BITS,
+    LintFinding,
+    Severity,
+    has_errors,
+    lint_engine,
+    lint_state,
+)
+from .pyextract import (
+    FunctionIndex,
+    ModuleSummary,
+    extract_package,
+    link_summaries,
+    module_name_for,
+    summarize_file,
+    summarize_source,
+)
+from .synthetic import extract_program, lazy_functions
+from .warmstart import WarmStartError, WarmStartPlan, build_warmstart
+
+__all__ = [
+    "Confidence",
+    "StaticAnalysisError",
+    "StaticCallGraph",
+    "StaticEdge",
+    "StaticFunction",
+    "UnresolvedSite",
+    "IncrementalAnalyzer",
+    "RefreshStats",
+    "DEFAULT_MARGIN_BITS",
+    "LintFinding",
+    "Severity",
+    "has_errors",
+    "lint_engine",
+    "lint_state",
+    "FunctionIndex",
+    "ModuleSummary",
+    "extract_package",
+    "link_summaries",
+    "module_name_for",
+    "summarize_file",
+    "summarize_source",
+    "extract_program",
+    "lazy_functions",
+    "WarmStartError",
+    "WarmStartPlan",
+    "build_warmstart",
+]

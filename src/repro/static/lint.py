@@ -1,0 +1,286 @@
+"""``dacce lint`` — offline verification of persisted encoding state.
+
+The decoder trusts its inputs: a corrupted dictionary that still parses
+will send Algorithm 1 down a wrong interval and produce a *plausible but
+false* calling context.  The lint pass is the line of defense in front
+of that — it loads a persisted state file (``dacce record`` /
+:func:`~repro.core.serialize.export_decoding_state`) and runs every
+check that does not need the original process:
+
+========================  ========  ====================================
+rule                      severity  meaning
+========================  ========  ====================================
+``state-format``          error     unknown decoding-state version
+``checksum``              error     stored dictionary CRC does not match
+``invariants``            error     ``check_dictionary`` violation —
+                                    acyclicity, numCC sums, interval
+                                    partition, maxID (DESIGN.md §2)
+``dynamic-unexplained``   error     a dynamically discovered direct edge
+                                    that static analysis should have
+                                    seen — a static-extractor bug,
+                                    reported with the caller's source
+                                    location
+``id-space``              warning   ``numCC`` peak is close enough to
+                                    the ``maxID+1`` flag range that the
+                                    id width is at risk (error once the
+                                    encoding actually overflowed)
+``dead-encoded-edge``     info      encoded edges never invoked —
+                                    expected for warm-start seeds, worth
+                                    auditing for over-approximation
+========================  ========  ====================================
+
+``dynamic-unexplained`` only fires when a static graph is supplied, and
+only for edge kinds static analysis claims to resolve: a dynamic edge of
+``INDIRECT``/``TAIL``/``PLT`` kind (or a ccStack-handled back edge) is
+excused — missing those is the documented contract, not a bug.  Edges
+whose endpoints are outside the analyzed function set are likewise out
+of scope.
+
+Findings are data (:class:`LintFinding`); rendering and exit codes are
+the CLI's job.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.events import CallKind
+from ..core.invariants import check_dictionary
+from ..core.serialize import (
+    SerializationError,
+    _SUPPORTED_VERSIONS,
+    dictionary_from_dict,
+    verify_dictionary_entry,
+)
+from .graph import StaticCallGraph
+
+#: Default distance (in bits) from the id width at which the flag-range
+#: headroom warning fires.  The runtime needs ids up to ``2*maxID + 1``;
+#: 8 bits of slack means another ~256x growth in numCC still fits.
+DEFAULT_MARGIN_BITS = 8
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint result: a rule, a severity, and where it fired."""
+
+    rule: str
+    severity: Severity
+    message: str
+    gts: Optional[int] = None
+    location: Optional[str] = None
+
+    def render(self) -> str:
+        prefix = "%s [%s]" % (self.rule, self.severity.value)
+        where = ""
+        if self.gts is not None:
+            where += " ts=%d" % self.gts
+        if self.location:
+            where += " at %s" % self.location
+        return "%s%s: %s" % (prefix, where, self.message)
+
+
+def has_errors(findings: List[LintFinding]) -> bool:
+    return any(f.severity is Severity.ERROR for f in findings)
+
+
+def lint_state(
+    data: Dict[str, Any],
+    static_graph: Optional[StaticCallGraph] = None,
+    margin_bits: int = DEFAULT_MARGIN_BITS,
+) -> List[LintFinding]:
+    """Run every lint rule over one parsed decoding-state document."""
+    if static_graph is not None and not isinstance(
+        static_graph, StaticCallGraph
+    ):
+        # A runtime CallGraph here would "work" until the cross-check
+        # dereferences StaticFunction fields; fail at the boundary.
+        raise TypeError(
+            "static_graph must be a StaticCallGraph, got %s"
+            % type(static_graph).__name__
+        )
+    findings: List[LintFinding] = []
+    version = data.get("format")
+    if version not in _SUPPORTED_VERSIONS:
+        findings.append(
+            LintFinding(
+                rule="state-format",
+                severity=Severity.ERROR,
+                message="unsupported decoding-state format %r" % (version,),
+            )
+        )
+        return findings
+
+    id_bits = int(data.get("config", {}).get("id_bits", 64))
+    dictionaries = []
+    for entry in data.get("dictionaries", []):
+        ts = entry.get("timestamp")
+        if version >= 2:
+            try:
+                verify_dictionary_entry(entry)
+            except SerializationError as error:
+                findings.append(
+                    LintFinding(
+                        rule="checksum",
+                        severity=Severity.ERROR,
+                        message=str(error),
+                        gts=ts,
+                    )
+                )
+                continue
+        try:
+            dictionary = dictionary_from_dict(entry)
+        except SerializationError as error:
+            findings.append(
+                LintFinding(
+                    rule="invariants",
+                    severity=Severity.ERROR,
+                    message="dictionary does not parse: %s" % error,
+                    gts=ts,
+                )
+            )
+            continue
+        dictionaries.append(dictionary)
+        for violation in check_dictionary(dictionary):
+            findings.append(
+                LintFinding(
+                    rule="invariants",
+                    severity=Severity.ERROR,
+                    message=violation,
+                    gts=dictionary.timestamp,
+                )
+            )
+        findings.extend(_check_id_space(dictionary, id_bits, margin_bits))
+
+    edge_stats = data.get("edge_stats")
+    if edge_stats is not None and dictionaries:
+        latest = max(dictionaries, key=lambda d: d.timestamp)
+        findings.extend(_check_dead_edges(latest, edge_stats))
+    if edge_stats is not None and static_graph is not None:
+        findings.extend(_cross_check_static(edge_stats, static_graph))
+    return findings
+
+
+def _check_id_space(
+    dictionary: Any, id_bits: int, margin_bits: int
+) -> List[LintFinding]:
+    """Flag-range headroom: ids must reach ``2*maxID + 1`` (encoder)."""
+    findings: List[LintFinding] = []
+    needed = max(1, 2 * dictionary.max_id + 1).bit_length()
+    if dictionary.overflowed or needed > id_bits:
+        findings.append(
+            LintFinding(
+                rule="id-space",
+                severity=Severity.ERROR,
+                message="encoding needs %d bits but ids are %d bits wide; "
+                "ids at or above maxID+1 are ambiguous"
+                % (needed, id_bits),
+                gts=dictionary.timestamp,
+            )
+        )
+    elif needed > id_bits - margin_bits:
+        findings.append(
+            LintFinding(
+                rule="id-space",
+                severity=Severity.WARNING,
+                message="numCC peak %d puts the maxID+1 flag range within "
+                "%d bits of the %d-bit id width"
+                % (dictionary.max_id + 1, id_bits - needed, id_bits),
+                gts=dictionary.timestamp,
+            )
+        )
+    return findings
+
+
+def _check_dead_edges(
+    latest: Any, edge_stats: List[Dict[str, Any]]
+) -> List[LintFinding]:
+    invocations = {
+        (entry["callsite"], entry["callee"]): entry.get("invocations", 0)
+        for entry in edge_stats
+    }
+    dead = []
+    for info in latest.edges():
+        if info.encoding is None:
+            continue
+        if invocations.get((info.callsite, info.callee), 0) == 0:
+            dead.append(info)
+    if dead:
+        return [
+            LintFinding(
+                rule="dead-encoded-edge",
+                severity=Severity.INFO,
+                message="%d encoded edge(s) never invoked (e.g. callsite "
+                "%d -> fn%d); warm-start seeds that never ran, or "
+                "static over-approximation"
+                % (len(dead), dead[0].callsite, dead[0].callee),
+                gts=latest.timestamp,
+            )
+        ]
+    return []
+
+
+#: Dynamic edge kinds whose absence from the static graph is excused.
+_EXCUSED_KINDS = (CallKind.INDIRECT, CallKind.TAIL, CallKind.PLT)
+
+
+def _cross_check_static(
+    edge_stats: List[Dict[str, Any]], static_graph: StaticCallGraph
+) -> List[LintFinding]:
+    """Every missed dynamic direct edge is a static-extractor bug."""
+    findings: List[LintFinding] = []
+    analyzed = {fn.id for fn in static_graph.functions()}
+    for entry in edge_stats:
+        if entry.get("invocations", 0) <= 0:
+            continue
+        kind = CallKind(entry.get("kind", "normal"))
+        if kind in _EXCUSED_KINDS or entry.get("is_back"):
+            continue
+        caller = entry["caller"]
+        callee = entry["callee"]
+        if caller not in analyzed or callee not in analyzed:
+            continue  # outside the analysis universe (stdlib, 3rd party)
+        if static_graph.has_pair(caller, callee):
+            continue
+        caller_fn = static_graph.function(caller)
+        callee_fn = static_graph.function(callee)
+        findings.append(
+            LintFinding(
+                rule="dynamic-unexplained",
+                severity=Severity.ERROR,
+                message="dynamic %s edge %s -> %s (callsite %d, %d calls) "
+                "was not predicted by static analysis"
+                % (
+                    kind.value,
+                    caller_fn.qualname,
+                    callee_fn.qualname,
+                    entry["callsite"],
+                    entry.get("invocations", 0),
+                ),
+                location=caller_fn.location,
+            )
+        )
+    return findings
+
+
+def lint_engine(
+    engine: Any,
+    static_graph: Optional[StaticCallGraph] = None,
+    margin_bits: int = DEFAULT_MARGIN_BITS,
+) -> List[LintFinding]:
+    """Lint a *live* engine (tests, examples) via its exported state."""
+    from ..core.serialize import decoding_state_to_dict
+
+    return lint_state(
+        decoding_state_to_dict(engine),
+        static_graph=static_graph,
+        margin_bits=margin_bits,
+    )

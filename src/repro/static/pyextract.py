@@ -1,0 +1,523 @@
+"""AST-based static call-graph extraction for real Python source.
+
+ACER-style (PAPERS.md): walk each module's AST once, record function
+definitions and the call expressions inside them, then *link* the
+per-module summaries into one :class:`~repro.static.graph.StaticCallGraph`.
+The two-phase shape is what makes the KRAB-style incremental driver
+(:mod:`repro.static.incremental`) cheap — a source change re-runs only
+the summary phase of the changed module; linking is a fast pure pass.
+
+Resolution is deliberately conservative and *honest about its limits*:
+
+* ``f()`` where ``f`` is defined at module level, or imported via
+  ``from m import f`` from an analyzed module — ``HIGH`` confidence.
+* ``C()`` instantiation of a local class with an ``__init__`` —
+  ``MEDIUM`` (metaclasses / ``__new__`` could redirect).
+* ``self.m()`` resolved within the enclosing class — ``MEDIUM``
+  (inheritance may override); inherited methods are flagged unresolved.
+* ``mod.f()`` through an ``import mod`` of an analyzed module —
+  ``MEDIUM`` (the attribute may be rebound at runtime).
+* Everything else — calls on call results, subscripts, ``getattr``,
+  arbitrary attribute chains — is an :class:`UnresolvedSite` with a
+  reason; DACCE's dynamic discovery owns those edges, and the lint
+  cross-check excuses them.
+
+Calls to names that resolve to *no analyzed module* (builtins, third
+party libraries) are outside the analysis universe and produce neither
+edges nor flags — the lint pass likewise only cross-checks dynamic
+edges whose endpoints both map into the analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.events import CallKind
+from .graph import (
+    Confidence,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+    UnresolvedSite,
+)
+
+#: Pseudo-function representing a module's top-level code, mirroring the
+#: ``<module>`` code objects the interpreter executes.
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """One function definition found in a module."""
+
+    qualname: str
+    lineno: int
+    firstlineno: int
+    class_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call expression, described symbolically (pre-link).
+
+    ``target_kind`` selects the resolution rule applied at link time:
+    ``local`` (name in the same module), ``imported`` (via ``from m
+    import f``), ``module-attr`` (via ``import m; m.f()``),
+    ``self-method`` (already resolved to a qualname in this module) or
+    ``constructor`` (class instantiation).
+    """
+
+    caller: str
+    target_kind: str
+    target: str
+    module: Optional[str]
+    lineno: int
+    col: int
+    confidence: Confidence
+    reason: str
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the link phase needs to know about one module."""
+
+    module: str
+    path: str
+    functions: List[FunctionSummary] = field(default_factory=list)
+    #: Methods per class name, for ``self.m()`` resolution.
+    class_methods: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    classes_with_init: Dict[str, str] = field(default_factory=dict)
+    calls: List[CallRef] = field(default_factory=list)
+    unresolved: List[UnresolvedSite] = field(default_factory=list)
+
+
+def module_name_for(path: str, root: str) -> str:
+    """Dotted module name of ``path`` relative to the source root."""
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    stem, _ = os.path.splitext(relative)
+    parts = [p for p in stem.split(os.sep) if p not in ("", os.curdir)]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or parts
+    return ".".join(parts)
+
+
+def summarize_source(source: str, module: str, path: str = "") -> ModuleSummary:
+    """Phase 1: one module's definitions and symbolic call references."""
+    try:
+        tree = ast.parse(source, filename=path or module)
+    except SyntaxError as error:
+        raise StaticAnalysisError(
+            "cannot parse %s: %s" % (path or module, error)
+        ) from error
+    summary = ModuleSummary(module=module, path=path)
+    # Defs-only pre-pass: ``self.m()`` may call a method defined further
+    # down the class body, so the class-method tables must be complete
+    # before any call is classified.  The scratch summary absorbs the
+    # duplicate function/flag records the pre-pass would otherwise emit.
+    scratch = ModuleSummary(module=module, path=path)
+    _DefsOnlyVisitor(scratch).visit(tree)
+    summary.class_methods = scratch.class_methods
+    summary.classes_with_init = scratch.classes_with_init
+    visitor = _ModuleVisitor(summary)
+    visitor.visit(tree)
+    return summary
+
+
+def summarize_file(path: str, root: str) -> ModuleSummary:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return summarize_source(source, module_name_for(path, root), path=path)
+
+
+class _ModuleVisitor(ast.NodeVisitor):
+    """Single AST pass collecting definitions, imports and calls."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        #: (qualname-or-MODULE_BODY, class name of the enclosing class).
+        self._scopes: List[Tuple[str, Optional[str]]] = [(MODULE_BODY, None)]
+        #: local alias -> ("module", dotted) or ("name", module, original).
+        self._imports: Dict[str, Tuple[str, ...]] = {}
+        self.summary.functions.append(
+            FunctionSummary(qualname=MODULE_BODY, lineno=0, firstlineno=0)
+        )
+
+    # -- scope helpers -------------------------------------------------
+    @property
+    def _caller(self) -> str:
+        return self._scopes[-1][0]
+
+    @property
+    def _enclosing_class(self) -> Optional[str]:
+        return self._scopes[-1][1]
+
+    def _qualify(self, name: str) -> str:
+        outer, cls = self._scopes[-1]
+        if cls is not None:
+            return "%s.%s" % (cls, name)
+        return name if outer == MODULE_BODY else "%s.%s" % (outer, name)
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self._imports[local] = ("module", target)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            # Relative imports would need the package layout to resolve;
+            # flag so the blind spot is auditable.
+            self.summary.unresolved.append(
+                UnresolvedSite(
+                    module=self.summary.module,
+                    function=None,
+                    lineno=node.lineno,
+                    reason="relative-import",
+                    detail="from %s import ..." % ("." * node.level),
+                )
+            )
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._imports[local] = ("name", node.module, alias.name)
+
+    # -- definitions ---------------------------------------------------
+    def _visit_function_def(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        qualname = self._qualify(node.name)
+        firstlineno = node.lineno
+        if node.decorator_list:
+            firstlineno = min(d.lineno for d in node.decorator_list)
+        cls = self._enclosing_class
+        self.summary.functions.append(
+            FunctionSummary(
+                qualname=qualname,
+                lineno=node.lineno,
+                firstlineno=firstlineno,
+                class_name=cls,
+            )
+        )
+        if cls is not None:
+            methods = self.summary.class_methods.setdefault(cls, {})
+            methods[node.name] = qualname
+            if node.name == "__init__":
+                self.summary.classes_with_init[cls] = qualname
+        self._scopes.append((qualname, None))
+        for child in node.body:
+            self.visit(child)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function_def(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = self._qualify(node.name)
+        self.summary.class_methods.setdefault(qualname, {})
+        self._scopes.append((self._caller, qualname))
+        for child in node.body:
+            self.visit(child)
+        self._scopes.pop()
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._classify_call(node)
+        self.generic_visit(node)
+
+    def _classify_call(self, node: ast.Call) -> None:
+        func = node.func
+        caller = self._caller
+        line, col = node.lineno, node.col_offset
+        if isinstance(func, ast.Name):
+            imported = self._imports.get(func.id)
+            if imported is not None and imported[0] == "name":
+                self._ref(
+                    caller, "imported", imported[2], imported[1], line, col,
+                    Confidence.HIGH, "imported-call",
+                )
+            elif imported is not None:
+                # ``import m`` then ``m()`` — calling a module object.
+                self._flag(line, "module-called", func.id)
+            else:
+                self._ref(
+                    caller, "local", func.id, None, line, col,
+                    Confidence.HIGH, "direct-call",
+                )
+            return
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                cls = self._enclosing_class_of(caller)
+                if cls is not None:
+                    methods = self.summary.class_methods.get(cls, {})
+                    target = methods.get(func.attr)
+                    if target is not None:
+                        self._ref(
+                            caller, "self-method", target, None, line, col,
+                            Confidence.MEDIUM, "self-method",
+                        )
+                    else:
+                        self._flag(
+                            line, "inherited-method",
+                            "self.%s on %s" % (func.attr, cls),
+                        )
+                    return
+                self._flag(line, "self-outside-class", "self.%s" % func.attr)
+                return
+            if isinstance(value, ast.Name):
+                imported = self._imports.get(value.id)
+                if imported is not None and imported[0] == "module":
+                    self._ref(
+                        caller, "module-attr", func.attr, imported[1],
+                        line, col, Confidence.MEDIUM, "module-attr",
+                    )
+                    return
+                self._flag(
+                    line, "attribute-call", "%s.%s" % (value.id, func.attr)
+                )
+                return
+            self._flag(line, "attribute-call", ast.dump(func)[:80])
+            return
+        # Calls on call results, subscripts, lambdas, conditionals, ...
+        self._flag(line, "dynamic-call", type(func).__name__)
+
+    def _enclosing_class_of(self, qualname: str) -> Optional[str]:
+        for summary in self.summary.functions:
+            if summary.qualname == qualname:
+                return summary.class_name
+        return None
+
+    def _ref(
+        self,
+        caller: str,
+        target_kind: str,
+        target: str,
+        module: Optional[str],
+        lineno: int,
+        col: int,
+        confidence: Confidence,
+        reason: str,
+    ) -> None:
+        self.summary.calls.append(
+            CallRef(
+                caller=caller,
+                target_kind=target_kind,
+                target=target,
+                module=module,
+                lineno=lineno,
+                col=col,
+                confidence=confidence,
+                reason=reason,
+            )
+        )
+
+    def _flag(self, lineno: int, reason: str, detail: str) -> None:
+        self.summary.unresolved.append(
+            UnresolvedSite(
+                module=self.summary.module,
+                function=None,
+                lineno=lineno,
+                reason=reason,
+                detail=detail,
+            )
+        )
+
+
+class _DefsOnlyVisitor(_ModuleVisitor):
+    """The definition walk alone — no call classification, no flags."""
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+
+class FunctionIndex:
+    """Stable ``(module, qualname) -> FunctionId`` allocation.
+
+    Ids are handed out on first sight and never reused, so incremental
+    re-analysis keeps every surviving function's id — an engine or a
+    tracer holding the previous mapping stays valid (KRAB's contract).
+    """
+
+    def __init__(self, first_id: int = 0) -> None:
+        self._ids: Dict[Tuple[str, str], int] = {}
+        self._next = first_id
+
+    def id_for(self, module: str, qualname: str) -> int:
+        key = (module, qualname)
+        assigned = self._ids.get(key)
+        if assigned is None:
+            assigned = self._next
+            self._ids[key] = assigned
+            self._next += 1
+        return assigned
+
+    def lookup(self, module: str, qualname: str) -> Optional[int]:
+        return self._ids.get((module, qualname))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+def link_summaries(
+    summaries: Iterable[ModuleSummary],
+    index: Optional[FunctionIndex] = None,
+    root_function: Optional[Tuple[str, str]] = None,
+) -> StaticCallGraph:
+    """Phase 2: resolve symbolic references into a static call graph.
+
+    ``root_function`` optionally names ``(module, qualname)`` of the
+    entry point; its id becomes the graph root.  Call-site ids are
+    assigned deterministically over the sorted call list, so the same
+    input always yields the same graph.
+    """
+    ordered = sorted(summaries, key=lambda s: s.module)
+    index = index if index is not None else FunctionIndex()
+    graph = StaticCallGraph()
+
+    by_module: Dict[str, ModuleSummary] = {}
+    for summary in ordered:
+        if summary.module in by_module:
+            raise StaticAnalysisError(
+                "module %r summarized twice" % summary.module
+            )
+        by_module[summary.module] = summary
+
+    for summary in ordered:
+        for fn in sorted(summary.functions, key=lambda f: f.qualname):
+            graph.add_function(
+                StaticFunction(
+                    id=index.id_for(summary.module, fn.qualname),
+                    qualname=fn.qualname,
+                    module=summary.module,
+                    lineno=fn.lineno,
+                    firstlineno=fn.firstlineno,
+                )
+            )
+        graph.unresolved.extend(summary.unresolved)
+
+    if root_function is not None:
+        root_id = index.lookup(*root_function)
+        if root_id is None:
+            raise StaticAnalysisError(
+                "root function %s.%s not found" % root_function
+            )
+        graph.root = root_id
+
+    next_callsite = 0
+    for summary in ordered:
+        calls = sorted(summary.calls, key=lambda c: (c.lineno, c.col))
+        for call in calls:
+            callsite = next_callsite
+            next_callsite += 1
+            resolved = _resolve(call, summary, by_module, index)
+            if resolved is None:
+                continue
+            callee, confidence, reason = resolved
+            caller_id = index.lookup(summary.module, call.caller)
+            if caller_id is None:
+                continue
+            graph.add_edge(
+                StaticEdge(
+                    caller=caller_id,
+                    callee=callee,
+                    callsite=callsite,
+                    kind=CallKind.NORMAL,
+                    confidence=confidence,
+                    lineno=call.lineno,
+                    reason=reason,
+                )
+            )
+    return graph
+
+
+def _resolve(
+    call: CallRef,
+    summary: ModuleSummary,
+    by_module: Dict[str, ModuleSummary],
+    index: FunctionIndex,
+) -> Optional[Tuple[int, Confidence, str]]:
+    """Resolve one symbolic call reference to a function id, if possible."""
+    if call.target_kind == "local":
+        local = _local_target(summary, call.target, index)
+        if local is not None:
+            return local[0], min_confidence(call.confidence, local[1]), local[2]
+        # Not defined here and not imported: a builtin or a global from
+        # another mechanism — outside the analysis universe.
+        return None
+    if call.target_kind == "self-method":
+        callee = index.lookup(summary.module, call.target)
+        if callee is None:
+            return None
+        return callee, call.confidence, call.reason
+    if call.target_kind in ("imported", "module-attr"):
+        target_module = by_module.get(call.module or "")
+        if target_module is None:
+            return None  # import of an un-analyzed module
+        local = _local_target(target_module, call.target, index)
+        if local is None:
+            return None
+        return local[0], min_confidence(call.confidence, local[1]), (
+            call.reason if local[2] == "direct-call" else local[2]
+        )
+    return None
+
+
+def _local_target(
+    summary: ModuleSummary, name: str, index: FunctionIndex
+) -> Optional[Tuple[int, Confidence, str]]:
+    """A module-level function or instantiable class named ``name``."""
+    for fn in summary.functions:
+        if fn.qualname == name and fn.class_name is None:
+            assigned = index.lookup(summary.module, name)
+            if assigned is None:
+                return None
+            return assigned, Confidence.HIGH, "direct-call"
+    init = summary.classes_with_init.get(name)
+    if init is not None:
+        assigned = index.lookup(summary.module, init)
+        if assigned is None:
+            return None
+        return assigned, Confidence.MEDIUM, "constructor"
+    return None
+
+
+def min_confidence(a: Confidence, b: Confidence) -> Confidence:
+    return a if a.rank <= b.rank else b
+
+
+def extract_package(
+    root: str,
+    index: Optional[FunctionIndex] = None,
+    root_function: Optional[Tuple[str, str]] = None,
+) -> StaticCallGraph:
+    """One-shot extraction over every ``*.py`` file under ``root``."""
+    summaries = [
+        summarize_file(path, root) for path in iter_python_files(root)
+    ]
+    return link_summaries(summaries, index=index, root_function=root_function)
+
+
+def iter_python_files(root: str) -> List[str]:
+    """All ``*.py`` files under ``root`` (or ``root`` itself), sorted."""
+    if os.path.isfile(root):
+        return [root]
+    found: List[str] = []
+    for base, _dirs, files in os.walk(root):
+        for name in files:
+            if name.endswith(".py"):
+                found.append(os.path.join(base, name))
+    return sorted(found)

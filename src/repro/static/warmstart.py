@@ -1,0 +1,133 @@
+"""Warm-start seeding: statically known edges encoded at gTimeStamp 0.
+
+DACCE's dynamic discovery (Section 3) pays, per edge, one runtime-handler
+invocation plus ``<id, callsite, target>`` ccStack saves on every call
+over the edge until the next re-encoding pass.  A warm start moves the
+high-confidence static subgraph into the *initial* encoding dictionary,
+so those edges are born encoded: their first invocation finds the edge
+in the graph (no handler) with a valid ``En`` (no discovery push).
+
+The plan is built offline and is strictly gated: the seeded dictionary
+is produced by the *same* :class:`~repro.core.encoder.Encoder` the
+engine uses and must pass the full
+:func:`~repro.core.invariants.check_dictionary` suite before an engine
+will accept it — a broken static graph fails loudly at build time, never
+at decode time.
+
+Semantics versus the paper: warm-starting changes *when* edges enter the
+dictionary, never *whether* contexts decode correctly.  Unseeded edges
+(low-confidence statics, dlopen plugins, unforeseen indirect targets)
+still take the Section 3 dynamic-discovery path unchanged, and back
+edges stay on the ccStack exactly as before — seeding a recursive edge
+only spares its discovery handler, not its ccStack traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.callgraph import CallGraph, dfs_classify_back_edges
+from ..core.dictionary import EncodingDictionary
+from ..core.encoder import EdgeOrderPolicy, Encoder, insertion_order
+from ..core.errors import DacceError
+from ..core.events import CallKind, CallSiteId, FunctionId
+from ..core.invariants import check_dictionary
+from .graph import Confidence, StaticCallGraph
+
+
+class WarmStartError(DacceError):
+    """The static subgraph cannot be turned into a sound seed encoding."""
+
+
+@dataclass
+class WarmStartPlan:
+    """Everything an engine needs to start pre-seeded.
+
+    ``graph`` is a live :class:`~repro.core.callgraph.CallGraph` whose
+    edges are all marked ``seeded``; ``dictionary`` is its gTimeStamp-0
+    encoding, already validated by ``check_dictionary``.
+    """
+
+    graph: CallGraph
+    dictionary: EncodingDictionary
+    seeded_edges: int
+    #: Static edges excluded by the confidence gate, by confidence level.
+    skipped: Dict[str, int] = field(default_factory=dict)
+
+    def indirect_sites(self) -> Dict[CallSiteId, List[FunctionId]]:
+        """Seeded indirect sites and their targets, for pre-patching."""
+        sites: Dict[CallSiteId, List[FunctionId]] = {}
+        for edge in self.graph.edges():
+            if edge.kind is CallKind.INDIRECT:
+                sites.setdefault(edge.callsite, []).append(edge.callee)
+        return sites
+
+    def tail_callers(self) -> Set[FunctionId]:
+        """Functions statically known to contain tail calls (Figure 7)."""
+        return {
+            edge.caller
+            for edge in self.graph.edges()
+            if edge.kind is CallKind.TAIL
+        }
+
+
+def build_warmstart(
+    static_graph: StaticCallGraph,
+    root: Optional[FunctionId] = None,
+    min_confidence: Confidence = Confidence.HIGH,
+    id_bits: int = 64,
+    order_policy: EdgeOrderPolicy = insertion_order,
+) -> WarmStartPlan:
+    """Convert the confident static subgraph into a seed encoding.
+
+    Edges below ``min_confidence`` are skipped (and counted): seeding a
+    speculative edge costs id-space for a context that may never exist —
+    the PCCE failure mode the paper measures — so the default takes only
+    ``HIGH`` edges.
+    """
+    if root is None:
+        root = static_graph.root
+    if root is None:
+        raise WarmStartError(
+            "static graph has no root; pass one explicitly"
+        )
+
+    graph = CallGraph(root)
+    skipped: Dict[str, int] = {}
+    seeded = 0
+    for edge in sorted(
+        static_graph.edges(), key=lambda e: (e.callsite, e.callee)
+    ):
+        if not edge.confidence.at_least(min_confidence):
+            name = edge.confidence.value
+            skipped[name] = skipped.get(name, 0) + 1
+            continue
+        added = graph.add_edge(
+            edge.caller,
+            edge.callee,
+            edge.callsite,
+            kind=edge.kind,
+            classify=False,
+        )
+        added.seeded = True
+        seeded += 1
+    # Bulk classification: recursion cycles in the seed become back
+    # edges in one DFS pass instead of one reachability query per edge.
+    dfs_classify_back_edges(graph)
+
+    encoder = Encoder(order_policy=order_policy, id_bits=id_bits)
+    dictionary = encoder.encode(graph, timestamp=0)
+    violations = check_dictionary(dictionary)
+    if violations:
+        raise WarmStartError(
+            "seed dictionary failed its invariant gate: %s"
+            % "; ".join(violations),
+            violations=violations,
+        )
+    return WarmStartPlan(
+        graph=graph,
+        dictionary=dictionary,
+        seeded_edges=seeded,
+        skipped=skipped,
+    )

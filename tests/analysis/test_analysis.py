@@ -16,11 +16,10 @@ from repro.analysis.report import (
     render_table,
     render_table1,
 )
-from repro.analysis.stats import geomean, measure_benchmark, measure_dacce, measure_pcce
+from repro.analysis.stats import geomean, measure_benchmark
 from repro.analysis.validate import ValidationResult, contexts_equal, validate_run
 from repro.bench import full_suite
 from repro.core.context import CallingContext, ContextStep
-from repro.core.engine import DacceEngine
 from repro.program.generator import GeneratorConfig, generate_program
 from repro.program.trace import WorkloadSpec
 

@@ -7,8 +7,8 @@ from repro.baselines.pcce import (
     build_static_graph,
     profile_edge_frequencies,
 )
-from repro.core.errors import DecodingError, EncodingError
-from repro.core.events import CallEvent, CallKind, ReturnEvent, SampleEvent
+from repro.core.errors import EncodingError
+from repro.core.events import CallEvent, SampleEvent
 from repro.program.generator import GeneratorConfig, generate_program
 from repro.program.trace import TraceExecutor, WorkloadSpec
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.callgraph import CallGraph
 from repro.core.encoder import encode_graph
-from repro.core.engine import DacceConfig, DacceEngine
+from repro.core.engine import DacceEngine
 from repro.core.events import CallEvent, CallKind, ReturnEvent, SampleEvent
 from repro.program.generator import GeneratorConfig, generate_program
 from repro.program.trace import WorkloadSpec

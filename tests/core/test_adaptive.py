@@ -1,7 +1,5 @@
 """Adaptive-policy tests: the three triggers, compression analysis, SCCs."""
 
-import pytest
-
 from repro.core.adaptive import (
     AdaptiveConfig,
     AdaptivePolicy,

@@ -13,8 +13,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.context import CcStackEntry, CollectedSample
 from repro.core.engine import DacceEngine
-from repro.core.errors import DacceError, DecodingError
-from repro.core.events import SampleEvent
+from repro.core.errors import DacceError
 from repro.program.generator import GeneratorConfig, generate_program
 from repro.program.trace import TraceExecutor, WorkloadSpec
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.adaptive import AdaptiveConfig
-from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
+from repro.core.engine import DacceConfig, DacceEngine
 from repro.core.errors import TraceError
 from repro.core.events import (
     CallEvent,

@@ -1,7 +1,7 @@
 """Public convenience API tests: summary(), current_context()."""
 
 from repro.core.engine import DacceEngine
-from tests.conftest import A, B, C, EngineDriver
+from tests.conftest import A, B, C
 
 
 def test_current_context_matches_oracle(driver):

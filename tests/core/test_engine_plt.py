@@ -1,8 +1,7 @@
 """PLT-call handling tests (Section 5.1)."""
 
 from repro.core.events import CallKind, LibraryLoadEvent
-from tests.conftest import A, B, C, EngineDriver
-from repro.core.engine import DacceEngine
+from tests.conftest import A, B, C
 
 
 def functions_of(context):

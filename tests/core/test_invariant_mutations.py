@@ -1,0 +1,140 @@
+"""Property tests: every corruption of a sound dictionary is reported.
+
+The four invariants of DESIGN.md §2 (acyclic encoded subgraph, numCC
+sums, interval partitions, maxID) are the decoder's only protection
+against silently-wrong contexts.  These tests take *real* dictionaries
+produced by engine runs, apply one targeted mutation per invariant, and
+assert that :func:`check_dictionary` reports it — and that ``dacce
+lint`` surfaces the same corruption even when the mutated entry carries
+a freshly recomputed checksum.
+"""
+
+import copy
+from functools import lru_cache
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import DacceEngine
+from repro.core.invariants import check_dictionary
+from repro.core.serialize import (
+    decoding_state_to_dict,
+    dictionary_checksum,
+    dictionary_from_dict,
+)
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import WorkloadSpec, run_workload
+from repro.static.lint import Severity, lint_state
+
+SEEDS = [1, 2, 5, 13]
+
+MUTATION_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@lru_cache(maxsize=None)
+def _pristine_state(seed):
+    program = generate_program(
+        GeneratorConfig(seed=seed, recursive_sites=2, indirect_fraction=0.1)
+    )
+    engine = DacceEngine(root=program.main)
+    run_workload(program, WorkloadSpec(calls=4_000, seed=seed + 1), engine)
+    return decoding_state_to_dict(engine)
+
+
+def _mutable_state(seed):
+    return copy.deepcopy(_pristine_state(seed))
+
+
+def _latest_entry(data):
+    return max(data["dictionaries"], key=lambda e: e["timestamp"])
+
+
+def _assert_corruption_reported(data, entry, expect_substring=None):
+    """The mutated entry must fail check_dictionary and ``lint``."""
+    entry["checksum"] = dictionary_checksum(entry)  # forge a valid CRC
+    violations = check_dictionary(dictionary_from_dict(entry))
+    assert violations, "mutation was not reported by check_dictionary"
+    if expect_substring is not None:
+        assert any(expect_substring in v for v in violations)
+    findings = [
+        f
+        for f in lint_state(data)
+        if f.rule == "invariants" and f.gts == entry["timestamp"]
+    ]
+    assert findings, "lint did not surface the corruption"
+    assert all(f.severity is Severity.ERROR for f in findings)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_unmutated_dictionaries_are_sound(seed):
+    for entry in _pristine_state(seed)["dictionaries"]:
+        assert check_dictionary(dictionary_from_dict(entry)) == []
+
+
+@given(
+    seed=st.sampled_from(SEEDS),
+    which=st.integers(min_value=0),
+    delta=st.integers(min_value=-16, max_value=16).filter(lambda d: d != 0),
+)
+@MUTATION_SETTINGS
+def test_numcc_sum_corruption_is_reported(seed, which, delta):
+    data = _mutable_state(seed)
+    entry = _latest_entry(data)
+    keys = sorted(entry["numcc"])
+    entry["numcc"][keys[which % len(keys)]] += delta
+    _assert_corruption_reported(data, entry)
+
+
+@given(
+    seed=st.sampled_from(SEEDS),
+    which=st.integers(min_value=0),
+    shift=st.integers(min_value=-8, max_value=8).filter(lambda d: d != 0),
+)
+@MUTATION_SETTINGS
+def test_interval_partition_corruption_is_reported(seed, which, shift):
+    data = _mutable_state(seed)
+    entry = _latest_entry(data)
+    encoded = [e for e in entry["edges"] if e["encoding"] is not None]
+    assert encoded, "workload produced no encoded edges"
+    edge = encoded[which % len(encoded)]
+    edge["encoding"] += shift  # breaks the exact partition of [0, numCC)
+    _assert_corruption_reported(data, entry)
+
+
+@given(
+    seed=st.sampled_from(SEEDS),
+    delta=st.integers(min_value=-4, max_value=4).filter(lambda d: d != 0),
+)
+@MUTATION_SETTINGS
+def test_maxid_corruption_is_reported(seed, delta):
+    data = _mutable_state(seed)
+    entry = _latest_entry(data)
+    entry["max_id"] += delta
+    _assert_corruption_reported(data, entry, expect_substring="maxID")
+
+
+@given(seed=st.sampled_from(SEEDS), which=st.integers(min_value=0))
+@MUTATION_SETTINGS
+def test_encoded_cycle_is_reported(seed, which):
+    data = _mutable_state(seed)
+    entry = _latest_entry(data)
+    encoded = [e for e in entry["edges"] if e["encoding"] is not None]
+    assert encoded, "workload produced no encoded edges"
+    edge = encoded[which % len(encoded)]
+    fresh_callsite = max(e["callsite"] for e in entry["edges"]) + 1
+    entry["edges"].append(
+        {
+            "caller": edge["callee"],
+            "callee": edge["caller"],
+            "callsite": fresh_callsite,
+            "kind": "normal",
+            "is_back": False,
+            "encoding": 0,
+        }
+    )
+    _assert_corruption_reported(data, entry, expect_substring="cycle")

@@ -5,8 +5,6 @@ paper's Figures 2, 3, 5 and 7 and checks the runtime state (ccStack
 content, id marking) and the decoded contexts.
 """
 
-import pytest
-
 from repro.core.engine import CompressionMode, DacceConfig, DacceEngine
 from repro.core.events import CallKind
 from tests.conftest import A, B, C, D, E, F, I, EngineDriver

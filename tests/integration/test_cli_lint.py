@@ -1,0 +1,153 @@
+"""CLI: ``dacce static``, ``dacce lint``, and the doctor invariant gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import dictionary_checksum
+
+
+@pytest.fixture
+def recorded(tmp_path, capsys):
+    prefix = str(tmp_path / "run")
+    assert main(["record", "--prefix", prefix, "--calls", "4000"]) == 0
+    capsys.readouterr()
+    return prefix + ".state.json"
+
+
+def _corrupt_invariant(state_path):
+    """Break a numCC sum but keep the CRC valid: only the invariant
+    suite — not the checksum — can catch this."""
+    with open(state_path) as handle:
+        data = json.load(handle)
+    entry = data["dictionaries"][-1]
+    key = next(iter(entry["numcc"]))
+    entry["numcc"][key] += 5
+    entry["checksum"] = dictionary_checksum(entry)
+    with open(state_path, "w") as handle:
+        json.dump(data, handle)
+    return entry["timestamp"]
+
+
+def test_lint_clean_state_exits_zero(recorded, capsys):
+    assert main(["lint", "--state", recorded]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_corrupted_state_exits_nonzero(recorded, capsys):
+    ts = _corrupt_invariant(recorded)
+    assert main(["lint", "--state", recorded]) == 1
+    out = capsys.readouterr().out
+    assert "invariants [error]" in out
+    assert "ts=%d" % ts in out
+
+
+def test_lint_checksum_mismatch_exits_nonzero(recorded, capsys):
+    with open(recorded) as handle:
+        data = json.load(handle)
+    data["dictionaries"][-1]["max_id"] += 1  # stale checksum
+    with open(recorded, "w") as handle:
+        json.dump(data, handle)
+    assert main(["lint", "--state", recorded]) == 1
+    assert "checksum [error]" in capsys.readouterr().out
+
+
+def test_lint_unreadable_state_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "nope.json"
+    bad.write_text("{not json")
+    assert main(["lint", "--state", str(bad)]) == 1
+    assert "FAULT" in capsys.readouterr().out
+
+
+def test_lint_cross_check_via_record_seed(recorded, tmp_path, capsys):
+    # --record-seed rebuilds the exact program `record --seed 1` ran,
+    # so the full dynamic-vs-static cross-check applies cleanly.
+    static_path = str(tmp_path / "static.json")
+    assert main(
+        ["static", "--record-seed", "1", "--output", static_path]
+    ) == 0
+    capsys.readouterr()
+    assert main(["lint", "--state", recorded, "--static", static_path]) == 0
+    out = capsys.readouterr().out
+    assert "dynamic-unexplained" not in out
+    assert "0 error(s)" in out
+
+
+def test_lint_rejects_unreadable_static_graph(recorded, tmp_path, capsys):
+    bad = tmp_path / "static.json"
+    bad.write_text("[]")
+    assert main(["lint", "--state", recorded, "--static", str(bad)]) == 1
+    assert "FAULT" in capsys.readouterr().out
+
+
+def test_static_source_extraction_roundtrip(tmp_path, capsys):
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "app.py").write_text(
+        "def helper():\n    pass\n\ndef main():\n    helper()\n"
+    )
+    out = str(tmp_path / "graph.json")
+    assert main(["static", "--source", str(src), "--output", out]) == 0
+    capsys.readouterr()
+    from repro.static.graph import StaticCallGraph
+
+    graph = StaticCallGraph.load(out)
+    assert {fn.qualname for fn in graph.functions()} >= {"helper", "main"}
+
+
+def test_static_benchmark_extraction(tmp_path, capsys):
+    out = str(tmp_path / "bench.json")
+    assert main(
+        ["static", "--benchmark", "400.perlbench", "--scale", "0.1",
+         "--output", out]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "functions" in output
+    from repro.static.graph import StaticCallGraph
+
+    assert StaticCallGraph.load(out).num_edges > 0
+
+
+def test_static_requires_exactly_one_input(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["static"])
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(
+            ["static", "--source", str(tmp_path),
+             "--benchmark", "400.perlbench"]
+        )
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(
+            ["static", "--record-seed", "1",
+             "--benchmark", "400.perlbench"]
+        )
+    capsys.readouterr()
+
+
+def test_static_unknown_benchmark_fails(capsys):
+    with pytest.raises(SystemExit, match="unknown benchmark"):
+        main(["static", "--benchmark", "no.such.bench"])
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# doctor runs the same invariant suite per dictionary (satellite of the
+# lint work: a state that lint rejects must not pass doctor either).
+# ----------------------------------------------------------------------
+def test_doctor_clean_state_exits_zero(recorded, capsys):
+    assert main(["doctor", "--state", recorded]) == 0
+    capsys.readouterr()
+
+
+def test_doctor_catches_invariant_violation_behind_valid_checksum(
+    recorded, capsys
+):
+    ts = _corrupt_invariant(recorded)
+    assert main(["doctor", "--state", recorded]) == 1
+    out = capsys.readouterr().out
+    assert "invariant" in out
+    assert "ts=%s" % ts in out

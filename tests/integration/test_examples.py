@@ -4,8 +4,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 
 
@@ -51,6 +49,27 @@ def test_offline_analysis():
     assert result.returncode == 0, result.stderr
     assert "[recorder]" in result.stdout
     assert "[analyser] hottest contexts" in result.stdout
+
+
+def test_static_warmstart():
+    result = run_example("static_warmstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "seeded (HIGH) edges" in result.stdout
+    assert "discovery costs, cold vs warm" in result.stdout
+    assert "warm start verified: no unexplained dynamic edges" in result.stdout
+
+
+def test_every_example_has_a_smoke_test():
+    """CI smoke-runs every example; a new example must be covered here."""
+    covered = {
+        name[len("test_"):] + ".py"
+        for name in globals()
+        if name.startswith("test_") and name != "test_every_example_has_a_smoke_test"
+    }
+    shipped = {name for name in os.listdir(EXAMPLES) if name.endswith(".py")}
+    assert shipped <= covered, "examples without smoke tests: %s" % (
+        sorted(shipped - covered),
+    )
 
 
 def test_telemetry_dashboard():

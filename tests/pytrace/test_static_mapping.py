@@ -1,0 +1,118 @@
+"""Tracer x static analysis: real code objects take static function ids."""
+
+import importlib.util
+import textwrap
+
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.serialize import decoding_state_to_dict
+from repro.pytrace import PythonDacceTracer
+from repro.static.graph import StaticCallGraph
+from repro.static.lint import lint_state
+from repro.static.pyextract import FunctionIndex, extract_package
+
+SOURCE = """
+def helper():
+    return 1
+
+
+def middle():
+    return helper() + helper()
+
+
+def main():
+    return middle()
+"""
+
+
+@pytest.fixture
+def project(tmp_path):
+    (tmp_path / "app.py").write_text(textwrap.dedent(SOURCE))
+    # first_id=1 keeps the static id space clear of ROOT_FUNCTION (0).
+    graph = extract_package(str(tmp_path), index=FunctionIndex(first_id=1))
+    spec = importlib.util.spec_from_file_location("app", tmp_path / "app.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return str(tmp_path), graph, module
+
+
+def test_traced_functions_take_static_ids(project):
+    root, graph, module = project
+    tracer = PythonDacceTracer(static_graph=graph, source_root=root)
+    tracer.run(module.main)
+    static_ids = {fn.qualname: fn.id for fn in graph.functions()}
+    traced = {
+        info.name: info.id
+        for code, info in tracer._functions.items()
+        if code.co_filename.startswith(root)
+    }
+    assert traced, "nothing traced from the source tree"
+    for name in ("main", "middle", "helper"):
+        assert traced[name] == static_ids[name]
+    assert tracer.static_hits == len(traced)
+
+
+def test_dynamic_ids_do_not_collide_with_static_range(project):
+    root, graph, module = project
+    tracer = PythonDacceTracer(static_graph=graph, source_root=root)
+
+    def outside():  # defined outside the analyzed tree
+        return module.main()
+
+    tracer.run(outside)
+    highest_static = max(fn.id for fn in graph.functions())
+    outside_info = next(
+        info
+        for info in tracer._functions.values()
+        if info.name == "outside"
+    )
+    assert outside_info.id > highest_static
+
+
+def test_dynamic_edges_line_up_for_lint_cross_check(project):
+    root, graph, module = project
+    tracer = PythonDacceTracer(static_graph=graph, source_root=root)
+    tracer.run(module.main)
+    state = decoding_state_to_dict(tracer.engine)
+    findings = lint_state(state, graph)
+    assert not [f for f in findings if f.rule == "dynamic-unexplained"]
+
+    # Withhold the middle->helper edge: the same run now exposes it.
+    stripped = StaticCallGraph(root=graph.root)
+    names = {fn.qualname: fn.id for fn in graph.functions()}
+    for fn in graph.functions():
+        stripped.add_function(fn)
+    for edge in graph.edges():
+        if (edge.caller, edge.callee) == (names["middle"], names["helper"]):
+            continue
+        stripped.add_edge(edge)
+    missed = [
+        f
+        for f in lint_state(state, stripped)
+        if f.rule == "dynamic-unexplained"
+    ]
+    assert missed
+    assert any("helper" in f.message for f in missed)
+    assert any(f.location and "app" in f.location for f in missed)
+
+
+def test_static_graph_requires_source_root(project):
+    _root, graph, _module = project
+    with pytest.raises(TraceError):
+        PythonDacceTracer(static_graph=graph)
+
+
+def test_decoded_context_uses_static_names(project):
+    root, graph, module = project
+    tracer = PythonDacceTracer(static_graph=graph, source_root=root)
+    collected = []
+
+    def run():
+        module.helper()
+        collected.append(tracer.sample())
+        return module.main()
+
+    tracer.run(run)
+    names = tracer.format_context(tracer.decode(collected[0]))
+    assert names.startswith("<root>")

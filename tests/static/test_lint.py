@@ -1,0 +1,175 @@
+"""Lint rules over persisted decoding state."""
+
+import pytest
+
+from repro.core.engine import DacceEngine
+from repro.core.serialize import decoding_state_to_dict, dictionary_checksum
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.program.trace import WorkloadSpec, run_workload
+from repro.static.graph import StaticCallGraph
+from repro.static.lint import (
+    Severity,
+    has_errors,
+    lint_engine,
+    lint_state,
+)
+from repro.static.synthetic import extract_program
+from repro.static.warmstart import build_warmstart
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program(
+        GeneratorConfig(seed=13, indirect_fraction=0.1, tail_fraction=0.05)
+    )
+
+
+@pytest.fixture
+def state(program):
+    engine = DacceEngine(root=program.main)
+    run_workload(program, WorkloadSpec(calls=6_000, seed=3), engine)
+    return decoding_state_to_dict(engine)
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+def test_clean_state_has_no_errors(state):
+    findings = lint_state(state)
+    assert not has_errors(findings)
+
+
+def test_unknown_format_is_an_error():
+    findings = lint_state({"format": 99})
+    assert [f.rule for f in findings] == ["state-format"]
+    assert has_errors(findings)
+
+
+def test_checksum_mismatch_detected(state):
+    entry = state["dictionaries"][-1]
+    key = next(iter(entry["numcc"]))
+    entry["numcc"][key] += 1  # stored checksum now stale
+    findings = lint_state(state)
+    assert "checksum" in _rules(findings)
+    assert has_errors(findings)
+
+
+def test_invariant_violation_with_valid_checksum(state):
+    # An attacker (or bug) that recomputes the checksum still cannot
+    # get a numCC inconsistency past the invariant suite.
+    entry = state["dictionaries"][-1]
+    key = next(iter(entry["numcc"]))
+    entry["numcc"][key] += 5
+    entry["checksum"] = dictionary_checksum(entry)
+    findings = lint_state(state)
+    assert "checksum" not in _rules(findings)
+    invariant = [f for f in findings if f.rule == "invariants"]
+    assert invariant
+    assert all(f.severity is Severity.ERROR for f in invariant)
+    assert all(f.gts == entry["timestamp"] for f in invariant)
+
+
+def test_bad_checksum_skips_deeper_checks_for_that_entry(state):
+    entry = state["dictionaries"][-1]
+    key = next(iter(entry["numcc"]))
+    entry["numcc"][key] += 5  # invariant-breaking AND checksum-stale
+    findings = lint_state(state)
+    gts = entry["timestamp"]
+    assert any(f.rule == "checksum" and f.gts == gts for f in findings)
+    assert not any(f.rule == "invariants" and f.gts == gts for f in findings)
+
+
+def test_dynamic_unexplained_reports_missing_direct_edge(program, state):
+    full = extract_program(program)
+    victim = next(
+        e
+        for e in state["edge_stats"]
+        if e["kind"] == "normal"
+        and not e["is_back"]
+        and e["invocations"] > 0
+    )
+    stripped = StaticCallGraph(root=full.root)
+    for fn in full.functions():
+        stripped.add_function(fn)
+    for edge in full.edges():
+        if (edge.caller, edge.callee) == (victim["caller"], victim["callee"]):
+            continue
+        stripped.add_edge(edge)
+
+    findings = [
+        f for f in lint_state(state, stripped)
+        if f.rule == "dynamic-unexplained"
+    ]
+    assert findings
+    assert all(f.severity is Severity.ERROR for f in findings)
+    caller_fn = full.function(victim["caller"])
+    assert any(f.location == caller_fn.location for f in findings)
+    # The complete static graph explains every direct edge.
+    assert "dynamic-unexplained" not in _rules(lint_state(state, full))
+
+
+def test_indirect_tail_and_back_edges_are_excused(program, state):
+    # A static graph with ONLY the direct forward edges: every indirect,
+    # tail, and back edge the workload exercised must stay excused.
+    full = extract_program(program)
+    direct_only = StaticCallGraph(root=full.root)
+    for fn in full.functions():
+        direct_only.add_function(fn)
+    for edge in full.edges():
+        if edge.kind.value == "normal":
+            direct_only.add_edge(edge)
+    exercised_kinds = {
+        e["kind"] for e in state["edge_stats"] if e["invocations"] > 0
+    }
+    assert exercised_kinds - {"normal"}, "workload exercised no excused kinds"
+    for finding in lint_state(state, direct_only):
+        assert finding.rule != "dynamic-unexplained"
+
+
+def test_id_space_warning_and_error(state):
+    needed = max(
+        max(1, 2 * e["max_id"] + 1).bit_length()
+        for e in state["dictionaries"]
+    )
+    state["config"]["id_bits"] = needed + 1  # inside the 8-bit margin
+    findings = [f for f in lint_state(state) if f.rule == "id-space"]
+    assert findings
+    assert all(f.severity is Severity.WARNING for f in findings)
+
+    state["config"]["id_bits"] = needed - 1  # flag range no longer fits
+    findings = [f for f in lint_state(state) if f.rule == "id-space"]
+    assert any(f.severity is Severity.ERROR for f in findings)
+
+
+def test_id_space_margin_is_configurable(state):
+    needed = max(
+        max(1, 2 * e["max_id"] + 1).bit_length()
+        for e in state["dictionaries"]
+    )
+    state["config"]["id_bits"] = needed + 1
+    assert not lint_state(state, margin_bits=0)
+
+
+def test_dead_seeded_edges_are_info_not_error(program):
+    plan = build_warmstart(extract_program(program))
+    engine = DacceEngine(warm_start=plan)  # no workload: every seed dead
+    findings = lint_engine(engine)
+    dead = [f for f in findings if f.rule == "dead-encoded-edge"]
+    assert dead
+    assert all(f.severity is Severity.INFO for f in dead)
+    assert not has_errors(findings)
+
+
+def test_runtime_graph_is_rejected_as_static_graph(program, state):
+    # Passing the engine's CallGraph where a StaticCallGraph belongs
+    # must fail at the boundary, not deep inside the cross-check.
+    engine = DacceEngine(root=program.main)
+    with pytest.raises(TypeError, match="StaticCallGraph"):
+        lint_state(state, engine.graph)
+
+
+def test_lint_engine_matches_lint_state(program, state):
+    engine = DacceEngine(root=program.main)
+    run_workload(program, WorkloadSpec(calls=6_000, seed=3), engine)
+    assert lint_engine(engine) == lint_state(decoding_state_to_dict(engine))

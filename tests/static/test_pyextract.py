@@ -1,0 +1,319 @@
+"""AST extractor: resolution rules, honesty flags, incremental reuse."""
+
+import textwrap
+
+import pytest
+
+from repro.static.graph import Confidence, StaticAnalysisError
+from repro.static.incremental import IncrementalAnalyzer
+from repro.static.pyextract import (
+    MODULE_BODY,
+    FunctionIndex,
+    extract_package,
+    link_summaries,
+    module_name_for,
+    summarize_source,
+)
+
+
+def _graph_of(*module_sources, **kwargs):
+    summaries = [
+        summarize_source(textwrap.dedent(source), module)
+        for module, source in module_sources
+    ]
+    return link_summaries(summaries, **kwargs)
+
+
+def _edge_map(graph):
+    """(caller qualname, callee qualname) -> edge, for readable asserts."""
+    names = {fn.id: fn.qualname for fn in graph.functions()}
+    return {
+        (names[edge.caller], names[edge.callee]): edge
+        for edge in graph.edges()
+    }
+
+
+def test_direct_local_call_is_high_confidence():
+    graph = _graph_of(
+        ("m", """
+        def helper():
+            pass
+
+        def main():
+            helper()
+        """),
+    )
+    edges = _edge_map(graph)
+    edge = edges[("main", "helper")]
+    assert edge.confidence is Confidence.HIGH
+    assert edge.reason == "direct-call"
+
+
+def test_imported_call_resolves_across_modules():
+    graph = _graph_of(
+        ("util", """
+        def work():
+            pass
+        """),
+        ("app", """
+        from util import work
+
+        def main():
+            work()
+        """),
+    )
+    edges = _edge_map(graph)
+    assert ("main", "work") in edges
+    assert edges[("main", "work")].confidence is Confidence.HIGH
+
+
+def test_module_attr_call_is_medium_confidence():
+    graph = _graph_of(
+        ("util", """
+        def work():
+            pass
+        """),
+        ("app", """
+        import util
+
+        def main():
+            util.work()
+        """),
+    )
+    edges = _edge_map(graph)
+    assert edges[("main", "work")].confidence is Confidence.MEDIUM
+
+
+def test_self_method_and_constructor_resolution():
+    graph = _graph_of(
+        ("m", """
+        class Widget:
+            def __init__(self):
+                self.setup()
+
+            def setup(self):
+                pass
+
+        def main():
+            Widget()
+        """),
+    )
+    edges = _edge_map(graph)
+    init = edges[("main", "Widget.__init__")]
+    assert init.confidence is Confidence.MEDIUM
+    assert init.reason == "constructor"
+    setup = edges[("Widget.__init__", "Widget.setup")]
+    assert setup.confidence is Confidence.MEDIUM
+    assert setup.reason == "self-method"
+
+
+def test_same_method_name_in_two_classes_does_not_collide():
+    graph = _graph_of(
+        ("m", """
+        class A:
+            def __init__(self):
+                pass
+
+        class B:
+            def __init__(self):
+                pass
+        """),
+    )
+    qualnames = {fn.qualname for fn in graph.functions()}
+    assert "A.__init__" in qualnames
+    assert "B.__init__" in qualnames
+
+
+def test_dynamic_and_unknown_calls_are_flagged_not_guessed():
+    graph = _graph_of(
+        ("m", """
+        def main(callbacks):
+            callbacks[0]()
+            obj = object()
+            obj.run()
+        """),
+    )
+    assert graph.num_edges == 0
+    reasons = {site.reason for site in graph.unresolved}
+    assert "dynamic-call" in reasons
+    assert "attribute-call" in reasons
+
+
+def test_inherited_method_call_is_flagged():
+    graph = _graph_of(
+        ("m", """
+        class Child:
+            def run(self):
+                self.inherited_thing()
+        """),
+    )
+    reasons = {site.reason for site in graph.unresolved}
+    assert "inherited-method" in reasons
+
+
+def test_relative_import_is_flagged():
+    graph = _graph_of(
+        ("pkg.mod", """
+        from . import sibling
+        """),
+    )
+    assert any(s.reason == "relative-import" for s in graph.unresolved)
+
+
+def test_builtin_calls_are_outside_the_universe():
+    # print/len resolve to no analyzed module: neither edges nor flags.
+    graph = _graph_of(
+        ("m", """
+        def main():
+            print(len([]))
+        """),
+    )
+    assert graph.num_edges == 0
+    assert not any(s.reason == "dynamic-call" for s in graph.unresolved)
+
+
+def test_decorated_function_firstlineno_matches_code_object():
+    source = textwrap.dedent("""
+    def deco(fn):
+        return fn
+
+    @deco
+    def decorated():
+        pass
+    """)
+    summary = summarize_source(source, "m")
+    by_name = {fn.qualname: fn for fn in summary.functions}
+    decorated = by_name["decorated"]
+    namespace = {}
+    exec(compile(source, "m", "exec"), namespace)
+    code = namespace["decorated"].__code__
+    assert decorated.firstlineno == code.co_firstlineno
+    assert decorated.lineno == decorated.firstlineno + 1
+
+
+def test_module_body_is_a_function():
+    graph = _graph_of(
+        ("m", """
+        def init():
+            pass
+
+        init()
+        """),
+    )
+    edges = _edge_map(graph)
+    assert (MODULE_BODY, "init") in edges
+
+
+def test_syntax_error_raises_static_analysis_error():
+    with pytest.raises(StaticAnalysisError):
+        summarize_source("def broken(:\n", "m")
+
+
+def test_duplicate_module_rejected():
+    summary = summarize_source("x = 1\n", "m")
+    with pytest.raises(StaticAnalysisError):
+        link_summaries([summary, summary])
+
+
+def test_function_ids_stable_across_relink():
+    sources = [
+        ("b", "def beta():\n    pass\n"),
+        ("a", "def alpha():\n    beta()\n"),
+    ]
+    index = FunctionIndex()
+    first = _graph_of(*sources, index=index)
+    ids_before = {
+        (fn.module, fn.qualname): fn.id for fn in first.functions()
+    }
+    # A new module appears; surviving functions must keep their ids.
+    second = _graph_of(
+        *sources, ("c", "def gamma():\n    pass\n"), index=index
+    )
+    ids_after = {
+        (fn.module, fn.qualname): fn.id for fn in second.functions()
+    }
+    for key, assigned in ids_before.items():
+        assert ids_after[key] == assigned
+
+
+def test_root_function_selects_graph_root():
+    graph = _graph_of(
+        ("m", "def main():\n    pass\n"),
+        root_function=("m", "main"),
+    )
+    root_fn = graph.function(graph.root)
+    assert root_fn.qualname == "main"
+    with pytest.raises(StaticAnalysisError):
+        _graph_of(("m", "x = 1\n"), root_function=("m", "missing"))
+
+
+# ----------------------------------------------------------------------
+# incremental (KRAB-style) re-analysis
+# ----------------------------------------------------------------------
+def _write(tree, relative, content):
+    path = tree / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(content))
+    return path
+
+
+def test_incremental_reuses_unchanged_modules(tmp_path):
+    _write(tmp_path, "util.py", """
+    def work():
+        pass
+    """)
+    _write(tmp_path, "app.py", """
+    from util import work
+
+    def main():
+        work()
+    """)
+    analyzer = IncrementalAnalyzer(root=str(tmp_path))
+    graph, stats = analyzer.refresh()
+    assert stats.modules_analyzed == 2
+    assert ("main", "work") in _edge_map(graph)
+
+    # No changes: everything is reused, the graph is identical.
+    graph2, stats2 = analyzer.refresh()
+    assert stats2.modules_analyzed == 0
+    assert stats2.modules_reused == 2
+    assert stats2.reuse_ratio == 1.0
+    assert _edge_map(graph2).keys() == _edge_map(graph).keys()
+
+
+def test_incremental_reanalyzes_only_changed_module(tmp_path):
+    _write(tmp_path, "util.py", "def work():\n    pass\n")
+    _write(tmp_path, "app.py", "from util import work\n\ndef main():\n    work()\n")
+    analyzer = IncrementalAnalyzer(root=str(tmp_path))
+    graph, _ = analyzer.refresh()
+    main_id = {fn.qualname: fn.id for fn in graph.functions()}["main"]
+
+    _write(tmp_path, "util.py", "def work():\n    pass\n\ndef extra():\n    work()\n")
+    graph2, stats = analyzer.refresh()
+    assert stats.modules_analyzed == 1
+    assert stats.modules_reused == 1
+    assert ("extra", "work") in _edge_map(graph2)
+    # KRAB contract: ids of surviving functions never move.
+    assert {fn.qualname: fn.id for fn in graph2.functions()}["main"] == main_id
+
+
+def test_incremental_drops_removed_modules(tmp_path):
+    _write(tmp_path, "one.py", "def f():\n    pass\n")
+    gone = _write(tmp_path, "two.py", "def g():\n    pass\n")
+    analyzer = IncrementalAnalyzer(root=str(tmp_path))
+    analyzer.refresh()
+    gone.unlink()
+    graph, stats = analyzer.refresh()
+    assert stats.modules_removed == 1
+    assert "g" not in {fn.qualname for fn in graph.functions()}
+
+
+def test_extract_package_matches_incremental(tmp_path):
+    _write(tmp_path, "a.py", "def f():\n    pass\n")
+    _write(tmp_path, "sub/b.py", "def g():\n    pass\n")
+    one_shot = extract_package(str(tmp_path))
+    incremental, _ = IncrementalAnalyzer(root=str(tmp_path)).refresh()
+    assert {fn.qualname for fn in one_shot.functions()} == {
+        fn.qualname for fn in incremental.functions()
+    }
+    assert module_name_for(str(tmp_path / "sub/b.py"), str(tmp_path)) == "sub.b"

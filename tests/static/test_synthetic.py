@@ -1,0 +1,90 @@
+"""Exact extractor over the synthetic program model."""
+
+from repro.core.events import CallKind
+from repro.program.generator import GeneratorConfig, generate_program
+from repro.static.graph import Confidence
+from repro.static.synthetic import extract_program, lazy_functions
+
+
+def _program(**overrides):
+    defaults = dict(
+        seed=11,
+        recursive_sites=3,
+        indirect_fraction=0.15,
+        tail_fraction=0.05,
+        library_functions=6,
+        lazy_library=True,
+    )
+    defaults.update(overrides)
+    return generate_program(GeneratorConfig(**defaults))
+
+
+def test_ids_coincide_with_runtime_ids():
+    program = _program()
+    graph = extract_program(program)
+    runtime_functions = {fn.id for fn in program.functions()}
+    static_functions = {fn.id for fn in graph.functions()}
+    assert static_functions == runtime_functions
+    runtime_sites = {
+        site.id for _fn, site in program.all_callsites()
+    }
+    assert {edge.callsite for edge in graph.edges()} <= runtime_sites
+
+
+def test_direct_sites_are_high_confidence():
+    program = _program(indirect_fraction=0.0, lazy_library=False)
+    graph = extract_program(program)
+    assert graph.num_edges > 0
+    for edge in graph.edges():
+        if edge.kind in (CallKind.NORMAL, CallKind.TAIL, CallKind.PLT):
+            assert edge.confidence is Confidence.HIGH
+
+
+def test_indirect_targets_are_medium_and_pointsto_low():
+    program = _program()
+    graph = extract_program(program, include_pointsto=True)
+    indirect = [e for e in graph.edges() if e.kind is CallKind.INDIRECT]
+    assert indirect, "generator produced no indirect sites"
+    assert {e.confidence for e in indirect} <= {
+        Confidence.MEDIUM,
+        Confidence.LOW,
+    }
+    pointsto = [e for e in indirect if e.reason == "points-to"]
+    for edge in pointsto:
+        assert edge.confidence is Confidence.LOW
+    without = extract_program(program, include_pointsto=False)
+    assert without.num_edges == graph.num_edges - len(pointsto)
+
+
+def test_lazy_library_is_flagged_not_resolved():
+    program = _program(lazy_library=True)
+    hidden = lazy_functions(program)
+    assert hidden, "generator produced no lazy library"
+    graph = extract_program(program)
+    touched = {e.caller for e in graph.edges()} | {
+        e.callee for e in graph.edges()
+    }
+    assert not (touched & hidden)
+    reasons = {site.reason for site in graph.unresolved}
+    assert reasons & {"lazy-library-caller", "lazy-library-target"}
+
+
+def test_root_is_program_main():
+    program = _program()
+    graph = extract_program(program)
+    assert graph.root == program.main
+
+
+def test_graph_roundtrips_through_json(tmp_path):
+    program = _program()
+    graph = extract_program(program)
+    path = str(tmp_path / "static.json")
+    graph.save(path)
+    from repro.static.graph import StaticCallGraph
+
+    loaded = StaticCallGraph.load(path)
+    assert loaded.root == graph.root
+    assert {e.key() for e in loaded.edges()} == {
+        e.key() for e in graph.edges()
+    }
+    assert loaded.confidence_histogram() == graph.confidence_histogram()

@@ -10,7 +10,7 @@ from repro.core.events import (
     ThreadStartEvent,
 )
 from repro.tools import ContextCoverage, ContextEventLog, RaceLogger
-from tests.conftest import A, B, C, D, EngineDriver
+from tests.conftest import A, B, C, D
 
 
 @pytest.fixture
