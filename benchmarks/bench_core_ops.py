@@ -39,6 +39,25 @@ def test_bench_dacce_event_throughput(benchmark, event_stream):
     assert engine.stats.calls == 6_000
 
 
+def test_bench_dacce_batch_throughput(benchmark, event_stream):
+    """Same stream as test_bench_dacce_event_throughput through the
+    compiled fast lane (``process_batch`` over compact records)."""
+    from repro.core.engine import DacceEngine
+    from repro.core.events import compact
+
+    program, events = event_stream
+    records = [compact(event) for event in events]
+
+    def run():
+        engine = DacceEngine(root=program.main)
+        engine.process_batch(records)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.stats.calls == 6_000
+    assert engine.fastpath.hits > 0
+
+
 def test_bench_stackwalk_event_throughput(benchmark, event_stream):
     from repro.baselines.stackwalk import StackWalkEngine
 
@@ -118,3 +137,27 @@ def test_bench_decode_latency(benchmark, event_stream):
         return len(samples)
 
     assert benchmark(run) == len(samples)
+
+
+def test_bench_decode_latency_memoized(benchmark, event_stream):
+    """Decode the same log through a warm :class:`DecodeCache`."""
+    from repro.core.decoder import DecodeCache
+    from repro.core.engine import DacceEngine
+
+    program, events = event_stream
+    engine = DacceEngine(root=program.main)
+    for event in events:
+        engine.on_event(event)
+    decoder = engine.decoder()
+    decoder.cache = DecodeCache(capacity=4096)
+    samples = engine.samples
+    for sample in samples:  # warm the cache outside the timed region
+        decoder.decode(sample)
+
+    def run():
+        for sample in samples:
+            decoder.decode(sample)
+        return len(samples)
+
+    assert benchmark(run) == len(samples)
+    assert decoder.cache.hits >= len(samples)

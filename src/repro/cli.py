@@ -218,10 +218,12 @@ def cmd_record(args) -> int:
 
 def cmd_decode(args) -> int:
     """Offline-decode a recorded context log against its state file."""
+    from .core.faults import PartialDecode
     from .core.samplelog import SampleLog
     from .core.serialize import load_decoder
 
     best_effort = getattr(args, "best_effort", False)
+    jobs = getattr(args, "jobs", 1) or 1
     decoder = load_decoder(args.state, best_effort=best_effort)
     with open(args.log, "rb") as handle:
         log = SampleLog.from_bytes(handle.read(), best_effort=best_effort)
@@ -231,20 +233,17 @@ def cmd_decode(args) -> int:
     for fault in log.faults:
         print("log fault @%d: [%s] %s"
               % (fault.offset, fault.reason, fault.message), file=sys.stderr)
-    shown = 0
-    for sample in log:
-        if args.limit and shown >= args.limit:
-            remaining = len(log) - shown
-            print("... (%d more)" % remaining)
-            break
-        if best_effort:
-            partial = decoder.decode_best_effort(sample)
-            context = partial.context
-            marker = "" if partial.complete else " (partial: %s)" % (
-                partial.fault.reason if partial.fault else "unknown"
+
+    samples = log.samples()
+
+    def show(sample, result) -> None:
+        if isinstance(result, PartialDecode):
+            context = result.context
+            marker = "" if result.complete else " (partial: %s)" % (
+                result.fault.reason if result.fault else "unknown"
             )
         else:
-            context = decoder.decode(sample)
+            context = result
             marker = ""
         path = " -> ".join(
             "fn%d" % step.function
@@ -254,6 +253,42 @@ def cmd_decode(args) -> int:
         print("[T%d gTS=%d id=%d] %s%s"
               % (sample.thread, sample.timestamp, sample.context_id, path,
                  marker))
+
+    if jobs > 1:
+        from .core.parallel import decode_log_parallel
+
+        stats: dict = {}
+        results = decode_log_parallel(
+            args.state,
+            samples,
+            jobs=jobs,
+            best_effort=best_effort,
+            best_effort_state=best_effort,
+            stats=stats,
+        )
+        for shown, (sample, result) in enumerate(zip(samples, results)):
+            if args.limit and shown >= args.limit:
+                print("... (%d more)" % (len(samples) - shown))
+                break
+            show(sample, result)
+        print(
+            "decoded %d contexts with %d jobs (cache: %d hits / %d misses)"
+            % (len(results), stats["jobs"], stats["cache_hits"],
+               stats["cache_misses"]),
+            file=sys.stderr,
+        )
+        return 0
+
+    shown = 0
+    for sample in samples:
+        if args.limit and shown >= args.limit:
+            remaining = len(samples) - shown
+            print("... (%d more)" % remaining)
+            break
+        if best_effort:
+            show(sample, decoder.decode_best_effort(sample))
+        else:
+            show(sample, decoder.decode(sample))
         shown += 1
     return 0
 
@@ -601,6 +636,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--best-effort", action="store_true",
                    help="recover what is decodable from damaged inputs "
                         "instead of aborting on the first fault")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="decode with N parallel workers (each loads the "
+                        "state file read-only and memoizes hot contexts)")
     p.set_defaults(fn=cmd_decode)
 
     p = sub.add_parser(

@@ -4,9 +4,10 @@ from .adaptive import AdaptiveConfig, AdaptivePolicy, classify_back_edges
 from .callgraph import CallEdge, CallGraph, CallNode, dfs_classify_back_edges
 from .ccstack import CLONE_CALLSITE, CcStack
 from .context import CallingContext, CcStackEntry, CollectedSample, ContextStep
-from .decoder import Decoder, decode_sample
+from .decoder import DecodeCache, Decoder, decode_sample
 from .dictionary import DictionaryStore, EdgeInfo, EncodingDictionary
 from .encoder import Encoder, encode_graph, frequency_order, insertion_order
+from .fastpath import FastPathStats, FastPathTable, compile_table
 from .engine import (
     CompressionMode,
     DacceConfig,
@@ -51,6 +52,7 @@ from .indirect import (
     IndirectCallSite,
     IndirectDispatchTable,
 )
+from .parallel import decode_log_parallel
 from .samplelog import SampleLog, SampleLogError, SampleLogFault
 from .serialize import (
     SerializationError,
@@ -80,6 +82,7 @@ __all__ = [
     "DacceEngine",
     "DacceError",
     "DacceStats",
+    "DecodeCache",
     "DecodeFault",
     "Decoder",
     "DecodingError",
@@ -91,6 +94,8 @@ __all__ = [
     "EncodingError",
     "EncodingOverflowError",
     "Event",
+    "FastPathStats",
+    "FastPathTable",
     "FaultKind",
     "FaultLog",
     "FaultPolicy",
@@ -118,7 +123,9 @@ __all__ = [
     "assert_sound",
     "check_dictionary",
     "classify_back_edges",
+    "compile_table",
     "decode_log",
+    "decode_log_parallel",
     "decode_sample",
     "dfs_classify_back_edges",
     "encode_graph",

@@ -27,7 +27,7 @@ from .events import CallSiteId, FunctionId
 CLONE_CALLSITE: CallSiteId = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class _MutableEntry:
     """Stack-internal, mutable twin of :class:`CcStackEntry`.
 
@@ -78,6 +78,10 @@ class CcStack:
         capacity: Optional[int] = None,
     ):
         self._entries: List[_MutableEntry] = []
+        #: Logical depth (including compressed repetitions), maintained
+        #: incrementally so the per-push ``max_depth`` update is O(1)
+        #: instead of a full-stack sum.
+        self._depth = 0
         self.compression_enabled = compression_enabled
         #: Section 5.3: the ccStack is allocated lazily per thread and its
         #: bottom page is protected to detect overflow.  ``capacity``
@@ -111,7 +115,9 @@ class CcStack:
         ):
             self._entries[-1].count += 1
             self.stats.compressions += 1
-            self.stats.max_depth = max(self.stats.max_depth, self.depth())
+            self._depth += 1
+            if self._depth > self.stats.max_depth:
+                self.stats.max_depth = self._depth
             return True
         if self.capacity is not None and len(self._entries) >= self.capacity:
             raise TraceError(
@@ -122,7 +128,9 @@ class CcStack:
             _MutableEntry(id_value, callsite, target, discovery=discovery)
         )
         self.stats.pushes += 1
-        self.stats.max_depth = max(self.stats.max_depth, self.depth())
+        self._depth += 1
+        if self._depth > self.stats.max_depth:
+            self.stats.max_depth = self._depth
         return False
 
     def pop(self) -> int:
@@ -130,6 +138,7 @@ class CcStack:
         if not self._entries:
             raise TraceError("pop from empty ccStack")
         top = self._entries[-1]
+        self._depth -= 1
         if top.count > 0:
             # A compressed repetition ends: restore the id and drop one
             # repetition (the ``ccStack.top().count--`` of Figure 5(e)).
@@ -145,6 +154,23 @@ class CcStack:
             return None
         return self._entries[-1].freeze()
 
+    def top_matches(
+        self, id_value: int, callsite: CallSiteId, target: FunctionId
+    ) -> bool:
+        """Does the top entry equal ``<id, callsite, target>``?
+
+        Allocation-free variant of ``top() == CcStackEntry(...)`` for the
+        engine's hot compressed-recursion check.
+        """
+        if not self._entries:
+            return False
+        top = self._entries[-1]
+        return (
+            top.id == id_value
+            and top.callsite == callsite
+            and top.target == target
+        )
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         """Number of physical entries (compressed runs count once)."""
@@ -152,7 +178,7 @@ class CcStack:
 
     def depth(self) -> int:
         """Logical depth including compressed repetitions."""
-        return sum(1 + e.count for e in self._entries)
+        return self._depth
 
     def steady_depth(self) -> int:
         """Logical depth excluding transient edge-discovery entries."""
@@ -181,15 +207,18 @@ class CcStack:
         del self._entries[length:]
         if self._entries and length > 0:
             self._entries[-1].count = top_count
+        self._depth = sum(1 + e.count for e in self._entries)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._depth = 0
 
     def replace(self, entries: List[CcStackEntry]) -> None:
         """Overwrite content (used by re-encoding regeneration)."""
         self._entries = [
             _MutableEntry(e.id, e.callsite, e.target, e.count) for e in entries
         ]
+        self._depth = sum(1 + e.count for e in self._entries)
 
     def __repr__(self) -> str:
         return "CcStack(%s)" % (

@@ -30,6 +30,7 @@ compact output) or expand them into the exact executed path.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +58,81 @@ class _Segment:
     unit: Optional[List[ContextStep]] = None
 
 
+#: Cache key: the sample itself (its frozen-dataclass hash covers the
+#: ``(gTimeStamp, ccId, ccStack-fingerprint)`` triple plus the sampled
+#: function and thread) and the two output-shaping flags.
+DecodeCacheKey = Tuple[CollectedSample, bool, bool]
+
+
+class DecodeCache:
+    """LRU memoisation of successful sample decodes.
+
+    Decoding is a pure function of the sample and the decoding state it
+    is resolved against: dictionaries are immutable snapshots (one per
+    ``gTimeStamp``), thread-parent samples are write-once, and the
+    callsite-owner map only grows — an owner a past decode used can
+    never change.  A successful decode therefore never goes stale and
+    can be memoised for the lifetime of the decoding state, in the
+    value-context style (cache per-context results, invalidate never).
+    Failed decodes are *not* cached: a later sample set (or a
+    best-effort state reload) may supply what was missing.
+
+    The cache is LRU-bounded (``capacity`` entries) because sample logs
+    are long but heavy-tailed — hot calling contexts recur constantly.
+    ``hits``/``misses`` feed the ``decode_cache_total`` metric.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("DecodeCache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[DecodeCacheKey, CallingContext]" = (
+            OrderedDict()
+        )
+
+    def get(self, key: DecodeCacheKey) -> Optional[CallingContext]:
+        context = self._entries.get(key)
+        if context is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return context
+
+    def put(self, key: DecodeCacheKey, context: CallingContext) -> None:
+        entries = self._entries
+        entries[key] = context
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if not total:
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+
 class Decoder:
     """Decodes collected samples against a :class:`DictionaryStore`.
 
@@ -64,6 +140,10 @@ class Decoder:
     :class:`CollectedSample` captured when that thread was spawned
     (Section 5.3); with it, :meth:`decode` reconstructs full cross-thread
     contexts by recursively decoding and prepending the parent context.
+
+    ``cache`` optionally memoises successful decodes (see
+    :class:`DecodeCache`); pass a shared instance to reuse results
+    across decoders built over the same decoding state.
     """
 
     def __init__(
@@ -71,6 +151,7 @@ class Decoder:
         dictionaries: DictionaryStore,
         thread_parents: Optional[Dict[ThreadId, CollectedSample]] = None,
         callsite_owners: Optional[Dict[int, int]] = None,
+        cache: Optional[DecodeCache] = None,
     ):
         self._dictionaries = dictionaries
         self._thread_parents = thread_parents or {}
@@ -80,6 +161,7 @@ class Decoder:
         # supplies this map (its full call graph) so Algorithm 1's
         # ``getEdge`` can always recover the saved caller.
         self._callsite_owners = callsite_owners or {}
+        self.cache = cache
 
     # ------------------------------------------------------------------
     def decode(
@@ -96,6 +178,25 @@ class Decoder:
         compact output).  With ``follow_threads`` the spawning thread's
         context is decoded recursively and prepended.
         """
+        cache = self.cache
+        if cache is not None:
+            key = (sample, expand_recursion, follow_threads)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        context = self._decode_uncached(
+            sample, expand_recursion, follow_threads
+        )
+        if cache is not None:
+            cache.put(key, context)
+        return context
+
+    def _decode_uncached(
+        self,
+        sample: CollectedSample,
+        expand_recursion: bool,
+        follow_threads: bool,
+    ) -> CallingContext:
         dictionary = self._dictionaries.get(sample.timestamp)
         segments, crossed_thread = self._decode_segments(sample, dictionary)
         steps = _emit(segments, expand=expand_recursion)

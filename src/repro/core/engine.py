@@ -60,14 +60,17 @@ from .adaptive import (
 from .callgraph import CallEdge, CallGraph
 from .ccstack import CLONE_CALLSITE, CcStack
 from .context import CallingContext, CollectedSample, ContextStep
-from .decoder import Decoder
 from .dictionary import DictionaryStore, EncodingDictionary
 from .encoder import EdgeOrderPolicy, Encoder, frequency_order, insertion_order
 from .errors import DacceError, ReencodeError, TraceError
+from .decoder import DecodeCache, Decoder
 from .events import (
+    EV_CALL,
+    EV_RETURN,
     CallEvent,
     CallKind,
     CallSiteId,
+    CompactEvent,
     Event,
     FunctionId,
     LibraryLoadEvent,
@@ -76,8 +79,10 @@ from .events import (
     ThreadExitEvent,
     ThreadId,
     ThreadStartEvent,
+    inflate,
 )
 from .faults import FaultKind, FaultLog, FaultPolicy, FaultRecord, RecoveryAction
+from .fastpath import FastPathStats, FastPathTable, compile_table
 from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
 from .invariants import check_dictionary
 
@@ -136,7 +141,7 @@ class _Action(enum.Enum):
     DISCOVERY_PUSH = 4  # ccStack push for a not-yet-encoded edge
 
 
-@dataclass
+@dataclass(slots=True)
 class _Frame:
     """Shadow-stack frame.
 
@@ -145,6 +150,11 @@ class _Frame:
     their machine frames are gone.  ``restore_id`` / ``cc_state`` are the
     encoding context at entry of the *chain head*, which is what the
     TcStack restores after a tail-call chain returns (Figure 7).
+
+    Frames are allocated once per dynamic call and never mutated, so the
+    chain is an immutable tuple (shared between a frame and its
+    regenerated twin) and the class is slotted — both shave per-call
+    allocation cost off the hot path.
     """
 
     function: FunctionId
@@ -153,9 +163,7 @@ class _Frame:
     cc_state: Tuple[int, int]
     action: _Action
     kind: CallKind = CallKind.NORMAL
-    chain: List[Tuple[FunctionId, CallSiteId, CallKind]] = field(
-        default_factory=list
-    )
+    chain: Tuple[Tuple[FunctionId, CallSiteId, CallKind], ...] = ()
 
     @property
     def is_tail_chain(self) -> bool:
@@ -305,6 +313,27 @@ class DacceEngine:
                 )
             ],
         )
+        # Fast-path specialisation state (docs/PERFORMANCE.md).  The
+        # compiled dispatch table is built lazily on the first batch and
+        # re-built whenever its (dictionary identity, tail-set size)
+        # pins go stale.  Subclasses that override any handler the batch
+        # loop bypasses (``GlobalIdEngine`` replaces on_call/on_return
+        # wholesale) are detected here and transparently deoptimised to
+        # per-event dispatch — behaviour first, speed second.
+        self._fastpath: Optional[FastPathTable] = None
+        self.fastpath = FastPathStats()
+        cls = type(self)
+        self._fastpath_enabled = (
+            cls.on_call is DacceEngine.on_call
+            and cls.on_return is DacceEngine.on_return
+            and cls._apply_call is DacceEngine._apply_call
+            and cls._apply_direct is DacceEngine._apply_direct
+            and cls._maybe_check_triggers is DacceEngine._maybe_check_triggers
+        )
+        # Shared LRU decode cache: dictionaries are immutable and
+        # thread-parent samples are write-once, so a successful decode
+        # stays valid for the lifetime of the engine (docs/PERFORMANCE.md).
+        self._decode_cache = DecodeCache()
         # Telemetry: one boolean guards every hot-path hook; instruments
         # are pre-bound so an enabled engine pays one dict-free call per
         # event and a disabled engine pays only the guard.
@@ -389,6 +418,18 @@ class DacceEngine:
             "Quarantined faults (recover policy), by kind.",
             labelnames=("kind",),
         )
+        self._c_fastpath = registry.counter(
+            "fastpath_total",
+            "Batched fast-path specialisation outcomes (hit = handled "
+            "by the compiled table, miss = deoptimised to the general "
+            "path).",
+            labelnames=("result",),
+        )
+        self._c_decode_cache = registry.counter(
+            "decode_cache_total",
+            "Engine decode-cache lookups (memoised Algorithm 1 results).",
+            labelnames=("result",),
+        )
 
     def _collect_metrics(self) -> None:
         """Scrape-time migration of the legacy counters onto the registry.
@@ -436,6 +477,10 @@ class DacceEngine:
             self._g_engine.set_labeled(value, name)
         for kind, count in self.faults.counts_by_kind().items():
             self._c_faults.set_total(count, kind)
+        self._c_fastpath.set_total(self.fastpath.hits, "hit")
+        self._c_fastpath.set_total(self.fastpath.misses, "miss")
+        self._c_decode_cache.set_total(self._decode_cache.hits, "hit")
+        self._c_decode_cache.set_total(self._decode_cache.misses, "miss")
 
     # ------------------------------------------------------------------
     # public API
@@ -480,6 +525,197 @@ class DacceEngine:
                 event=repr(event),
                 gts=self._timestamp,
             )
+
+    # ------------------------------------------------------------------
+    # batched fast-path processing
+    # ------------------------------------------------------------------
+    def process_batch(self, records: Iterable[CompactEvent]) -> None:
+        """Process a stream of compact event tuples through the fast lane.
+
+        The steady-state case — a NORMAL call over an edge the current
+        dictionary encodes, and the matching return — is handled by one
+        dict probe plus one integer add against the compiled
+        :class:`~repro.core.fastpath.FastPathTable`, with statistics,
+        window counters, cost charges and telemetry folded into
+        per-batch flushes.  Everything else (unencoded or back edges,
+        indirect/tail/PLT calls, samples, thread events, malformed
+        events under the recover policy) *deoptimises*: the tuple is
+        inflated to its dataclass form and dispatched through
+        :meth:`on_event`, so the general path — including fault
+        quarantine, warm-start accounting and adaptive re-encoding —
+        behaves exactly as in per-event processing.
+
+        Folded counters are flushed before every deoptimisation and
+        before every adaptive trigger check, so anything the general
+        path observes (``stats.calls`` in fault records, window
+        evidence in trigger decisions, re-encoding pass reports) sees
+        the same values as per-event processing.  The differential
+        property suite (``tests/core/test_fastpath_property.py``)
+        asserts byte-identical end states.
+        """
+        if not self._fastpath_enabled:
+            # Subclass overrides a bypassed handler: per-event dispatch.
+            on_event = self.on_event
+            for record in records:
+                on_event(inflate(record))
+            return
+
+        table = self._ensure_fastpath()
+        entries = table.entries
+        stats = self.stats
+        cost = self.cost
+        threads = self._threads
+        interval = self.config.adaptive.check_interval
+        obs = self._obs
+        m_calls_normal = self._m_calls[CallKind.NORMAL] if obs else None
+        m_returns = self._m_returns if obs else None
+        warm = self._warm
+        action_id = _Action.ID
+        action_none = _Action.NONE
+        self.fastpath.batches += 1
+
+        # Folded per-batch counters; flushed through ``flush`` below.
+        pending_calls = 0
+        pending_returns = 0
+        pending_id_updates = 0
+        pending_tcstack = 0
+        hits = 0
+        misses = 0
+
+        def flush() -> None:
+            # The charges are exact under folding: the cost parameters
+            # involved (baseline 150.0, id_update 1.5, tcstack 5.0) are
+            # dyadic rationals, so ``n`` separate float adds and one
+            # ``n *`` multiply produce bit-identical sums.
+            nonlocal pending_calls, pending_returns
+            nonlocal pending_id_updates, pending_tcstack
+            if pending_calls:
+                stats.calls += pending_calls
+                self._window.calls += pending_calls
+                cost.charge_call_baseline(pending_calls)
+                if m_calls_normal is not None:
+                    m_calls_normal.inc(pending_calls)
+                pending_calls = 0
+            if pending_returns:
+                stats.returns += pending_returns
+                if m_returns is not None:
+                    m_returns.inc(pending_returns)
+                pending_returns = 0
+            if pending_id_updates:
+                cost.charge_id_update(pending_id_updates)
+                pending_id_updates = 0
+            if pending_tcstack:
+                cost.charge_tcstack(pending_tcstack)
+                pending_tcstack = 0
+
+        try:
+            for record in records:
+                op = record[0]
+                if op == EV_CALL:
+                    if record[5] == 0:  # CallKind.NORMAL
+                        entry = entries.get((record[2], record[4]))
+                        if entry is not None:
+                            state = threads.get(record[1])
+                            if (
+                                state is not None
+                                and state.frames[-1].function == record[3]
+                            ):
+                                delta, edge, tail_callee = entry
+                                if not edge.invocations and warm and edge.seeded:
+                                    # First hit on a seeded edge: the
+                                    # handler call cold-start DACCE
+                                    # would have paid (PR 3 stat).
+                                    stats.warmstart_handler_hits_avoided += 1
+                                edge.invocations += 1
+                                restore_id = state.id_value
+                                if delta:
+                                    state.id_value = restore_id + delta
+                                    pending_id_updates += 1
+                                    action = action_id
+                                else:
+                                    action = action_none
+                                if tail_callee:
+                                    pending_tcstack += 1
+                                state.frames.append(
+                                    _Frame(
+                                        function=record[4],
+                                        callsite=record[2],
+                                        restore_id=restore_id,
+                                        cc_state=state.ccstack.saved_state(),
+                                        action=action,
+                                    )
+                                )
+                                pending_calls += 1
+                                hits += 1
+                                continue
+                elif op == EV_RETURN:
+                    state = threads.get(record[1])
+                    if state is not None:
+                        frames = state.frames
+                        if len(frames) > 1:
+                            frame = frames[-1]
+                            action = frame.action
+                            if (
+                                action is action_none or action is action_id
+                            ) and not frame.chain:
+                                frames.pop()
+                                if action is action_id:
+                                    pending_id_updates += 1
+                                state.id_value = frame.restore_id
+                                pending_returns += 1
+                                hits += 1
+                                # The general path evaluates adaptive
+                                # triggers after every return; with the
+                                # window flushed this fires at exactly
+                                # the same event positions.
+                                if self._window.calls + pending_calls >= interval:
+                                    flush()
+                                    self._maybe_check_triggers()
+                                    if not table.valid_for(
+                                        self._current,
+                                        len(self._tail_calling_functions),
+                                    ):
+                                        table = self._ensure_fastpath()
+                                        entries = table.entries
+                                continue
+
+                # Deoptimise: flush folded state, take the general path,
+                # then revalidate the table (the event may have
+                # re-encoded, discovered a tail caller, or rolled back).
+                misses += 1
+                flush()
+                self.on_event(inflate(record))
+                if not table.valid_for(
+                    self._current, len(self._tail_calling_functions)
+                ):
+                    table = self._ensure_fastpath()
+                    entries = table.entries
+        finally:
+            flush()
+            self.fastpath.hits += hits
+            self.fastpath.misses += misses
+
+    def _ensure_fastpath(self) -> FastPathTable:
+        """The compiled dispatch table for the current engine state."""
+        table = self._fastpath
+        if table is None or not table.valid_for(
+            self._current, len(self._tail_calling_functions)
+        ):
+            table = compile_table(
+                self.graph, self._current, self._tail_calling_functions
+            )
+            self._fastpath = table
+            self.fastpath.compiles += 1
+        return table
+
+    def fastpath_stats(self) -> Dict[str, object]:
+        """Fast-path specialisation counters (plus table shape)."""
+        snapshot = self.fastpath.to_dict()
+        snapshot["enabled"] = self._fastpath_enabled
+        snapshot["table_entries"] = (
+            len(self._fastpath) if self._fastpath is not None else 0
+        )
+        return snapshot
 
     # ------------------------------------------------------------------
     # fault quarantine (recover policy)
@@ -701,10 +937,20 @@ class DacceEngine:
         return record
 
     def decoder(self) -> Decoder:
-        """A decoder over every dictionary produced so far."""
+        """A decoder over every dictionary produced so far.
+
+        All decoders built from one engine share its LRU
+        :class:`~repro.core.decoder.DecodeCache`: dictionaries are
+        immutable, thread-parent samples are write-once and the
+        callsite-owner map only grows, so a successful decode never goes
+        stale (docs/PERFORMANCE.md).
+        """
         owners = {edge.callsite: edge.caller for edge in self.graph.edges()}
         return Decoder(
-            self.dictionaries, dict(self.thread_parents), callsite_owners=owners
+            self.dictionaries,
+            dict(self.thread_parents),
+            callsite_owners=owners,
+            cache=self._decode_cache,
         )
 
     # ------------------------------------------------------------------
@@ -1020,6 +1266,8 @@ class DacceEngine:
         snapshot["fault_policy"] = self.config.fault_policy.value
         snapshot["faults"] = self.faults.total
         snapshot["faults_by_kind"] = self.faults.counts_by_kind()
+        snapshot["fastpath"] = self.fastpath_stats()
+        snapshot["decode_cache"] = self._decode_cache.stats()
         if self._obs:
             snapshot["reencode_passes"] = self.telemetry.pass_reports.to_list()
         return snapshot
@@ -1178,12 +1426,10 @@ class DacceEngine:
         return _Action.DISCOVERY_PUSH
 
     def _would_repeat(self, state: _ThreadState, event: CallEvent) -> bool:
-        top = state.ccstack.top()
-        return (
-            top is not None
-            and top.id == state.id_value
-            and top.callsite == event.callsite
-            and top.target == event.callee
+        # top_matches avoids the frozen-entry allocation of .top() on
+        # every back-edge push (per-event allocation audit, PR 4).
+        return state.ccstack.top_matches(
+            state.id_value, event.callsite, event.callee
         )
 
     def _charge_discovery_push(self) -> None:
@@ -1225,8 +1471,6 @@ class DacceEngine:
             action = self._dispatch_indirect(state, event, edge)
         else:
             action = self._apply_direct(state, event, edge)
-        chain = list(old.chain)
-        chain.append((old.function, old.callsite, old.kind))
         state.frames.append(
             _Frame(
                 function=event.callee,
@@ -1235,7 +1479,7 @@ class DacceEngine:
                 cc_state=old.cc_state,
                 action=action,
                 kind=event.kind,
-                chain=chain,
+                chain=old.chain + ((old.function, old.callsite, old.kind),),
             )
         )
 
@@ -1522,7 +1766,7 @@ class DacceEngine:
                     cc_state=chain_cc_state,
                     action=action,
                     kind=frame.kind,
-                    chain=list(frame.chain),
+                    chain=frame.chain,
                 )
             )
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
 
 FunctionId = int
 CallSiteId = int
@@ -106,3 +106,102 @@ Event = Union[
     ThreadExitEvent,
     LibraryLoadEvent,
 ]
+
+
+# ----------------------------------------------------------------------
+# compact wire format
+# ----------------------------------------------------------------------
+# Hot event producers (the trace executor, the Python tracer) emit plain
+# tuples instead of frozen dataclasses: at millions of events per run the
+# dataclass allocation and attribute protocol dominate the engine's fast
+# path.  ``DacceEngine.process_batch`` consumes these tuples directly;
+# ``inflate``/``compact`` convert to and from the dataclass API, which
+# remains the compatibility surface (``on_event`` and everything above
+# it is unchanged).
+#
+# Layouts (first element is the opcode):
+#
+# * ``(EV_CALL, thread, callsite, caller, callee, kind_code)``
+# * ``(EV_RETURN, thread)``
+# * ``(EV_SAMPLE, thread)``
+# * ``(EV_THREAD_START, thread, parent, entry)``
+# * ``(EV_THREAD_EXIT, thread)``
+# * ``(EV_LIBRARY_LOAD, thread, library)``
+
+EV_CALL = 0
+EV_RETURN = 1
+EV_SAMPLE = 2
+EV_THREAD_START = 3
+EV_THREAD_EXIT = 4
+EV_LIBRARY_LOAD = 5
+
+#: Call kinds as small integers (tuple layout slot 5).
+KIND_CODE = {
+    CallKind.NORMAL: 0,
+    CallKind.INDIRECT: 1,
+    CallKind.TAIL: 2,
+    CallKind.PLT: 3,
+}
+KIND_FROM_CODE: Tuple[CallKind, ...] = (
+    CallKind.NORMAL,
+    CallKind.INDIRECT,
+    CallKind.TAIL,
+    CallKind.PLT,
+)
+
+#: Kind code of a plain direct call — the fast-path opcode test.
+KIND_NORMAL_CODE = KIND_CODE[CallKind.NORMAL]
+
+CompactEvent = Tuple[int, ...]
+
+
+def compact(event: Event) -> CompactEvent:
+    """The compact-tuple form of a dataclass event."""
+    if isinstance(event, CallEvent):
+        return (
+            EV_CALL,
+            event.thread,
+            event.callsite,
+            event.caller,
+            event.callee,
+            KIND_CODE[event.kind],
+        )
+    if isinstance(event, ReturnEvent):
+        return (EV_RETURN, event.thread)
+    if isinstance(event, SampleEvent):
+        return (EV_SAMPLE, event.thread)
+    if isinstance(event, ThreadStartEvent):
+        return (EV_THREAD_START, event.thread, event.parent, event.entry)
+    if isinstance(event, ThreadExitEvent):
+        return (EV_THREAD_EXIT, event.thread)
+    if isinstance(event, LibraryLoadEvent):
+        # The library name rides along untyped; the tuple layout is an
+        # internal wire format, not a serialisation format.
+        return (EV_LIBRARY_LOAD, event.thread, event.library)  # type: ignore[return-value]
+    raise TypeError("cannot compact unknown event %r" % (event,))
+
+
+def inflate(record: CompactEvent) -> Event:
+    """The dataclass form of a compact tuple (general-path delegation)."""
+    op = record[0]
+    if op == EV_CALL:
+        return CallEvent(
+            thread=record[1],
+            callsite=record[2],
+            caller=record[3],
+            callee=record[4],
+            kind=KIND_FROM_CODE[record[5]],
+        )
+    if op == EV_RETURN:
+        return ReturnEvent(thread=record[1])
+    if op == EV_SAMPLE:
+        return SampleEvent(thread=record[1])
+    if op == EV_THREAD_START:
+        return ThreadStartEvent(
+            thread=record[1], parent=record[2], entry=record[3]
+        )
+    if op == EV_THREAD_EXIT:
+        return ThreadExitEvent(thread=record[1])
+    if op == EV_LIBRARY_LOAD:
+        return LibraryLoadEvent(thread=record[1], library=record[2])  # type: ignore[arg-type]
+    raise TypeError("cannot inflate unknown opcode %r" % (op,))

@@ -1,0 +1,151 @@
+"""Compiled fast-path dispatch tables for the steady state.
+
+The paper's central trick is that a call over an already-encoded edge
+costs almost nothing — the hottest in-edge gets encoding 0, i.e. *no
+instrumentation at all* (Sections 3-4).  The reproduction mirrors that
+at the interpreter level: :class:`FastPathTable` is a flat dictionary
+compiled from the current decoding dictionary that lets
+``DacceEngine.process_batch`` handle a run of encoded NORMAL calls and
+their returns with one dict probe and one integer add each — no
+dataclass unpacking, no handler/fault/telemetry branches.
+
+The table is a pure *specialisation cache*: every entry restates what
+the general path would compute for that edge under the current
+``gTimeStamp``.  Anything the table cannot prove cheap (an unencoded or
+back edge, an indirect/tail/PLT call, a sample, a thread event, a
+fault-policy recovery) misses and deoptimises to the existing general
+path, so behaviour is identical and only speed changes.
+
+Invalidation is by identity: a table is valid exactly while the engine's
+current dictionary is the *object* it was compiled from and the
+tail-caller set has not grown.  Re-encoding replaces the dictionary
+object (and a rolled-back pass restores the previous object, for which
+the previous table is still exact), so transactional re-encoding and
+warm-start seeding (PR 2/PR 3) need no extra hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from .events import CallKind, CallSiteId, FunctionId
+
+if TYPE_CHECKING:
+    from .callgraph import CallEdge
+    from .dictionary import EncodingDictionary
+
+#: ``(callsite, callee) -> (encoding delta, edge, callee tail-calls?)``.
+#:
+#: The issue sketches the key as ``(thread_kind, callsite)``; the
+#: reproduction keys on ``(callsite, callee)`` instead because a call
+#: site is not guaranteed monomorphic (the Python tracer maps dynamic
+#: dispatch onto NORMAL calls), and the encoding is a per-target
+#: property.  The per-thread running-id register lives in the engine's
+#: ``_ThreadState.id_value``, which the batch loop mutates directly.
+FastPathEntry = Tuple[int, "CallEdge", bool]
+FastPathKey = Tuple[CallSiteId, FunctionId]
+
+
+@dataclass
+class FastPathStats:
+    """Specialisation counters; ``hit_rate`` feeds the CI perf gate."""
+
+    hits: int = 0
+    misses: int = 0
+    batches: int = 0
+    compiles: int = 0
+
+    @property
+    def events(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if not total:
+            return 0.0
+        return self.hits / total
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "batches": self.batches,
+            "compiles": self.compiles,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class FastPathTable:
+    """One compiled dispatch table, pinned to a dictionary snapshot.
+
+    ``entries`` maps every encoded, non-back NORMAL edge of the source
+    dictionary to ``(delta, edge, callee_tail_calls)``:
+
+    * ``delta`` — the edge's encoding (``id += delta``; 0 for the
+      hottest in-edge, matching the paper's zero-instrumentation case),
+    * ``edge`` — the live :class:`~repro.core.callgraph.CallEdge`, so
+      the batch loop can bump ``invocations`` (the adaptive policy's
+      frequency signal) without a graph lookup,
+    * ``callee_tail_calls`` — whether the callee is a known tail-caller,
+      i.e. the caller-side TcStack save of Figure 7 must be charged.
+
+    Seeded edges that have never been invoked are compiled in as well;
+    the batch loop credits ``warmstart_handler_hits_avoided`` on their
+    first hit exactly as the general path would.
+    """
+
+    __slots__ = ("entries", "dictionary", "tail_set_size")
+
+    def __init__(
+        self,
+        entries: Dict[FastPathKey, FastPathEntry],
+        dictionary: "EncodingDictionary",
+        tail_set_size: int,
+    ):
+        self.entries = entries
+        self.dictionary = dictionary
+        self.tail_set_size = tail_set_size
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def valid_for(
+        self, dictionary: "EncodingDictionary", tail_set_size: int
+    ) -> bool:
+        """Is this table still exact for the engine's current state?
+
+        Identity on the dictionary object covers both directions of the
+        re-encoding transaction: a committed pass installs a new object
+        (stale), a rolled-back pass restores the old object (this table
+        is exact again).  The tail-caller set only grows, and growth
+        flips the TcStack charge of affected callees, so its size is the
+        second validity dimension.
+        """
+        return (
+            dictionary is self.dictionary
+            and tail_set_size == self.tail_set_size
+        )
+
+
+def compile_table(graph, dictionary, tail_calling_functions) -> FastPathTable:
+    """Compile the fast-path table for one dictionary snapshot.
+
+    O(edges) — the same order as one re-encoding pass, and compiled at
+    most once per (dictionary, tail-set) state, so compilation cost is
+    bounded by the adaptive machinery that triggered it.
+    """
+    entries: Dict[FastPathKey, FastPathEntry] = {}
+    for edge in graph.edges():
+        if edge.kind is not CallKind.NORMAL or edge.is_back:
+            continue
+        encoding = dictionary.encoding(edge.callsite, edge.callee)
+        if encoding is None:
+            continue
+        entries[(edge.callsite, edge.callee)] = (
+            encoding,
+            edge,
+            edge.callee in tail_calling_functions,
+        )
+    return FastPathTable(entries, dictionary, len(tail_calling_functions))

@@ -1,0 +1,165 @@
+"""Parallel, memoized decoding of recorded sample logs.
+
+Offline decoding is embarrassingly parallel: every record of a ``DCL2``
+sample log decodes independently against the same read-only decoding
+state.  :func:`decode_log_parallel` shards a log by record ranges across
+a ``multiprocessing`` pool — each worker loads the exported state file
+itself (read-only; nothing mutable crosses the process boundary except
+the sample chunks) and decodes its ranges through a worker-local
+:class:`~repro.core.decoder.DecodeCache`.
+
+Two independent speedups compose here:
+
+* **cores** — chunks decode concurrently across workers,
+* **memoization** — hot calling contexts recur constantly in real logs,
+  so each worker's LRU cache collapses repeats to a dict probe.  On a
+  single-core machine this is the dominant (and only parallel) win.
+
+Ordering is preserved exactly: chunks are dispatched and consumed in
+record order, so strict mode raises the same first
+:class:`~repro.core.errors.DecodingError` a sequential
+:func:`~repro.core.serialize.decode_log` would, and best-effort mode
+yields :class:`~repro.core.faults.PartialDecode` results (faults
+included) in the same positions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .context import CallingContext, CollectedSample
+from .decoder import DecodeCache, Decoder
+from .faults import PartialDecode
+
+#: One decoded chunk: results plus the worker cache's (hits, misses)
+#: delta for this chunk, so the parent can aggregate cache telemetry.
+_ChunkResult = Tuple[
+    List[Union[CallingContext, PartialDecode]], Tuple[int, int]
+]
+
+#: Per-worker decoder, built once by the pool initializer.  Plain module
+#: global — the standard multiprocessing idiom for read-only worker
+#: state (each worker process has its own copy).
+_worker_decoder: Optional[Decoder] = None
+
+
+def _init_worker(
+    state_path: str, best_effort_state: bool, cache_capacity: int
+) -> None:
+    """Pool initializer: load the decoding state file, attach a cache."""
+    global _worker_decoder
+    from .serialize import load_decoder
+
+    decoder = load_decoder(state_path, best_effort=best_effort_state)
+    decoder.cache = DecodeCache(cache_capacity)
+    _worker_decoder = decoder
+
+
+def _decode_chunk(
+    payload: Tuple[List[CollectedSample], bool]
+) -> _ChunkResult:
+    samples, best_effort = payload
+    decoder = _worker_decoder
+    assert decoder is not None, "worker used without initializer"
+    cache = decoder.cache
+    assert cache is not None
+    hits0, misses0 = cache.hits, cache.misses
+    results: List[Union[CallingContext, PartialDecode]] = []
+    append = results.append
+    if best_effort:
+        for sample in samples:
+            append(decoder.decode_best_effort(sample))
+    else:
+        for sample in samples:
+            append(decoder.decode(sample))
+    return results, (cache.hits - hits0, cache.misses - misses0)
+
+
+def _chunk_ranges(total: int, jobs: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into contiguous shards, several per worker.
+
+    Over-decomposing (4 chunks per worker) keeps the pool busy when
+    chunks decode at different speeds (deep contexts cost more), while
+    contiguous ranges keep each worker's cache hot — neighbouring
+    records usually share most of their context.
+    """
+    chunks = max(1, min(total, jobs * 4))
+    base, extra = divmod(total, chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            break
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def decode_log_parallel(
+    state_path: str,
+    samples: Sequence[CollectedSample],
+    jobs: int,
+    best_effort: bool = False,
+    best_effort_state: bool = False,
+    cache_capacity: int = 4096,
+    stats: Optional[dict] = None,
+) -> List[Union[CallingContext, PartialDecode]]:
+    """Decode ``samples`` against ``state_path`` with ``jobs`` workers.
+
+    ``samples`` is any indexable sample sequence — pass
+    ``SampleLog.samples()`` for a loaded log.  ``best_effort`` selects
+    per-record :class:`PartialDecode` results (fault ordering matches
+    the sequential pipeline); ``best_effort_state`` is forwarded to each
+    worker's :func:`~repro.core.serialize.load_decoder`.  ``stats``,
+    when given, receives aggregate worker-cache telemetry
+    (``cache_hits`` / ``cache_misses`` / ``jobs`` / ``chunks``).
+
+    With ``jobs <= 1`` no pool is spawned: the log decodes in-process
+    through the same chunking and caching, so output (and fault
+    ordering) is identical by construction.
+    """
+    total = len(samples)
+    ranges = _chunk_ranges(total, max(1, jobs))
+    payloads = [
+        (list(samples[start:stop]), best_effort) for start, stop in ranges
+    ]
+
+    results: List[Union[CallingContext, PartialDecode]] = []
+    cache_hits = cache_misses = 0
+    if jobs <= 1 or len(payloads) <= 1:
+        _init_worker(state_path, best_effort_state, cache_capacity)
+        try:
+            for payload in payloads:
+                chunk, (hits, misses) = _decode_chunk(payload)
+                results.extend(chunk)
+                cache_hits += hits
+                cache_misses += misses
+        finally:
+            _reset_worker()
+    else:
+        workers = min(jobs, len(payloads))
+        with multiprocessing.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(state_path, best_effort_state, cache_capacity),
+        ) as pool:
+            # imap (not imap_unordered): chunks come back in record
+            # order, so a strict-mode DecodingError surfaces at the
+            # same record a sequential decode would reach first.
+            for chunk, (hits, misses) in pool.imap(_decode_chunk, payloads):
+                results.extend(chunk)
+                cache_hits += hits
+                cache_misses += misses
+    if stats is not None:
+        stats["cache_hits"] = cache_hits
+        stats["cache_misses"] = cache_misses
+        stats["jobs"] = max(1, jobs)
+        stats["chunks"] = len(payloads)
+    return results
+
+
+def _reset_worker() -> None:
+    global _worker_decoder
+    _worker_decoder = None

@@ -171,6 +171,7 @@ class SampleLog:
         self._buffer = bytearray(_MAGIC)
         self._count = 0
         self._last_timestamp = 0
+        self._samples_cache: "List[CollectedSample] | None" = None
         #: Damage skipped by a best-effort load (empty for clean data).
         self.faults: List[SampleLogFault] = []
 
@@ -183,6 +184,7 @@ class SampleLog:
         self._buffer.append(_record_checksum(bytes(payload)))
         self._last_timestamp = sample.timestamp
         self._count += 1
+        self._samples_cache = None
 
     def extend(self, samples: Iterable[CollectedSample]) -> None:
         for sample in samples:
@@ -238,9 +240,20 @@ class SampleLog:
         log.faults.extend(faults)
         return log
 
+    def samples(self) -> List[CollectedSample]:
+        """All records as a list, parsed once and cached.
+
+        Random access by record index is what the parallel decoder's
+        range sharding needs; the cache is invalidated by
+        :meth:`append`.  The returned list is shared — do not mutate.
+        """
+        if self._samples_cache is None:
+            samples, _ = _parse_v2(bytes(self._buffer), best_effort=False)
+            self._samples_cache = samples
+        return self._samples_cache
+
     def __iter__(self) -> Iterator[CollectedSample]:
-        samples, _ = _parse_v2(bytes(self._buffer), best_effort=False)
-        return iter(samples)
+        return iter(self.samples())
 
 
 def _parse_v2(

@@ -157,8 +157,8 @@ class CostModel:
     def charge_hash_lookup(self) -> None:
         self.report.add("indirect", self.parameters.hash_lookup)
 
-    def charge_tcstack(self) -> None:
-        self.report.add("tcstack", self.parameters.tcstack_op)
+    def charge_tcstack(self, count: int = 1) -> None:
+        self.report.add("tcstack", count * self.parameters.tcstack_op)
 
     def charge_handler(self) -> None:
         self.report.add("handler", self.parameters.handler)

@@ -30,17 +30,20 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.errors import TraceError
 from ..core.events import (
-    CallEvent,
+    EV_CALL,
+    EV_LIBRARY_LOAD,
+    EV_RETURN,
+    EV_SAMPLE,
+    EV_THREAD_EXIT,
+    EV_THREAD_START,
+    KIND_CODE,
     CallKind,
     CallSiteId,
+    CompactEvent,
     Event,
     FunctionId,
-    LibraryLoadEvent,
-    ReturnEvent,
-    SampleEvent,
-    ThreadExitEvent,
     ThreadId,
-    ThreadStartEvent,
+    inflate,
 )
 from .model import CallSiteDef, Program
 
@@ -195,7 +198,23 @@ class TraceExecutor:
 
     # ------------------------------------------------------------------
     def events(self) -> Iterator[Event]:
-        """Generate the full event stream (single pass)."""
+        """Generate the full event stream as dataclass events.
+
+        Compatibility wrapper over :meth:`compact_events` — the executor
+        produces compact tuples natively (the hot-path wire format of
+        ``repro.core.events``) and inflates them here for consumers that
+        want the dataclass API.
+        """
+        for record in self.compact_events():
+            yield inflate(record)
+
+    def compact_events(self) -> Iterator[CompactEvent]:
+        """Generate the full event stream as compact tuples (single pass).
+
+        This is the fast producer: feed it to
+        ``DacceEngine.process_batch`` (see :func:`run_workload_batched`)
+        to skip per-event dataclass allocation entirely.
+        """
         spec = self.spec
         threads: Dict[ThreadId, _ExecThread] = {0: self._new_thread(self.program.main)}
         pending_threads = sorted(
@@ -218,9 +237,7 @@ class TraceExecutor:
                     raise TraceError("duplicate thread id %d" % thread.thread)
                 entry = self._viable_entry(thread.entry)
                 threads[thread.thread] = self._new_thread(entry)
-                yield ThreadStartEvent(
-                    thread=thread.thread, parent=0, entry=entry
-                )
+                yield (EV_THREAD_START, thread.thread, 0, entry)
 
             burst_left -= 1
             if burst_left <= 0 or current not in threads:
@@ -237,16 +254,16 @@ class TraceExecutor:
             since_sample += 1
             if spec.sample_period and since_sample >= spec.sample_period:
                 since_sample = 0
-                yield SampleEvent(thread=current)
+                yield (EV_SAMPLE, current)
 
         # Drain: unwind every thread; workers exit, main keeps frame 0.
         for thread_id in sorted(threads):
             state = threads[thread_id]
             while state.depth > 1:
                 state.pop()
-                yield ReturnEvent(thread=thread_id)
+                yield (EV_RETURN, thread_id)
             if thread_id != 0:
-                yield ThreadExitEvent(thread=thread_id)
+                yield (EV_THREAD_EXIT, thread_id)
 
     def _viable_entry(self, requested: FunctionId) -> FunctionId:
         """A worker entry that can actually do work.
@@ -277,7 +294,9 @@ class TraceExecutor:
         return state
 
     # ------------------------------------------------------------------
-    def _step(self, thread: ThreadId, state: _ExecThread) -> Iterator[Event]:
+    def _step(
+        self, thread: ThreadId, state: _ExecThread
+    ) -> Iterator[CompactEvent]:
         """One scheduling quantum: a call or a return on ``thread``."""
         spec = self.spec
         depth = state.depth
@@ -287,7 +306,7 @@ class TraceExecutor:
             if depth > state.unwind_to:
                 state.pop()
                 state.burst_remaining = 0
-                yield ReturnEvent(thread=thread)
+                yield (EV_RETURN, thread)
                 return
             state.unwind_to = 0
         elif (
@@ -298,7 +317,7 @@ class TraceExecutor:
             state.unwind_to = self._rng.randint(1, 2)
             state.pop()
             state.burst_remaining = 0
-            yield ReturnEvent(thread=thread)
+            yield (EV_RETURN, thread)
             return
 
         current_fn, frame_is_recursive = state.top
@@ -319,7 +338,7 @@ class TraceExecutor:
             and self._rng.random() < 0.85
         ):
             state.pop()
-            yield ReturnEvent(thread=thread)
+            yield (EV_RETURN, thread)
             return
 
         # Recursion-burst continuation: an active burst keeps taking a
@@ -350,7 +369,7 @@ class TraceExecutor:
         if not do_call:
             state.pop()
             state.tail_chain = 0
-            yield ReturnEvent(thread=thread)
+            yield (EV_RETURN, thread)
             return
 
         site = self._pick_site(sites)
@@ -361,12 +380,12 @@ class TraceExecutor:
 
     def _emit_call(
         self, thread: ThreadId, state: _ExecThread, site: CallSiteDef
-    ) -> Iterator[Event]:
+    ) -> Iterator[CompactEvent]:
         target = self._pick_target(site)
         library = self.program.library_of(target)
         if library is not None and library not in self._loaded_libraries:
             self._loaded_libraries.add(library)
-            yield LibraryLoadEvent(thread=thread, library=library)
+            yield (EV_LIBRARY_LOAD, thread, library)  # type: ignore[misc]
 
         caller, _ = state.top
         # Only designated cycle-closing sites engage the burst machinery;
@@ -385,13 +404,7 @@ class TraceExecutor:
                     int(math.log(max(u, 1e-12)) / math.log(a)) if a > 0 else 0
                 )
         self.calls_emitted += 1
-        yield CallEvent(
-            thread=thread,
-            callsite=site.id,
-            caller=caller,
-            callee=target,
-            kind=site.kind,
-        )
+        yield (EV_CALL, thread, site.id, caller, target, KIND_CODE[site.kind])
         if site.kind is CallKind.TAIL:
             state.replace_top(target)
             state.tail_chain += 1
@@ -464,3 +477,28 @@ def run_workload(program: Program, spec: WorkloadSpec, engine) -> None:
     executor = TraceExecutor(program, spec)
     for event in executor.events():
         engine.on_event(event)
+
+
+def run_workload_batched(
+    program: Program,
+    spec: WorkloadSpec,
+    engine,
+    batch_size: int = 4096,
+) -> None:
+    """Drive ``engine`` over the workload through the batched fast lane.
+
+    Chunks the executor's compact-tuple stream into ``batch_size`` slices
+    for ``engine.process_batch`` — behaviourally identical to
+    :func:`run_workload` (the differential property tests assert it) but
+    without per-event dataclass allocation or dispatch.
+    """
+    executor = TraceExecutor(program, spec)
+    batch: List[CompactEvent] = []
+    append = batch.append
+    for record in executor.compact_events():
+        append(record)
+        if len(batch) >= batch_size:
+            engine.process_batch(batch)
+            batch.clear()
+    if batch:
+        engine.process_batch(batch)

@@ -27,7 +27,7 @@ import os
 from ..core.context import CallingContext, CollectedSample
 from ..core.engine import DacceConfig, DacceEngine
 from ..core.errors import TraceError
-from ..core.events import CallEvent, CallKind, ReturnEvent
+from ..core.events import EV_CALL, EV_RETURN, CompactEvent
 
 #: Function id reserved for the tracing root (the ``main`` node).
 ROOT_FUNCTION = 0
@@ -121,6 +121,18 @@ class PythonDacceTracer:
         self._active = False
         self._calls_since_sample = 0
         self._base_frame: Optional[FrameType] = None
+        #: Pending compact event tuples, drained through the engine's
+        #: batched fast lane.  Buffering keeps the per-call profile-hook
+        #: work to an append; anything that observes engine state
+        #: (sampling, decoding, the shadow-stack oracle, ``stop``)
+        #: flushes first, so observable behaviour is unchanged.
+        self._buffer: List[CompactEvent] = []
+        self._buffer_limit = 512
+        #: True while engine machinery runs under an active profile hook
+        #: (flush / sample / decode called from traced code); the hook
+        #: ignores those interpreter events — they belong to the tracer,
+        #: not the traced program.
+        self._in_engine = False
 
     # ------------------------------------------------------------------
     # identity mapping
@@ -210,11 +222,25 @@ class PythonDacceTracer:
         # call may terminate via an exception caught above us).
         while self._live_frames:
             self._live_frames.pop()
-            self.engine.on_event(ReturnEvent(thread=0))
+            self._buffer.append((EV_RETURN, 0))
+        self.flush()
         self._base_frame = None
+
+    def flush(self) -> None:
+        """Drain buffered events into the engine's batched fast lane."""
+        if self._buffer:
+            batch = self._buffer
+            self._buffer = []
+            self._in_engine = True
+            try:
+                self.engine.process_batch(batch)
+            finally:
+                self._in_engine = False
 
     # ------------------------------------------------------------------
     def _profile(self, frame: FrameType, event: str, arg: Any) -> None:
+        if self._in_engine:
+            return
         if event == "call":
             self._on_call(frame)
         elif event == "return":
@@ -242,21 +268,15 @@ class PythonDacceTracer:
             lasti = 0
         callee_id = self._function_id(frame.f_code)
         callsite = self._callsite_id(caller_id, lasti)
-        self.engine.on_event(
-            CallEvent(
-                thread=0,
-                callsite=callsite,
-                caller=caller_id,
-                callee=callee_id,
-                kind=CallKind.NORMAL,
-            )
-        )
+        self._buffer.append((EV_CALL, 0, callsite, caller_id, callee_id, 0))
         self._live_frames.append(frame)
         if self.sample_every:
             self._calls_since_sample += 1
             if self._calls_since_sample >= self.sample_every:
                 self._calls_since_sample = 0
                 self._record_sample()
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
 
     def _on_return(self, frame: FrameType) -> None:
         if not self._live_frames:
@@ -264,7 +284,9 @@ class PythonDacceTracer:
         if self._live_frames[-1] is not frame:
             return  # return of an untracked frame
         self._live_frames.pop()
-        self.engine.on_event(ReturnEvent(thread=0))
+        self._buffer.append((EV_RETURN, 0))
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
 
     # ------------------------------------------------------------------
     # sampling / decoding
@@ -276,17 +298,32 @@ class PythonDacceTracer:
     def _record_sample(self) -> CollectedSample:
         from ..core.events import SampleEvent
 
-        sample = self.engine.on_sample(SampleEvent(thread=0))
+        self.flush()
+        self._in_engine = True
+        try:
+            sample = self.engine.on_sample(SampleEvent(thread=0))
+        finally:
+            self._in_engine = False
         self.samples.append(sample)
         return sample
 
     def decode(self, sample: CollectedSample) -> CallingContext:
         """Decode a sample back into the full Python call path."""
-        return self.engine.decoder().decode(sample)
+        self.flush()
+        self._in_engine = True
+        try:
+            return self.engine.decoder().decode(sample)
+        finally:
+            self._in_engine = False
 
     def expected_context(self) -> CallingContext:
         """The engine's shadow-stack oracle for the current point."""
-        return self.engine.expected_context(0)
+        self.flush()
+        self._in_engine = True
+        try:
+            return self.engine.expected_context(0)
+        finally:
+            self._in_engine = False
 
     def format_context(self, context: CallingContext) -> str:
         """Render a decoded context with real function names."""

@@ -183,3 +183,20 @@ def test_function_info_lookup():
     assert info.name == "named_thing"
     with pytest.raises(TraceError):
         tracer.function_info(99999)
+
+
+def test_buffered_tracer_flushes_through_batches():
+    tracer = PythonDacceTracer()
+
+    def leaf():
+        return 1
+
+    def fanout():
+        return sum(leaf() for _ in range(300))
+
+    tracer.run(fanout)
+    # stop() drained the event buffer into the engine via process_batch.
+    assert tracer._buffer == []
+    assert tracer.engine.fastpath.batches > 0
+    stats = tracer.engine.stats
+    assert stats.calls == stats.returns > 0
