@@ -5,17 +5,18 @@ The paper's motivating tools (debuggers, race detectors, event loggers)
 need calling contexts continuously but cannot afford stack walking.
 This example traces an actual Python workload — a tiny recursive-descent
 expression interpreter — through ``sys.setprofile``, samples contexts
-every N calls, and prints a context-sensitive hot-spot profile, then
-cross-validates every decoded context against the engine's oracle
-exactly the way the paper validates against libpfm4 stack walks.
+every N calls, and aggregates them through the profiling subsystem
+(:mod:`repro.prof`): the context-sensitive hot-spot table, the folded
+flamegraph stacks, and the profiler's self-overhead account all come
+from the same weighted calling-context tree.
 
 Run:  python examples/python_profiler.py
 """
 
 import random
-from collections import Counter
 
-from repro.pytrace import PythonDacceTracer
+from repro.prof import render_overhead, self_overhead_account
+from repro.pytrace import PythonDacceTracer, build_profile
 
 
 # --- the program under test: a small expression interpreter -----------
@@ -95,22 +96,35 @@ def main() -> None:
     print("max context id        :", engine.max_id)
     print("samples               :", len(tracer.samples))
 
-    # Hot calling contexts: count samples per decoded context.
-    decoder = engine.decoder()
-    hot = Counter()
-    for sample in tracer.samples:
-        context = decoder.decode(sample)
-        hot[tracer.format_context(context)] += 1
+    # Aggregate every sample into the weighted calling-context tree.
+    profile = build_profile(tracer)
+    assert profile.aggregator is not None
+    stats = profile.aggregator.stats()
+    print("CCT nodes             :", stats["nodes"])
+    print("CCT max depth         :", stats["max_depth"])
 
     print("\nhottest calling contexts:")
-    for path, count in hot.most_common(5):
-        print("  %4d  %s" % (count, path))
+    print(profile.format(5))
+
+    # The same tree exports flamegraph.pl-ready folded stacks.
+    folded = profile.to_folded()
+    print("\nfolded stacks (first 3 of %d, pipe into flamegraph.pl):"
+          % len(folded.splitlines()))
+    for line in folded.splitlines()[:3]:
+        print("  " + line)
 
     # Note how the *context* distinguishes parse_factor reached through
     # nested parentheses from the flat case — a flat profiler cannot.
-    nested = [p for p in hot if p.count("parse_expression") > 1]
+    nested = [
+        e for e in profile.contexts
+        if e.rendered.count("parse_expression") > 1
+    ]
     print("\ncontexts with re-entrant parsing (nested parentheses): %d"
           % len(nested))
+
+    # The profiler reports its own cost from the engine's cycle model.
+    print()
+    print(render_overhead(self_overhead_account(engine)))
 
 
 if __name__ == "__main__":

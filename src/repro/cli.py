@@ -11,6 +11,10 @@ Examples::
     dacce metrics --calls 20000                 # Prometheus-format telemetry
     dacce trace --calls 20000 --limit 30        # structured JSONL engine trace
     dacce doctor --state run.state.json --log run.log   # integrity check
+    dacce profile record --prefix prof          # sampled profiling run
+    dacce profile flame --state prof.state.json --log prof.log \
+        --output prof.folded                    # flamegraph.pl input
+    dacce profile serve --port 8787 --duration 30   # live profile server
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 import time
 from typing import List, Optional
@@ -42,6 +47,12 @@ from .bench import full_suite
 from .core.engine import DacceEngine
 from .program.generator import GeneratorConfig, generate_program
 from .program.trace import PhaseSpec, ThreadSpec, WorkloadSpec
+
+
+def _fault(message: str) -> int:
+    """Structured CLI failure, matching the ``dacce doctor`` convention."""
+    print("FAULT: %s" % message)
+    return 1
 
 
 def _select(names: Optional[List[str]]):
@@ -224,9 +235,15 @@ def cmd_decode(args) -> int:
 
     best_effort = getattr(args, "best_effort", False)
     jobs = getattr(args, "jobs", 1) or 1
-    decoder = load_decoder(args.state, best_effort=best_effort)
-    with open(args.log, "rb") as handle:
-        log = SampleLog.from_bytes(handle.read(), best_effort=best_effort)
+    try:
+        decoder = load_decoder(args.state, best_effort=best_effort)
+    except OSError as error:
+        return _fault("state file unreadable: %s" % error)
+    try:
+        with open(args.log, "rb") as handle:
+            log = SampleLog.from_bytes(handle.read(), best_effort=best_effort)
+    except OSError as error:
+        return _fault("log file unreadable: %s" % error)
     for fault in getattr(decoder, "load_faults", []):
         print("state fault: [%s] %s" % (fault["reason"], fault["message"]),
               file=sys.stderr)
@@ -530,8 +547,11 @@ def cmd_metrics(args) -> int:
     else:
         output = telemetry.to_prometheus()
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(output)
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(output)
+        except OSError as error:
+            return _fault("metrics output unwritable: %s" % error)
         print("wrote %s" % args.output)
     else:
         print(output, end="")
@@ -544,7 +564,10 @@ def cmd_trace(args) -> int:
     from .program.trace import TraceExecutor
 
     program, spec = _telemetry_workload(args)
-    handle = open(args.output, "w") if args.output else None
+    try:
+        handle = open(args.output, "w") if args.output else None
+    except OSError as error:
+        return _fault("trace output unwritable: %s" % error)
     try:
         telemetry = Telemetry(trace_stream=handle)
         engine = DacceEngine(root=program.main, telemetry=telemetry)
@@ -569,6 +592,278 @@ def cmd_trace(args) -> int:
                 break
             print(json.dumps(record))
             shown += 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# continuous profiling (repro.prof)
+# ----------------------------------------------------------------------
+def _profile_names(path: Optional[str]):
+    """Load a ``{function_id: name}`` sidecar written by profile record."""
+    from .prof import default_names, names_from_mapping
+
+    if path is None:
+        return default_names, None
+    try:
+        with open(path) as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return None, "names file unreadable: %s" % error
+    return names_from_mapping({int(k): str(v) for k, v in raw.items()}), None
+
+
+def _profile_aggregate(state: str, log_path: str, jobs: int, names):
+    """Batch-aggregate a recorded log; returns (aggregator, error)."""
+    from .core.samplelog import SampleLog
+    from .prof import CCTAggregator
+
+    if not os.path.exists(state):
+        return None, "state file unreadable: %r does not exist" % state
+    try:
+        with open(log_path, "rb") as handle:
+            log = SampleLog.from_bytes(handle.read(), best_effort=True)
+    except OSError as error:
+        return None, "log file unreadable: %s" % error
+    stats: dict = {}
+    try:
+        aggregator = CCTAggregator.aggregate_log(
+            state,
+            log.samples(),
+            jobs=max(1, jobs),
+            names=names,
+            best_effort_state=True,
+            stats=stats,
+        )
+    except OSError as error:
+        return None, "state file unreadable: %s" % error
+    aggregator.decode_stats = stats  # type: ignore[attr-defined]
+    return aggregator, None
+
+
+def cmd_profile_record(args) -> int:
+    """Run a sampled synthetic workload; write log + state + names.
+
+    Unlike ``dacce record`` (explicit SampleEvents in the stream), this
+    drives the engine's continuous-profiling hook: every Nth applied
+    call captures ``(context_id, gTimeStamp, ccStack)`` through the
+    batched fast lane, which is the always-on profiler deployment the
+    paper evaluates in Section 6.
+    """
+    from .core.samplelog import SampleLog
+    from .core.serialize import export_decoding_state
+    from .prof import render_overhead, self_overhead_account
+    from .program.trace import run_workload_batched
+
+    program = _record_program(args.seed)
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=0,
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
+    )
+    engine = DacceEngine(root=program.main)
+    log = SampleLog()
+    engine.install_sample_hook(
+        args.sample_every, lambda sample, weight: log.append(sample)
+    )
+    run_workload_batched(program, spec, engine)
+
+    log_path = args.prefix + ".log"
+    state_path = args.prefix + ".state.json"
+    names_path = args.prefix + ".names.json"
+    try:
+        with open(log_path, "wb") as handle:
+            handle.write(log.to_bytes())
+        export_decoding_state(engine, state_path)
+        with open(names_path, "w") as handle:
+            json.dump(
+                {fn.id: fn.name for fn in program.functions()},
+                handle,
+                indent=0,
+            )
+    except OSError as error:
+        return _fault("profile output unwritable: %s" % error)
+    print(
+        "profiled %d calls at 1/%d: %d samples (%d bytes, %.1f bytes/sample)"
+        % (args.calls, args.sample_every, len(log), log.size_bytes,
+           log.bytes_per_sample)
+    )
+    print("wrote %s, %s and %s" % (log_path, state_path, names_path))
+    print()
+    print(render_overhead(self_overhead_account(engine)))
+    return 0
+
+
+def cmd_profile_report(args) -> int:
+    """Aggregate a recorded profile into a CCT; print the hot contexts."""
+    from .prof import render_top
+
+    names, error = _profile_names(args.names)
+    if error:
+        return _fault(error)
+    aggregator, error = _profile_aggregate(args.state, args.log, args.jobs, names)
+    if error:
+        return _fault(error)
+    stats = aggregator.stats()
+    print(
+        "profile: %d samples (%d partial) over %d epoch(s), "
+        "%d CCT nodes, max depth %d"
+        % (stats["samples"], stats["samples_partial"], stats["epochs"],
+           stats["nodes"], stats["max_depth"])
+    )
+    print()
+    print(render_top(aggregator, n=args.top, by=args.by))
+    return 0
+
+
+def cmd_profile_flame(args) -> int:
+    """Export a recorded profile as folded stacks (flamegraph.pl input)."""
+    from .prof import to_folded
+
+    names, error = _profile_names(args.names)
+    if error:
+        return _fault(error)
+    aggregator, error = _profile_aggregate(args.state, args.log, args.jobs, names)
+    if error:
+        return _fault(error)
+    folded = to_folded(aggregator)
+    stats = aggregator.stats()
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(folded + "\n")
+        except OSError as error_:
+            return _fault("folded output unwritable: %s" % error_)
+        print(
+            "wrote %d stacks to %s (total weight %g, <partial> weight %g)"
+            % (len(folded.splitlines()), args.output, stats["weight"],
+               stats["weight_partial"])
+        )
+    else:
+        print(folded)
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """Compare two recorded profiles node-by-node."""
+    from .prof import diff_profiles, flatten
+
+    def load_side(state, log_path, folded_path, names_path, side):
+        if folded_path is not None:
+            try:
+                with open(folded_path) as handle:
+                    return flatten(handle.read()), None
+            except (OSError, ValueError) as error:
+                return None, "folded file (%s) unreadable: %s" % (side, error)
+        if not state or not log_path:
+            return None, (
+                "side %s needs --state-%s and --log-%s (or --folded-%s)"
+                % (side, side, side, side)
+            )
+        names, error = _profile_names(names_path)
+        if error:
+            return None, error
+        aggregator, error = _profile_aggregate(state, log_path, args.jobs, names)
+        if error:
+            return None, "%s (%s side)" % (error, side)
+        return flatten(aggregator), None
+
+    before, error = load_side(
+        args.state_a, args.log_a, args.folded_a, args.names_a, "a"
+    )
+    if error:
+        return _fault(error)
+    after, error = load_side(
+        args.state_b, args.log_b, args.folded_b, args.names_b, "b"
+    )
+    if error:
+        return _fault(error)
+
+    result = diff_profiles(before, after, threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render(limit=args.limit))
+    return 0
+
+
+def cmd_profile_serve(args) -> int:
+    """Serve a live profile of a continuously running synthetic workload."""
+    from dataclasses import replace
+
+    from .core.engine import DacceConfig
+    from .obs import RotatingTraceStream, Telemetry
+    from .prof import CCTAggregator, ProfileServer, ProfileService, names_from_program
+    from .program.trace import run_workload_batched
+
+    from .obs.trace import DEFAULT_ROTATE_BACKUPS, DEFAULT_ROTATE_BYTES
+
+    trace_stream = None
+    if args.trace_output:
+        try:
+            trace_stream = RotatingTraceStream(
+                args.trace_output,
+                max_bytes=(args.trace_max_bytes
+                           if args.trace_max_bytes is not None
+                           else DEFAULT_ROTATE_BYTES),
+                max_age_seconds=args.trace_max_age,
+                backups=(args.trace_backups
+                         if args.trace_backups is not None
+                         else DEFAULT_ROTATE_BACKUPS),
+            )
+        except (OSError, ValueError) as error:
+            return _fault("trace output unwritable: %s" % error)
+
+    program, _ = _telemetry_workload(args)
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=0,
+        recursion_affinity=0.4,
+    )
+    telemetry = Telemetry(trace_stream=trace_stream)
+    # Hook samples feed the CCT; nothing needs retaining on the engine.
+    engine = DacceEngine(
+        root=program.main,
+        config=DacceConfig(retain_samples=False),
+        telemetry=telemetry,
+    )
+    aggregator = CCTAggregator(names=names_from_program(program))
+
+    def deliver(sample, weight) -> None:
+        aggregator.decoder = engine.decoder()
+        aggregator.add_sample(sample, weight)
+
+    engine.install_sample_hook(args.sample_every, deliver)
+    service = ProfileService(aggregator, engine=engine, telemetry=telemetry)
+    try:
+        server = ProfileServer(service, host=args.host, port=args.port)
+    except OSError as error:
+        return _fault("cannot bind %s:%d: %s" % (args.host, args.port, error))
+    server.start()
+    print("profile server listening on %s" % server.url, flush=True)
+
+    deadline = (time.time() + args.duration) if args.duration else None
+    passes = 0
+    try:
+        while deadline is None or time.time() < deadline:
+            run_workload_batched(
+                program, replace(spec, seed=spec.seed + passes), engine
+            )
+            passes += 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        if trace_stream is not None:
+            trace_stream.close()
+    stats = aggregator.stats()
+    print(
+        "served %d workload pass(es): %d samples into %d CCT nodes "
+        "across %d epoch(s)"
+        % (passes, stats["samples"], stats["nodes"], stats["epochs"])
+    )
     return 0
 
 
@@ -698,6 +993,85 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--output", default=None,
                    help="stream JSONL records to this path instead")
     p.set_defaults(fn=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="continuous calling-context profiler (CCT, flamegraphs, diffs)",
+    )
+    profile_sub = profile.add_subparsers(dest="profile_command", required=True)
+
+    p = profile_sub.add_parser(
+        "record",
+        help="run a hook-sampled workload; write log + state + names",
+    )
+    p.add_argument("--prefix", default="dacce-profile")
+    p.add_argument("--calls", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sample-every", type=int, default=64,
+                   help="capture one context every N applied calls")
+    p.set_defaults(fn=cmd_profile_record)
+
+    p = profile_sub.add_parser(
+        "report", help="aggregate a recorded profile; print hot contexts"
+    )
+    p.add_argument("--state", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--names", default=None,
+                   help="names sidecar from `dacce profile record`")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--by", choices=("self", "total"), default="self")
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(fn=cmd_profile_report)
+
+    p = profile_sub.add_parser(
+        "flame", help="export folded stacks (flamegraph.pl input)"
+    )
+    p.add_argument("--state", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--names", default=None)
+    p.add_argument("--output", default=None,
+                   help="write folded stacks here instead of stdout")
+    p.add_argument("--jobs", type=int, default=1)
+    p.set_defaults(fn=cmd_profile_flame)
+
+    p = profile_sub.add_parser(
+        "diff", help="compare two profiles (recorded or folded)"
+    )
+    p.add_argument("--state-a", default=None)
+    p.add_argument("--log-a", default=None)
+    p.add_argument("--folded-a", default=None,
+                   help="pre-exported folded file for side a")
+    p.add_argument("--names-a", default=None)
+    p.add_argument("--state-b", default=None)
+    p.add_argument("--log-b", default=None)
+    p.add_argument("--folded-b", default=None)
+    p.add_argument("--names-b", default=None)
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="min |delta|/max_total to call a path changed")
+    p.add_argument("--limit", type=int, default=10)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_profile_diff)
+
+    p = profile_sub.add_parser(
+        "serve", help="live profile server over a looping workload"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (printed at startup)")
+    p.add_argument("--calls", type=int, default=20_000,
+                   help="calls per workload pass")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sample-every", type=int, default=64)
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="stop after this many seconds (0 = until Ctrl-C)")
+    p.add_argument("--trace-output", default=None,
+                   help="mirror the engine trace to this JSONL file "
+                        "(size/age-rotated)")
+    p.add_argument("--trace-max-bytes", type=int, default=None)
+    p.add_argument("--trace-max-age", type=float, default=0.0)
+    p.add_argument("--trace-backups", type=int, default=None)
+    p.set_defaults(fn=cmd_profile_serve)
 
     args = parser.parse_args(argv)
     logging.basicConfig(

@@ -14,6 +14,8 @@ from .engine import (
     DacceEngine,
     DacceStats,
     ReencodeRecord,
+    SampleCallback,
+    SampleHook,
 )
 from .errors import (
     CallGraphError,
@@ -108,6 +110,8 @@ __all__ = [
     "RecoveryAction",
     "ReencodeError",
     "ReencodeRecord",
+    "SampleCallback",
+    "SampleHook",
     "ReturnEvent",
     "SampleEvent",
     "SampleLog",

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterable,
     List,
@@ -220,11 +221,49 @@ class DacceStats:
     #: runtime-handler call (plus the discovery ccStack traffic until the
     #: next re-encoding pass) that cold-start DACCE would have paid.
     warmstart_handler_hits_avoided: int = 0
+    #: Samples delivered to the continuous-profiling hook (distinct from
+    #: ``samples``, which counts explicit SampleEvents in the stream).
+    profile_samples: int = 0
 
     @property
     def gts(self) -> int:
         """The paper's ``gTS`` column: re-encoding passes performed."""
         return self.reencodings
+
+
+#: A profiling-hook callback: receives the compact sample and its weight.
+SampleCallback = Callable[[CollectedSample, float], None]
+
+
+@dataclass
+class SampleHook:
+    """The engine's continuous-profiling sampling hook.
+
+    Every ``every``-th applied call fires ``callback(sample, weight)``
+    with a :class:`CollectedSample` built from the calling thread's live
+    state.  ``weigher`` supplies the sample weight (e.g. wall-time since
+    the previous sample, from :mod:`repro.pytrace`); without one each
+    sample weighs its period in calls, so total weight tracks total
+    calls regardless of the sampling rate.
+
+    The disabled cost is a single ``is None`` test per call on both the
+    general and the batched fast path; the enabled steady-state cost is
+    one integer decrement per call (``benchmarks/
+    bench_profile_overhead.py`` measures both).
+    """
+
+    every: int
+    callback: SampleCallback
+    weigher: Optional[Callable[[], float]] = None
+    countdown: int = 0
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.every <= 0:
+            raise DacceError(
+                "sample hook period must be positive, got %d" % self.every
+            )
+        self.countdown = self.every
 
 
 class DacceEngine:
@@ -334,6 +373,8 @@ class DacceEngine:
         # thread-parent samples are write-once, so a successful decode
         # stays valid for the lifetime of the engine (docs/PERFORMANCE.md).
         self._decode_cache = DecodeCache()
+        # Continuous-profiling hook: None costs one test per call.
+        self._prof: Optional[SampleHook] = None
         # Telemetry: one boolean guards every hot-path hook; instruments
         # are pre-bound so an enabled engine pays one dict-free call per
         # event and a disabled engine pays only the guard.
@@ -455,6 +496,7 @@ class DacceEngine:
                 "warmstart_handler_hits_avoided",
                 stats.warmstart_handler_hits_avoided,
             ),
+            ("profile_samples", stats.profile_samples),
         ):
             self._c_stats.set_total(value, name)
         ccstack = self.ccstack_stats()
@@ -572,6 +614,7 @@ class DacceEngine:
         warm = self._warm
         action_id = _Action.ID
         action_none = _Action.NONE
+        prof = self._prof
         self.fastpath.batches += 1
 
         # Folded per-batch counters; flushed through ``flush`` below.
@@ -647,6 +690,17 @@ class DacceEngine:
                                 )
                                 pending_calls += 1
                                 hits += 1
+                                if prof is not None:
+                                    prof.countdown -= 1
+                                    if prof.countdown <= 0:
+                                        # Flush first: the callback may
+                                        # read engine statistics, which
+                                        # must match per-event state.
+                                        prof.countdown = prof.every
+                                        flush()
+                                        self._fire_profile_sample(
+                                            prof, record[1]
+                                        )
                                 continue
                 elif op == EV_RETURN:
                     state = threads.get(record[1])
@@ -954,6 +1008,60 @@ class DacceEngine:
         )
 
     # ------------------------------------------------------------------
+    # continuous-profiling hook
+    # ------------------------------------------------------------------
+    def install_sample_hook(
+        self,
+        every: int,
+        callback: SampleCallback,
+        weigher: Optional[Callable[[], float]] = None,
+    ) -> SampleHook:
+        """Install the continuous-profiling hook (one per engine).
+
+        Every ``every``-th applied call delivers a compact
+        :class:`CollectedSample` plus a weight to ``callback`` — on both
+        the general and the batched fast path, at identical event
+        positions.  Hook samples are charged to the cost model's
+        ``sample`` (CLIENT) category and counted in
+        ``stats.profile_samples``; they are *not* appended to
+        ``engine.samples``, which stays reserved for explicit
+        :class:`SampleEvent` records.
+        """
+        if self._prof is not None:
+            raise DacceError(
+                "a sample hook is already installed; remove it first"
+            )
+        hook = SampleHook(every=every, callback=callback, weigher=weigher)
+        self._prof = hook
+        return hook
+
+    def remove_sample_hook(self) -> Optional[SampleHook]:
+        """Detach the profiling hook; returns it (or None)."""
+        hook = self._prof
+        self._prof = None
+        return hook
+
+    def _fire_profile_sample(self, hook: SampleHook, thread: ThreadId) -> None:
+        state = self._threads.get(thread)
+        if state is None:  # pragma: no cover - hook fires post-apply
+            return
+        sample = CollectedSample(
+            timestamp=self._timestamp,
+            context_id=state.id_value,
+            function=state.frames[-1].function,
+            ccstack=state.ccstack.snapshot(),
+            thread=thread,
+        )
+        self.stats.profile_samples += 1
+        self.cost.charge_sample(len(sample.ccstack))
+        if hook.weigher is not None:
+            weight = hook.weigher()
+        else:
+            weight = float(hook.every)
+        hook.fired += 1
+        hook.callback(sample, weight)
+
+    # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def on_call(self, event: CallEvent) -> None:
@@ -987,6 +1095,13 @@ class DacceEngine:
             self._apply_tail_call(state, event, edge)
         else:
             self._apply_call(state, event, edge)
+
+        hook = self._prof
+        if hook is not None:
+            hook.countdown -= 1
+            if hook.countdown <= 0:
+                hook.countdown = hook.every
+                self._fire_profile_sample(hook, event.thread)
 
     def on_return(self, event: ReturnEvent) -> None:
         state = self._state(event.thread)
@@ -1268,6 +1383,7 @@ class DacceEngine:
         snapshot["faults_by_kind"] = self.faults.counts_by_kind()
         snapshot["fastpath"] = self.fastpath_stats()
         snapshot["decode_cache"] = self._decode_cache.stats()
+        snapshot["profile_samples"] = self.stats.profile_samples
         if self._obs:
             snapshot["reencode_passes"] = self.telemetry.pass_reports.to_list()
         return snapshot
@@ -1275,7 +1391,9 @@ class DacceEngine:
     def ccstack_stats(self) -> Dict[str, int]:
         """Summed ccStack operation counters (live + exited threads)."""
         totals = dict(self._retired_ccstack)
-        for state in self._threads.values():
+        # list() so a concurrent scrape survives thread start/exit events
+        # mutating the dict mid-iteration.
+        for state in list(self._threads.values()):
             stats = state.ccstack.stats
             totals["pushes"] += stats.pushes
             totals["pops"] += stats.pops

@@ -142,7 +142,9 @@ class FaultLog:
         return self._counts.get(kind, 0)
 
     def counts_by_kind(self) -> Dict[str, int]:
-        return {kind.value: count for kind, count in self._counts.items()}
+        # list() so scrape-time readers survive a concurrent quarantine
+        # adding a first-of-its-kind fault mid-iteration.
+        return {kind.value: count for kind, count in list(self._counts.items())}
 
     def kinds(self) -> Tuple[FaultKind, ...]:
         return tuple(self._counts)

@@ -145,23 +145,27 @@ class IndirectDispatchTable:
         return len(self._sites)
 
     # -- aggregate counters (telemetry pull surface) -------------------
+    # list() on every aggregate below: scrape-time readers must survive
+    # the engine registering a new indirect site mid-iteration.
     def total_hits(self) -> int:
-        return sum(site.hits for site in self._sites.values())
+        return sum(site.hits for site in list(self._sites.values()))
 
     def total_misses(self) -> int:
-        return sum(site.misses for site in self._sites.values())
+        return sum(site.misses for site in list(self._sites.values()))
 
     def total_comparisons(self) -> int:
-        return sum(site.total_comparisons for site in self._sites.values())
+        return sum(
+            site.total_comparisons for site in list(self._sites.values())
+        )
 
     def total_promotions(self) -> int:
         """Inline-cache → hash-table promotions across all sites."""
-        return sum(site.promotions for site in self._sites.values())
+        return sum(site.promotions for site in list(self._sites.values()))
 
     def num_hash_sites(self) -> int:
         return sum(
             1
-            for site in self._sites.values()
+            for site in list(self._sites.values())
             if site.strategy is DispatchStrategy.HASH_TABLE
         )
 

@@ -25,13 +25,22 @@ from .registry import (
 )
 from .report import PassReportLog, ReencodePassReport
 from .telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
-from .trace import DEFAULT_TRACE_CAPACITY, TraceEmitter
+from .trace import (
+    DEFAULT_ROTATE_BACKUPS,
+    DEFAULT_ROTATE_BYTES,
+    DEFAULT_TRACE_CAPACITY,
+    RotatingTraceStream,
+    TraceEmitter,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT_DEPTH_BUCKETS",
     "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_ROTATE_BACKUPS",
+    "DEFAULT_ROTATE_BYTES",
     "DEFAULT_TRACE_CAPACITY",
+    "RotatingTraceStream",
     "Gauge",
     "Histogram",
     "MetricError",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import io
 import json
 import logging
+import os
 import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, IO, List, Optional
@@ -30,6 +31,9 @@ logger = logging.getLogger(__name__)
 TraceRecord = Dict[str, Any]
 
 DEFAULT_TRACE_CAPACITY = 4096
+
+DEFAULT_ROTATE_BYTES = 8 * 1024 * 1024
+DEFAULT_ROTATE_BACKUPS = 3
 
 
 class TraceEmitter:
@@ -108,6 +112,122 @@ class TraceEmitter:
         with open(path, "w") as handle:
             handle.write(self.to_jsonl())
         return path
+
+
+class RotatingTraceStream:
+    """A size/age-rotating file target for :class:`TraceEmitter`.
+
+    The emitter's in-memory ring stays bounded by construction; this
+    bounds the *mirrored JSONL file* too, so a long ``dacce profile
+    serve`` session cannot grow one unbounded trace file.  Rotation is
+    the classic shift scheme: ``trace.jsonl`` → ``trace.jsonl.1`` →
+    ``…`` → ``trace.jsonl.<backups>`` (oldest dropped), triggered when
+    the active file would exceed ``max_bytes`` or has been open longer
+    than ``max_age_seconds``.  Records are never split: the size check
+    runs before each write, so one record may overshoot ``max_bytes``
+    but a rotation boundary always falls between records.
+
+    Duck-types the ``write``/``flush``/``close`` subset of a text
+    stream, which is all :class:`TraceEmitter` needs.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = DEFAULT_ROTATE_BYTES,
+        max_age_seconds: float = 0.0,
+        backups: int = DEFAULT_ROTATE_BACKUPS,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_bytes <= 0 and max_age_seconds <= 0:
+            raise ValueError(
+                "rotation needs max_bytes > 0 or max_age_seconds > 0"
+            )
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        self.backups = backups
+        self._clock = clock
+        self.rotations = 0
+        self._handle: Optional[IO[str]] = None
+        self._written = 0
+        self._opened_at = 0.0
+        self._open()
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        self._handle = open(self.path, "a")
+        self._written = self._handle.tell()
+        self._opened_at = self._clock()
+
+    def _should_rotate(self, incoming: int) -> bool:
+        if self.max_bytes > 0 and self._written > 0 and (
+            self._written + incoming > self.max_bytes
+        ):
+            return True
+        if self.max_age_seconds > 0 and (
+            self._clock() - self._opened_at >= self.max_age_seconds
+        ):
+            return True
+        return False
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self.backups > 0:
+            oldest = "%s.%d" % (self.path, self.backups)
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                source = "%s.%d" % (self.path, index)
+                if os.path.exists(source):
+                    os.replace(source, "%s.%d" % (self.path, index + 1))
+            if os.path.exists(self.path):
+                os.replace(self.path, "%s.1" % self.path)
+        else:
+            # No backups kept: truncate in place.
+            if os.path.exists(self.path):
+                os.remove(self.path)
+        self.rotations += 1
+        self._open()
+
+    # ------------------------------------------------------------------
+    def write(self, text: str) -> int:
+        if self._handle is None:
+            raise ValueError("rotating trace stream is closed")
+        if self._should_rotate(len(text)):
+            self._rotate()
+        assert self._handle is not None
+        written = self._handle.write(text)
+        self._written += written
+        return written
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def files(self) -> List[str]:
+        """Existing files, active first, then backups newest-first."""
+        out = []
+        if os.path.exists(self.path):
+            out.append(self.path)
+        for index in range(1, self.backups + 1):
+            candidate = "%s.%d" % (self.path, index)
+            if os.path.exists(candidate):
+                out.append(candidate)
+        return out
 
 
 def _jsonable(value: Any) -> Any:

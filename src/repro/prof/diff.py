@@ -1,0 +1,198 @@
+"""Node-by-node comparison of two calling-context profiles.
+
+``ProfileDiff`` answers the questions a before/after analysis asks —
+across a re-encoding pass, a code change, or two production runs:
+
+* which calling contexts are **new** (after only) or **vanished**
+  (before only);
+* which shared contexts **regressed** (weight grew by more than the
+  threshold) or **improved** (shrank by more than it);
+* how total and per-node weight shifted.
+
+Both sides are keyed by the rendered frame path, so a diff can compare
+any two profiles whose samples decode to the same function universe —
+including profiles recorded under different encoding dictionaries,
+which is exactly the epoch-merge property of the aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .cct import CCTAggregator, NameResolver
+from .export import parse_folded
+
+#: A profile's flattened form: rendered frame path -> self weight.
+FlatProfile = Dict[Tuple[str, ...], float]
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One calling context's weight on both sides of the diff."""
+
+    stack: Tuple[str, ...]
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """after/before, or None for new contexts (before == 0)."""
+        if self.before == 0:
+            return None
+        return self.after / self.before
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stack": list(self.stack),
+            "before": self.before,
+            "after": self.after,
+            "delta": self.delta,
+            "ratio": self.ratio,
+        }
+
+
+@dataclass
+class ProfileDiff:
+    """The classified comparison of two flattened profiles."""
+
+    before_total: float
+    after_total: float
+    new: List[DiffEntry] = field(default_factory=list)
+    vanished: List[DiffEntry] = field(default_factory=list)
+    regressed: List[DiffEntry] = field(default_factory=list)
+    improved: List[DiffEntry] = field(default_factory=list)
+    unchanged: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def total_delta(self) -> float:
+        return self.after_total - self.before_total
+
+    def entries(self) -> List[DiffEntry]:
+        return (
+            self.new + self.vanished + self.regressed
+            + self.improved + self.unchanged
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "before_total": self.before_total,
+            "after_total": self.after_total,
+            "total_delta": self.total_delta,
+            "new": [entry.to_dict() for entry in self.new],
+            "vanished": [entry.to_dict() for entry in self.vanished],
+            "regressed": [entry.to_dict() for entry in self.regressed],
+            "improved": [entry.to_dict() for entry in self.improved],
+            "unchanged": len(self.unchanged),
+        }
+
+    def render(self, limit: int = 10) -> str:
+        """Human-readable summary (the ``dacce profile diff`` output)."""
+        lines = [
+            "profile diff: total weight %s -> %s (%+g)"
+            % (_fmt(self.before_total), _fmt(self.after_total), self.total_delta),
+            "  new: %d  vanished: %d  regressed: %d  improved: %d  unchanged: %d"
+            % (
+                len(self.new),
+                len(self.vanished),
+                len(self.regressed),
+                len(self.improved),
+                len(self.unchanged),
+            ),
+        ]
+        for title, entries in (
+            ("new contexts", self.new),
+            ("vanished contexts", self.vanished),
+            ("regressed", self.regressed),
+            ("improved", self.improved),
+        ):
+            if not entries:
+                continue
+            lines.append("")
+            lines.append("%s:" % title)
+            for entry in entries[:limit]:
+                lines.append(
+                    "  %+10g  (%s -> %s)  %s"
+                    % (
+                        entry.delta,
+                        _fmt(entry.before),
+                        _fmt(entry.after),
+                        ";".join(entry.stack),
+                    )
+                )
+            if len(entries) > limit:
+                lines.append("  ... and %d more" % (len(entries) - limit))
+        return "\n".join(lines)
+
+
+def _fmt(weight: float) -> str:
+    return str(int(weight)) if weight == int(weight) else "%.3f" % weight
+
+
+ProfileLike = Union[CCTAggregator, FlatProfile, str]
+
+
+def flatten(
+    profile: ProfileLike, names: Optional[NameResolver] = None
+) -> FlatProfile:
+    """Normalise a profile to ``{rendered path: self weight}``.
+
+    Accepts an aggregator (flattened under its lock), folded-stack text
+    (parsed), or an already-flat mapping.
+    """
+    if isinstance(profile, CCTAggregator):
+        resolve = names or profile.names
+        return {
+            tuple(resolve(function) for function in path): weight
+            for path, weight in profile.leaf_weights().items()
+        }
+    if isinstance(profile, str):
+        return parse_folded(profile)
+    return dict(profile)
+
+
+def diff_profiles(
+    before: ProfileLike,
+    after: ProfileLike,
+    threshold: float = 0.0,
+    names: Optional[NameResolver] = None,
+) -> ProfileDiff:
+    """Compare two profiles node-by-node.
+
+    ``threshold`` is the relative weight change (of the larger side's
+    total) below which a shared context counts as unchanged; 0 means
+    any delta classifies.
+    """
+    flat_before = flatten(before, names)
+    flat_after = flatten(after, names)
+    before_total = sum(flat_before.values())
+    after_total = sum(flat_after.values())
+    scale = max(before_total, after_total) or 1.0
+
+    result = ProfileDiff(before_total=before_total, after_total=after_total)
+    for stack in sorted(set(flat_before) | set(flat_after)):
+        entry = DiffEntry(
+            stack=stack,
+            before=flat_before.get(stack, 0.0),
+            after=flat_after.get(stack, 0.0),
+        )
+        if entry.before == 0.0:
+            result.new.append(entry)
+        elif entry.after == 0.0:
+            result.vanished.append(entry)
+        elif abs(entry.delta) / scale > threshold and entry.delta > 0:
+            result.regressed.append(entry)
+        elif abs(entry.delta) / scale > threshold and entry.delta < 0:
+            result.improved.append(entry)
+        else:
+            result.unchanged.append(entry)
+
+    for bucket in (result.new, result.regressed):
+        bucket.sort(key=lambda e: (-e.delta, e.stack))
+    for bucket in (result.vanished, result.improved):
+        bucket.sort(key=lambda e: (e.delta, e.stack))
+    return result

@@ -1,0 +1,172 @@
+"""Profile exporters: folded stacks, JSON CCT, top-N hot contexts.
+
+The folded-stack format is the lingua franca of flamegraph tooling
+(``flamegraph.pl``, speedscope's "collapsed" importer, inferno): one
+line per calling context that received samples, frames root-first
+joined with ``;``, a space, then the context's *self* weight::
+
+    main;parse;scan 41
+    main;parse;emit 7
+    <partial>;scan 3
+
+The total of all line weights therefore equals the total recorded
+weight — partial decodes included, because they are filed under the
+``<partial>`` pseudo-frame instead of being dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .cct import CCT, CCTAggregator, CCTNode, NameResolver, default_names
+
+
+def _format_weight(weight: float) -> str:
+    """Integer rendering when the weight is integral (count mode)."""
+    if weight == int(weight):
+        return str(int(weight))
+    return "%.6f" % weight
+
+
+def _resolve(
+    aggregator_or_cct,
+    names: Optional[NameResolver],
+) -> Tuple[CCT, NameResolver]:
+    if isinstance(aggregator_or_cct, CCTAggregator):
+        return (
+            aggregator_or_cct.cct,
+            names or aggregator_or_cct.names,
+        )
+    return aggregator_or_cct, names or default_names
+
+
+def to_folded(
+    aggregator_or_cct,
+    names: Optional[NameResolver] = None,
+) -> str:
+    """Render the CCT as folded stacks (flamegraph.pl input).
+
+    Lines are sorted lexicographically by stack so the output is
+    deterministic and diff-friendly across runs.
+    """
+    cct, resolve = _resolve(aggregator_or_cct, names)
+    lines: List[Tuple[str, float]] = []
+    for path, node in cct.walk():
+        if not node.self_samples:
+            continue
+        stack = ";".join(resolve(function) for function in path)
+        lines.append((stack, node.self_weight))
+    lines.sort()
+    return "\n".join(
+        "%s %s" % (stack, _format_weight(weight)) for stack, weight in lines
+    )
+
+
+def parse_folded(text: str) -> Dict[Tuple[str, ...], float]:
+    """Parse folded stacks back to ``{frame-tuple: weight}``.
+
+    Used by the diff CLI path and by the CI smoke job to prove the
+    exported file round-trips.  Raises :class:`ValueError` on a
+    malformed line.
+    """
+    out: Dict[Tuple[str, ...], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, weight = line.rpartition(" ")
+        if not stack:
+            raise ValueError("folded line %d has no stack: %r" % (lineno, line))
+        try:
+            value = float(weight)
+        except ValueError:
+            raise ValueError(
+                "folded line %d has a bad weight %r" % (lineno, weight)
+            ) from None
+        frames = tuple(stack.split(";"))
+        out[frames] = out.get(frames, 0.0) + value
+    return out
+
+
+def to_json_dict(
+    aggregator: CCTAggregator,
+) -> Dict[str, object]:
+    """The full profile (tree + counters) as a JSON-ready dict."""
+    return aggregator.to_dict()
+
+
+def top_contexts(
+    aggregator_or_cct,
+    n: int = 10,
+    names: Optional[NameResolver] = None,
+    by: str = "self",
+) -> List[Dict[str, object]]:
+    """The ``n`` hottest contexts, by self weight or total weight."""
+    if by not in ("self", "total"):
+        raise ValueError("by must be 'self' or 'total', got %r" % by)
+    cct, resolve = _resolve(aggregator_or_cct, names)
+    rows: List[Tuple[float, Tuple[int, ...], CCTNode]] = []
+    for path, node in cct.walk():
+        if by == "self":
+            if not node.self_samples:
+                continue
+            weight = node.self_weight
+        else:
+            weight = node.total_weight()
+        rows.append((weight, path, node))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    total = cct.total_weight() or 1.0
+    return [
+        {
+            "rank": rank,
+            "weight": weight,
+            "share": weight / total,
+            "samples": node.self_samples if by == "self" else node.total_samples(),
+            "stack": [resolve(function) for function in path],
+            "path": list(path),
+        }
+        for rank, (weight, path, node) in enumerate(rows[:n], 1)
+    ]
+
+
+def render_top(
+    aggregator_or_cct,
+    n: int = 10,
+    names: Optional[NameResolver] = None,
+    by: str = "self",
+) -> str:
+    """Human-readable top-N table (the ``dacce profile report`` body)."""
+    rows = top_contexts(aggregator_or_cct, n, names, by)
+    lines = ["%4s  %10s  %6s  %s" % ("#", "weight", "share", "calling context")]
+    for row in rows:
+        lines.append(
+            "%4d  %10s  %5.1f%%  %s"
+            % (
+                row["rank"],
+                _format_weight(float(row["weight"])),  # type: ignore[arg-type]
+                100.0 * float(row["share"]),  # type: ignore[arg-type]
+                " -> ".join(row["stack"]),  # type: ignore[arg-type]
+            )
+        )
+    return "\n".join(lines)
+
+
+def names_from_program(program) -> NameResolver:
+    """Name resolver for generated synthetic programs."""
+    table = {function.id: function.name for function in program.functions()}
+
+    def resolve(function: int) -> str:
+        name = table.get(function)
+        return name if name is not None else default_names(function)
+
+    return resolve
+
+
+def names_from_mapping(mapping: Dict[int, str]) -> NameResolver:
+    """Name resolver from a plain ``{id: name}`` mapping (JSON states)."""
+
+    def resolve(function: int) -> str:
+        name = mapping.get(function)
+        return name if name is not None else default_names(function)
+
+    return resolve

@@ -1,0 +1,124 @@
+"""The profiler's self-overhead account.
+
+A continuous profiler that cannot report its own cost is not honest
+enough to leave always-on; the paper's pitch is precisely that DACCE
+context collection is cheap enough for production.  This module turns
+the engine's existing cycle accounting (:mod:`repro.cost.model`) into a
+small report: application cycles vs engine cycles, the per-category
+split (id arithmetic, ccStack traffic, indirect dispatch, runtime
+handler, re-encoding, sampling), and the overhead ratios Figure 8 is
+stated in.  The ``sample`` category is the profiler's own footprint —
+CLIENT work, charged separately from the encoding instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Stable category order for rendering (matches docs/PROFILING.md).
+CATEGORY_ORDER = (
+    "id_update",
+    "ccstack",
+    "indirect",
+    "tcstack",
+    "handler",
+    "reencode",
+    "discovery",
+    "sample",
+)
+
+CATEGORY_LABELS = {
+    "id_update": "id arithmetic",
+    "ccstack": "ccStack traffic",
+    "indirect": "indirect dispatch",
+    "tcstack": "TcStack save/restore",
+    "handler": "runtime handler",
+    "reencode": "re-encoding passes",
+    "discovery": "edge discovery",
+    "sample": "profiler sampling",
+}
+
+
+def self_overhead_account(engine) -> Dict[str, object]:
+    """Build the self-overhead account from an engine's cost report.
+
+    Shape::
+
+        {"app_cycles": ..., "engine_cycles": ..., "overhead": ...,
+         "amortized_overhead": ..., "profiler_cycles": ...,
+         "profiler_share": ...,
+         "categories": [{"category", "label", "cycles", "share"}, ...]}
+
+    ``share`` is each category's fraction of total engine cycles;
+    ``profiler_share`` is the ``sample`` category alone, the cost the
+    profiling client adds on top of the encoding instrumentation.
+    """
+    report = engine.cost.report
+    charges = dict(report.charges)
+    engine_cycles = report.instrumentation_cycles
+    app_cycles = report.baseline_cycles
+    profiler_cycles = charges.get("sample", 0.0)
+
+    categories: List[Dict[str, object]] = []
+    listed = set()
+    for category in CATEGORY_ORDER:
+        if category not in charges:
+            continue
+        listed.add(category)
+        categories.append(_category_row(category, charges, engine_cycles))
+    for category in sorted(charges):
+        if category not in listed:
+            categories.append(_category_row(category, charges, engine_cycles))
+
+    return {
+        "app_cycles": app_cycles,
+        "engine_cycles": engine_cycles,
+        "steady_cycles": report.steady_cycles,
+        "onetime_cycles": report.onetime_cycles,
+        "profiler_cycles": profiler_cycles,
+        "overhead": report.overhead,
+        "amortized_overhead": report.amortized_overhead(),
+        "profiler_share": (
+            profiler_cycles / engine_cycles if engine_cycles else 0.0
+        ),
+        "categories": categories,
+    }
+
+
+def _category_row(
+    category: str, charges: Dict[str, float], engine_cycles: float
+) -> Dict[str, object]:
+    cycles = charges[category]
+    return {
+        "category": category,
+        "label": CATEGORY_LABELS.get(category, category),
+        "cycles": cycles,
+        "share": cycles / engine_cycles if engine_cycles else 0.0,
+    }
+
+
+def render_overhead(account: Dict[str, object]) -> str:
+    """The self-overhead table (``dacce profile report`` footer)."""
+    lines = [
+        "self-overhead account (abstract cycles):",
+        "  application work : %14.0f" % float(account["app_cycles"]),  # type: ignore[arg-type]
+        "  engine total     : %14.0f  (%.2f%% raw, %.2f%% amortized)"
+        % (
+            float(account["engine_cycles"]),  # type: ignore[arg-type]
+            100.0 * float(account["overhead"]),  # type: ignore[arg-type]
+            100.0 * float(account["amortized_overhead"]),  # type: ignore[arg-type]
+        ),
+    ]
+    for row in account["categories"]:  # type: ignore[union-attr]
+        lines.append(
+            "    %-22s %14.0f  (%5.1f%% of engine)"
+            % (row["label"], float(row["cycles"]), 100.0 * float(row["share"]))
+        )
+    lines.append(
+        "  profiler (sample): %14.0f  (%.1f%% of engine cycles)"
+        % (
+            float(account["profiler_cycles"]),  # type: ignore[arg-type]
+            100.0 * float(account["profiler_share"]),  # type: ignore[arg-type]
+        )
+    )
+    return "\n".join(lines)

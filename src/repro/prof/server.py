@@ -1,0 +1,206 @@
+"""Live profile server: the CCT, the scrape, and the overhead account.
+
+A stdlib-only (``http.server``) endpoint that makes a running engine's
+profile observable without stopping it:
+
+====================  =================================================
+``GET /``             plain-text index of the routes below
+``GET /cct``          the full weighted CCT as nested JSON
+``GET /flame``        folded stacks (pipe straight into flamegraph.pl)
+``GET /top?n=K``      top-K hot contexts as JSON (``&by=total`` widens)
+``GET /metrics``      Prometheus scrape — engine metrics *plus* the
+                      ``prof_*`` family the aggregator registers
+``GET /overhead``     the profiler's self-overhead account as JSON
+``GET /healthz``      liveness (sample/weight totals)
+====================  =================================================
+
+The handler only ever *reads*: every aggregator route goes through the
+aggregator's lock, engine statistics come from ``stats_snapshot()``,
+and the server runs on daemon threads so it never blocks shutdown.
+Bind with ``port=0`` to let the OS pick (tests do this).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .cct import CCTAggregator
+from .export import to_folded, top_contexts
+from .overhead import self_overhead_account
+
+logger = logging.getLogger(__name__)
+
+INDEX_TEXT = """dacce profile server
+routes:
+  /cct       full weighted calling-context tree (JSON)
+  /flame     folded stacks (flamegraph.pl / speedscope input)
+  /top?n=K   top-K hot contexts (JSON; &by=total for inclusive weight)
+  /metrics   Prometheus exposition (engine + prof_* families)
+  /overhead  profiler self-overhead account (JSON)
+  /healthz   liveness
+"""
+
+
+class ProfileService:
+    """Everything the HTTP handler needs, bundled read-only."""
+
+    def __init__(
+        self,
+        aggregator: CCTAggregator,
+        engine=None,
+        telemetry=None,
+    ):
+        self.aggregator = aggregator
+        self.engine = engine
+        self.telemetry = telemetry
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            aggregator.bind_metrics(telemetry.registry)
+
+    # Each route returns (status, content_type, body).
+    def handle(self, path: str, query: Dict[str, list]) -> Tuple[int, str, str]:
+        if path in ("/", "/index", "/index.html"):
+            return 200, "text/plain; charset=utf-8", INDEX_TEXT
+        if path == "/cct":
+            return (
+                200,
+                "application/json",
+                json.dumps(self.aggregator.to_dict(), indent=2) + "\n",
+            )
+        if path == "/flame":
+            return (
+                200,
+                "text/plain; charset=utf-8",
+                to_folded(self.aggregator) + "\n",
+            )
+        if path == "/top":
+            try:
+                n = int(query.get("n", ["10"])[0])
+                by = query.get("by", ["self"])[0]
+                rows = top_contexts(self.aggregator, n=n, by=by)
+            except ValueError as error:
+                return 400, "text/plain; charset=utf-8", "bad query: %s\n" % error
+            return 200, "application/json", json.dumps(rows, indent=2) + "\n"
+        if path == "/metrics":
+            if self.telemetry is None or not getattr(
+                self.telemetry, "enabled", False
+            ):
+                return (
+                    503,
+                    "text/plain; charset=utf-8",
+                    "telemetry disabled on this engine\n",
+                )
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.telemetry.to_prometheus(),
+            )
+        if path == "/overhead":
+            if self.engine is None:
+                return (
+                    503,
+                    "text/plain; charset=utf-8",
+                    "no engine attached; overhead account unavailable\n",
+                )
+            account = self_overhead_account(self.engine)
+            return 200, "application/json", json.dumps(account, indent=2) + "\n"
+        if path == "/healthz":
+            stats = self.aggregator.stats()
+            return 200, "application/json", json.dumps(stats) + "\n"
+        return 404, "text/plain; charset=utf-8", "unknown route %s\n" % path
+
+
+class _ProfileHandler(BaseHTTPRequestHandler):
+    service: ProfileService  # injected by ProfileServer
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        try:
+            status, content_type, body = self.service.handle(
+                parsed.path, parse_qs(parsed.query)
+            )
+        except Exception:
+            logger.exception("profile route %s failed", parsed.path)
+            status, content_type, body = (
+                500,
+                "text/plain; charset=utf-8",
+                "internal error (see server log)\n",
+            )
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        logger.debug("http %s", format % args)
+
+
+class ProfileServer:
+    """A ThreadingHTTPServer wrapper with background start/stop."""
+
+    def __init__(
+        self,
+        service: ProfileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        handler = type("BoundProfileHandler", (_ProfileHandler,), {
+            "service": service,
+        })
+        self.service = service
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "ProfileServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("profile server already started")
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="dacce-profile-server",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("profile server listening on %s", self.url)
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def serve_profile(
+    aggregator: CCTAggregator,
+    engine=None,
+    telemetry=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ProfileServer:
+    """Convenience: build the service, bind, and start in the background."""
+    service = ProfileService(aggregator, engine=engine, telemetry=telemetry)
+    return ProfileServer(service, host=host, port=port).start()

@@ -15,3 +15,7 @@ __all__ = [
     "profile_callable",
     "walk_stack",
 ]
+
+# ``PythonDacceTracer.attach_aggregator`` streams samples into a live
+# :class:`repro.prof.CCTAggregator`; import :mod:`repro.prof` directly
+# for the CCT, exporters, diffing and the profile server.

@@ -2,17 +2,21 @@
 
 Aggregates collected samples into a *calling-context profile*: how often
 each full context was observed, rolled up per function (flat view) and
-per context (context-sensitive view).  This is the "performance
-analysis" application of the paper's introduction in library form — the
-`examples/python_profiler.py` scenario as a reusable component.
+per context (context-sensitive view).  Since PR 5 the aggregation runs
+through the profiling subsystem (:mod:`repro.prof`): every sample is
+folded into a weighted :class:`~repro.prof.CCTAggregator`, and the
+familiar :class:`ContextProfile` views are derived from the CCT — which
+also makes flamegraph export (:meth:`ContextProfile.to_folded`) and
+profile diffing available for free.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..prof import CCTAggregator, to_folded
 from .tracer import PythonDacceTracer
 
 
@@ -23,6 +27,7 @@ class ProfileEntry:
     rendered: str
     functions: Tuple[int, ...]
     count: int
+    weight: float = 0.0
 
 
 @dataclass
@@ -32,6 +37,7 @@ class ContextProfile:
     total_samples: int
     contexts: List[ProfileEntry]
     flat: Dict[str, int]
+    aggregator: Optional[CCTAggregator] = field(default=None, repr=False)
 
     def hottest(self, limit: int = 10) -> List[ProfileEntry]:
         return self.contexts[:limit]
@@ -54,39 +60,76 @@ class ContextProfile:
             lines.append("%6d  %s" % (entry.count, entry.rendered))
         return "\n".join(lines)
 
+    def to_folded(self) -> str:
+        """Folded stacks (flamegraph.pl input) for the underlying CCT."""
+        if self.aggregator is None:
+            raise ValueError("profile built without an aggregator")
+        return to_folded(self.aggregator)
 
-def build_profile(tracer: PythonDacceTracer) -> ContextProfile:
-    """Decode every collected sample and aggregate the profile."""
-    decoder = tracer.engine.decoder()
+
+def build_profile(
+    tracer: PythonDacceTracer,
+    weights: Optional[Sequence[float]] = None,
+) -> ContextProfile:
+    """Decode every collected sample and aggregate the profile.
+
+    ``weights`` defaults to the tracer's own per-sample weights (1.0
+    each, or wall-time deltas when the tracer runs with
+    ``wall_time=True``); the CCT carries the weights while the
+    :class:`ContextProfile` counts stay plain observation counts.
+    """
+    aggregator = CCTAggregator.from_engine(
+        tracer.engine, names=tracer.name_resolver()
+    )
+    decoder = aggregator.decoder
+    assert decoder is not None
+    sample_weights = weights if weights is not None else tracer.sample_weights
     by_context: Counter = Counter()
+    context_weight: Dict[Tuple[int, ...], float] = {}
     rendered_cache: Dict[Tuple[int, ...], str] = {}
     flat: Counter = Counter()
 
-    for sample in tracer.samples:
-        context = decoder.decode(sample)
-        key = context.functions()
+    for index, sample in enumerate(tracer.samples):
+        result = decoder.decode_best_effort(sample)
+        weight = (
+            float(sample_weights[index])
+            if index < len(sample_weights)
+            else 1.0
+        )
+        aggregator.add_decoded(result, weight, timestamp=sample.timestamp)
+        key = result.context.functions()
         by_context[key] += 1
+        context_weight[key] = context_weight.get(key, 0.0) + weight
         if key not in rendered_cache:
-            rendered_cache[key] = tracer.format_context(context)
+            rendered_cache[key] = tracer.format_context(result.context)
         leaf = key[-1]
         flat[tracer.function_info(leaf).name] += 1
 
     contexts = [
-        ProfileEntry(rendered=rendered_cache[key], functions=key, count=count)
+        ProfileEntry(
+            rendered=rendered_cache[key],
+            functions=key,
+            count=count,
+            weight=context_weight[key],
+        )
         for key, count in by_context.most_common()
     ]
     return ContextProfile(
         total_samples=len(tracer.samples),
         contexts=contexts,
         flat=dict(flat),
+        aggregator=aggregator,
     )
 
 
-def profile_callable(fn, *args, sample_every: int = 50, **kwargs):
+def profile_callable(fn, *args, sample_every: int = 50,
+                     wall_time: bool = False, **kwargs):
     """Convenience: trace ``fn(*args, **kwargs)`` and return its profile.
 
-    Returns ``(result, profile)``.
+    Returns ``(result, profile)``.  ``wall_time=True`` weighs each
+    sample by the wall-clock seconds since the previous one instead of
+    by count.
     """
-    tracer = PythonDacceTracer(sample_every=sample_every)
+    tracer = PythonDacceTracer(sample_every=sample_every, wall_time=wall_time)
     result = tracer.run(fn, *args, **kwargs)
     return result, build_profile(tracer)

@@ -18,6 +18,7 @@ cross-validation (Section 6.1).
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from types import CodeType, FrameType
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -76,10 +77,18 @@ class PythonDacceTracer:
         sample_every: int = 0,
         static_graph: Optional[Any] = None,
         source_root: Optional[str] = None,
+        wall_time: bool = False,
     ):
         self.engine = DacceEngine(root=ROOT_FUNCTION, config=config)
         self.sample_every = sample_every
         self.samples: List[CollectedSample] = []
+        #: Per-sample weights, parallel to :attr:`samples`: 1.0 each in
+        #: call-count mode, the wall-clock seconds since the previous
+        #: sample when ``wall_time`` is set — the two weight models the
+        #: profiling subsystem (:mod:`repro.prof`) aggregates by.
+        self.wall_time = wall_time
+        self.sample_weights: List[float] = []
+        self._last_sample_time: Optional[float] = None
         self._functions: Dict[CodeType, FunctionInfo] = {}
         self._function_names: Dict[int, FunctionInfo] = {
             ROOT_FUNCTION: FunctionInfo(ROOT_FUNCTION, "<root>", "<tracer>", 0)
@@ -208,6 +217,7 @@ class PythonDacceTracer:
             raise TraceError("tracer already active")
         self._active = True
         self._calls_since_sample = 0
+        self._last_sample_time = time.perf_counter()
         # Frames at or above the base frame belong to the harness, not
         # the traced program; they map onto the engine's root node.
         self._base_frame = sys._getframe(1)
@@ -305,7 +315,50 @@ class PythonDacceTracer:
         finally:
             self._in_engine = False
         self.samples.append(sample)
+        self.sample_weights.append(self._next_weight())
         return sample
+
+    def _next_weight(self) -> float:
+        """The weight of the sample being recorded right now."""
+        if not self.wall_time:
+            return 1.0
+        now = time.perf_counter()
+        previous = self._last_sample_time
+        self._last_sample_time = now
+        return now - previous if previous is not None else 0.0
+
+    def attach_aggregator(
+        self,
+        aggregator: Any,
+        every: int = 64,
+        wall_time: Optional[bool] = None,
+    ) -> Any:
+        """Stream engine-hook samples straight into a ``CCTAggregator``.
+
+        Installs the engine's continuous-profiling hook
+        (:meth:`~repro.core.engine.DacceEngine.install_sample_hook`)
+        with a callback that refreshes the aggregator's decoder — the
+        call graph and dictionary set grow while tracing runs — and
+        folds the sample into the live CCT.  ``wall_time`` overrides
+        the tracer-level weight mode; in call mode each sample weighs
+        ``every`` calls, so total CCT weight tracks total traced calls.
+        """
+        use_wall = self.wall_time if wall_time is None else wall_time
+        weigher: Optional[Callable[[], float]] = None
+        if use_wall:
+            last = [time.perf_counter()]
+
+            def weigher() -> float:
+                now = time.perf_counter()
+                delta = now - last[0]
+                last[0] = now
+                return delta
+
+        def deliver(sample: CollectedSample, weight: float) -> None:
+            aggregator.decoder = self.engine.decoder()
+            aggregator.add_sample(sample, weight)
+
+        return self.engine.install_sample_hook(every, deliver, weigher=weigher)
 
     def decode(self, sample: CollectedSample) -> CallingContext:
         """Decode a sample back into the full Python call path."""
@@ -335,6 +388,23 @@ class PythonDacceTracer:
                 name += "*%d" % (step.count + 1)
             parts.append(name)
         return " -> ".join(parts)
+
+    def name_of(self, function_id: int) -> str:
+        """The traced name of a function id, with an ``fnN`` fallback."""
+        info = self._function_names.get(function_id)
+        return info.name if info is not None else "fn%d" % function_id
+
+    def name_resolver(self) -> Callable[[int], str]:
+        """A name resolver for the profiling exporters (`repro.prof`)."""
+        from ..prof import default_names
+
+        def resolve(function_id: int) -> str:
+            info = self._function_names.get(function_id)
+            if info is not None:
+                return info.name
+            return default_names(function_id)
+
+        return resolve
 
     # ------------------------------------------------------------------
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:

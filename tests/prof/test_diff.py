@@ -1,0 +1,102 @@
+"""Profile diffing: classification, thresholds, input flavours."""
+
+import pytest
+
+from repro.core.context import CallingContext, ContextStep
+from repro.prof import CCTAggregator, diff_profiles, flatten, to_folded
+
+
+def context(*functions):
+    return CallingContext(
+        steps=tuple(ContextStep(function=f, count=0) for f in functions)
+    )
+
+
+def test_classification_buckets():
+    before = {("main", "a"): 10.0, ("main", "b"): 5.0, ("main", "c"): 5.0}
+    after = {("main", "a"): 30.0, ("main", "b"): 2.0, ("main", "d"): 4.0}
+    diff = diff_profiles(before, after)
+    assert [e.stack for e in diff.new] == [("main", "d")]
+    assert [e.stack for e in diff.vanished] == [("main", "c")]
+    assert [e.stack for e in diff.regressed] == [("main", "a")]
+    assert [e.stack for e in diff.improved] == [("main", "b")]
+    assert diff.before_total == 20.0
+    assert diff.after_total == 36.0
+    assert diff.total_delta == 16.0
+
+
+def test_threshold_moves_small_deltas_to_unchanged():
+    before = {("a",): 100.0, ("b",): 100.0}
+    after = {("a",): 101.0, ("b",): 160.0}
+    diff = diff_profiles(before, after, threshold=0.05)
+    # |delta|/max_total: 1/261 < 5% unchanged; 60/261 > 5% regressed.
+    assert [e.stack for e in diff.unchanged] == [("a",)]
+    assert [e.stack for e in diff.regressed] == [("b",)]
+
+
+def test_entry_delta_and_ratio():
+    diff = diff_profiles({("a",): 4.0}, {("a",): 6.0, ("b",): 1.0})
+    regressed = diff.regressed[0]
+    assert regressed.delta == 2.0
+    assert regressed.ratio == 1.5
+    assert diff.new[0].ratio is None
+
+
+def test_sorting_largest_movement_first():
+    before = {("a",): 10.0, ("b",): 10.0}
+    after = {("a",): 15.0, ("b",): 30.0, ("c",): 9.0, ("d",): 2.0}
+    diff = diff_profiles(before, after)
+    assert [e.stack for e in diff.regressed] == [("b",), ("a",)]
+    assert [e.stack for e in diff.new] == [("c",), ("d",)]
+
+
+def test_flatten_accepts_aggregator_folded_and_mapping():
+    aggregator = CCTAggregator()
+    aggregator.add_decoded(context(0, 1), 4.0)
+    aggregator.add_decoded(context(0, 2), 2.0)
+    from_aggregator = flatten(aggregator)
+    from_folded = flatten(to_folded(aggregator))
+    assert from_aggregator == {("fn0", "fn1"): 4.0, ("fn0", "fn2"): 2.0}
+    assert from_folded == from_aggregator
+    assert flatten(dict(from_folded)) == from_folded
+
+
+def test_diff_aggregator_against_its_own_folded_export_is_identity():
+    aggregator = CCTAggregator()
+    for index in range(6):
+        aggregator.add_decoded(context(0, index % 2), 1.0)
+    diff = diff_profiles(aggregator, to_folded(aggregator))
+    assert not diff.new and not diff.vanished
+    assert not diff.regressed and not diff.improved
+    assert len(diff.unchanged) == 2
+    assert diff.total_delta == 0.0
+
+
+def test_to_dict_and_render():
+    diff = diff_profiles({("a",): 1.0}, {("b",): 2.0})
+    doc = diff.to_dict()
+    assert doc["total_delta"] == 1.0
+    assert doc["new"][0]["stack"] == ["b"]
+    assert doc["unchanged"] == 0
+    text = diff.render()
+    assert "new: 1  vanished: 1" in text
+    assert "b" in text
+
+
+def test_render_limits_listing():
+    after = {("fn%d" % index,): float(index + 1) for index in range(20)}
+    diff = diff_profiles({}, after)
+    text = diff.render(limit=3)
+    assert "... and 17 more" in text
+
+
+def test_empty_sides():
+    diff = diff_profiles({}, {})
+    assert diff.total_delta == 0.0
+    assert diff.entries() == []
+    assert "new: 0" in diff.render()
+
+
+def test_flatten_propagates_parse_errors():
+    with pytest.raises(ValueError):
+        flatten("bad folded line")

@@ -1,0 +1,115 @@
+"""Profile exporters: folded stacks, JSON tree, top-N tables."""
+
+import pytest
+
+from repro.core.context import CallingContext, ContextStep
+from repro.core.faults import PartialDecode
+from repro.prof import (
+    CCT,
+    CCTAggregator,
+    names_from_mapping,
+    parse_folded,
+    render_top,
+    to_folded,
+    to_json_dict,
+    top_contexts,
+)
+
+
+def context(*functions):
+    return CallingContext(
+        steps=tuple(ContextStep(function=f, count=0) for f in functions)
+    )
+
+
+@pytest.fixture
+def aggregator():
+    agg = CCTAggregator(
+        names=names_from_mapping({0: "main", 1: "parse", 2: "scan", 3: "emit"})
+    )
+    for _ in range(4):
+        agg.add_decoded(context(0, 1, 2), 10.0, timestamp=1)
+    agg.add_decoded(context(0, 1, 3), 7.0, timestamp=2)
+    agg.add_decoded(context(0, 1), 1.0, timestamp=2)
+    agg.add_decoded(
+        PartialDecode(context=context(2), complete=False, fault=None),
+        3.0,
+        timestamp=2,
+    )
+    return agg
+
+
+def test_to_folded_weights_and_order(aggregator):
+    folded = to_folded(aggregator)
+    assert folded.splitlines() == [
+        "<partial>;scan 3",
+        "main;parse 1",
+        "main;parse;emit 7",
+        "main;parse;scan 40",
+    ]
+
+
+def test_folded_total_weight_equals_recorded_weight(aggregator):
+    parsed = parse_folded(to_folded(aggregator))
+    assert sum(parsed.values()) == aggregator.stats()["weight"]
+    assert parsed[("<partial>", "scan")] == 3.0
+
+
+def test_parse_folded_merges_duplicates_and_skips_blanks():
+    parsed = parse_folded("a;b 2\n\na;b 3\nc 1.5\n")
+    assert parsed == {("a", "b"): 5.0, ("c",): 1.5}
+
+
+@pytest.mark.parametrize("text", ["nostack", "a;b notanumber", " 5"])
+def test_parse_folded_rejects_malformed(text):
+    with pytest.raises(ValueError):
+        parse_folded(text)
+
+
+def test_fractional_weights_render_with_precision():
+    cct = CCT()
+    cct.insert((0,), 0.125)
+    assert to_folded(cct) == "fn0 0.125000"
+    assert parse_folded(to_folded(cct))[("fn0",)] == 0.125
+
+
+def test_top_contexts_by_self_and_total(aggregator):
+    by_self = top_contexts(aggregator, n=2)
+    assert by_self[0]["stack"] == ["main", "parse", "scan"]
+    assert by_self[0]["weight"] == 40.0
+    assert by_self[0]["rank"] == 1
+    assert 0.0 < by_self[0]["share"] < 1.0
+
+    by_total = top_contexts(aggregator, n=3, by="total")
+    assert by_total[0]["stack"] == ["main"]
+    assert by_total[0]["weight"] == 48.0  # 40 + 7 + 1
+
+
+def test_top_contexts_rejects_bad_mode(aggregator):
+    with pytest.raises(ValueError):
+        top_contexts(aggregator, by="bogus")
+
+
+def test_render_top_table(aggregator):
+    table = render_top(aggregator, n=2)
+    lines = table.splitlines()
+    assert "calling context" in lines[0]
+    assert "main -> parse -> scan" in lines[1]
+    assert lines[1].lstrip().startswith("1")
+
+
+def test_to_json_dict_shape(aggregator):
+    doc = to_json_dict(aggregator)
+    assert doc["samples"] == 7
+    assert doc["samples_partial"] == 1
+    assert doc["epochs"] == {1: 4, 2: 3}
+    root = doc["root"]
+    assert root["name"] == "<root>"
+    assert root["total_weight"] == aggregator.stats()["weight"]
+
+
+def test_names_fallback_for_unknown_ids():
+    resolve = names_from_mapping({0: "main"})
+    assert resolve(0) == "main"
+    assert resolve(42) == "fn42"
+    assert resolve(-1) == "<partial>"

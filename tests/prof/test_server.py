@@ -1,0 +1,136 @@
+"""Profile server: route handling and a real end-to-end HTTP round."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.context import CallingContext, ContextStep
+from repro.obs import Telemetry
+from repro.prof import (
+    CCTAggregator,
+    ProfileServer,
+    ProfileService,
+    serve_profile,
+)
+
+
+def context(*functions):
+    return CallingContext(
+        steps=tuple(ContextStep(function=f, count=0) for f in functions)
+    )
+
+
+@pytest.fixture
+def aggregator():
+    agg = CCTAggregator()
+    agg.add_decoded(context(0, 1), 5.0, timestamp=1)
+    agg.add_decoded(context(0, 2), 3.0, timestamp=1)
+    return agg
+
+
+def test_index_lists_routes(aggregator):
+    service = ProfileService(aggregator)
+    status, content_type, body = service.handle("/", {})
+    assert status == 200
+    assert "text/plain" in content_type
+    for route in ("/cct", "/flame", "/top", "/metrics", "/overhead"):
+        assert route in body
+
+
+def test_cct_route_returns_tree_json(aggregator):
+    status, content_type, body = ProfileService(aggregator).handle("/cct", {})
+    assert status == 200 and content_type == "application/json"
+    doc = json.loads(body)
+    assert doc["samples"] == 2
+    assert doc["root"]["total_weight"] == 8.0
+
+
+def test_flame_route_returns_folded(aggregator):
+    status, _, body = ProfileService(aggregator).handle("/flame", {})
+    assert status == 200
+    assert body == "fn0;fn1 5\nfn0;fn2 3\n"
+
+
+def test_top_route_with_query(aggregator):
+    service = ProfileService(aggregator)
+    status, _, body = service.handle("/top", {"n": ["1"]})
+    assert status == 200
+    rows = json.loads(body)
+    assert len(rows) == 1
+    assert rows[0]["stack"] == ["fn0", "fn1"]
+    status, _, body = service.handle("/top", {"by": ["bogus"]})
+    assert status == 400
+    status, _, body = service.handle("/top", {"n": ["nope"]})
+    assert status == 400
+
+
+def test_metrics_route_requires_telemetry(aggregator):
+    status, _, body = ProfileService(aggregator).handle("/metrics", {})
+    assert status == 503
+    telemetry = Telemetry()
+    service = ProfileService(aggregator, telemetry=telemetry)
+    status, content_type, body = service.handle("/metrics", {})
+    assert status == 200
+    # Binding happened in the constructor: prof_* families are scraped.
+    assert 'dacce_prof_samples_total{result="complete"} 2' in body
+    assert 'dacce_prof_cct{property="nodes"} 3' in body
+
+
+def test_overhead_route_requires_engine(aggregator):
+    status, _, body = ProfileService(aggregator).handle("/overhead", {})
+    assert status == 503
+
+
+def test_healthz_and_unknown_route(aggregator):
+    service = ProfileService(aggregator)
+    status, _, body = service.handle("/healthz", {})
+    assert status == 200
+    assert json.loads(body)["samples"] == 2
+    status, _, _ = service.handle("/nope", {})
+    assert status == 404
+
+
+def test_http_server_end_to_end(aggregator):
+    server = serve_profile(aggregator, port=0)
+    try:
+        base = server.url
+        with urllib.request.urlopen(base + "/healthz", timeout=5) as response:
+            assert response.status == 200
+            assert json.loads(response.read())["samples"] == 2
+        with urllib.request.urlopen(base + "/flame", timeout=5) as response:
+            body = response.read().decode()
+        assert "fn0;fn1 5" in body
+        # Live updates: new samples are visible on the next request.
+        aggregator.add_decoded(context(0, 1), 1.0)
+        with urllib.request.urlopen(base + "/flame", timeout=5) as response:
+            assert "fn0;fn1 6" in response.read().decode()
+    finally:
+        server.shutdown()
+
+
+def test_server_start_twice_rejected(aggregator):
+    server = ProfileServer(ProfileService(aggregator), port=0)
+    server.start()
+    try:
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.shutdown()
+
+
+def test_handler_error_returns_500(aggregator):
+    class Broken(ProfileService):
+        def handle(self, path, query):
+            raise RuntimeError("boom")
+
+    server = ProfileServer(Broken(aggregator), port=0)
+    server.start()
+    try:
+        request = urllib.request.Request(server.url + "/cct")
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=5)
+        assert caught.value.code == 500
+    finally:
+        server.shutdown()
