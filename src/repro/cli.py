@@ -563,6 +563,23 @@ def cmd_trace(args) -> int:
     from .obs import Telemetry
     from .program.trace import TraceExecutor
 
+    if args.input:
+        # Read-back mode: print an existing (possibly rotated) trace in
+        # chronological order — shards trace.jsonl.N .. .1, then the
+        # active file.
+        from .obs import read_rotated_jsonl, rotated_files
+
+        if not rotated_files(args.input):
+            return _fault("trace input unreadable: %r has no shards" % args.input)
+        shown = 0
+        for record in read_rotated_jsonl(args.input):
+            if args.limit and shown >= args.limit:
+                print("... (stopped at --limit %d)" % args.limit)
+                break
+            print(json.dumps(record))
+            shown += 1
+        return 0
+
     program, spec = _telemetry_workload(args)
     try:
         handle = open(args.output, "w") if args.output else None
@@ -867,6 +884,178 @@ def cmd_profile_serve(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# event ingestion plane (repro.ingest)
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    """Run the fleet ingestion service: frames in, canonical events out.
+
+    Accepts ``dacce.engine.events.v1`` frames over ``POST /ingest``
+    (and, with ``--stdin`` or ``--from``, from a pipe or a recorded
+    file), persists the canonical ``dacce.events.v1`` log per run and
+    serves the merged many-producer view (``/cct``, ``/flame``,
+    ``/top``, ``/metrics``) plus live SSE (``/events``).
+    """
+    from .ingest import IngestServer, IngestService
+
+    service = IngestService(data_dir=args.data_dir)
+    try:
+        server = IngestServer(service, host=args.host, port=args.port)
+    except OSError as error:
+        return _fault("cannot bind %s:%d: %s" % (args.host, args.port, error))
+
+    # A recorded frame file is pre-loaded before the banner goes out:
+    # once a client can learn the URL, /cct already reflects the file
+    # (the banner is the readiness signal scripts key on).
+    if getattr(args, "from_file", None):
+        try:
+            with open(args.from_file) as handle:
+                summary = service.ingest_stream(handle, args.run)
+        except OSError as error:
+            server.shutdown()
+            return _fault("frame file unreadable: %s" % error)
+        print(
+            "ingested %s: %d folded, %d skipped, %d rejected "
+            "(run %s, sequence %d)"
+            % (args.from_file, summary["folded"], summary["skipped"],
+               summary["rejected"], args.run, summary["last_sequence"]),
+            flush=True,
+        )
+
+    server.start()
+    print("ingest server listening on %s" % server.url, flush=True)
+    if args.data_dir:
+        print("persisting canonical event logs under %s" % args.data_dir,
+              flush=True)
+
+    try:
+        if args.stdin:
+            summary = service.ingest_stream(sys.stdin, args.run)
+            print(
+                "ingested stdin: %d folded, %d skipped, %d rejected"
+                % (summary["folded"], summary["skipped"], summary["rejected"]),
+                flush=True,
+            )
+        deadline = (time.time() + args.duration) if args.duration else None
+        while deadline is None or time.time() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    health = service.healthz()
+    print(
+        "served %d run(s): %d samples, total weight %g"
+        % (health["runs"], health["samples"], health["weight"])
+    )
+    return 0
+
+
+def cmd_events_record(args) -> int:
+    """Run a synthetic producer; emit engine event frames.
+
+    The producer contract: frames (and nothing else) go to the frame
+    destination — stdout with ``--frames -`` (human output moves to
+    stderr), a file, or an ingestion server via ``--url``.
+    """
+    from .ingest import FileFrameSink, FrameEmitter, HTTPFrameSink, SinkError
+    from .ingest import StdoutFrameSink, new_run_id
+    from .program.trace import run_workload_batched
+
+    run = args.run or new_run_id()
+    to_stdout = args.url is None and args.frames == "-"
+    human = sys.stderr if to_stdout else sys.stdout
+    if args.url is not None:
+        sink = HTTPFrameSink(args.url, run=run)
+    elif to_stdout:
+        sink = StdoutFrameSink()
+    else:
+        try:
+            sink = FileFrameSink(args.frames)
+        except OSError as error:
+            return _fault("frame output unwritable: %s" % error)
+
+    program = _record_program(args.seed)
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=0,
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
+    )
+    engine = DacceEngine(root=program.main)
+    emitter = FrameEmitter(
+        sink,
+        run=run,
+        producer="dacce-events-record",
+        heartbeat_every=args.heartbeat,
+    )
+    emitter.attach(
+        engine,
+        every=args.sample_every,
+        names={fn.id: fn.name for fn in program.functions()},
+    )
+    run_workload_batched(program, spec, engine)
+    emitter.complete()
+    try:
+        sink.flush()
+    except SinkError as error:
+        return _fault("frame delivery failed: %s" % error)
+    sink.close()
+    print(
+        "run %s: %d calls at 1/%d -> %d frames (%d samples), %d dropped"
+        % (run, args.calls, args.sample_every, emitter.frames_emitted,
+           emitter.samples_emitted, emitter.frames_dropped),
+        file=human,
+    )
+    if emitter.sink_errors:
+        return _fault("frame delivery failed %d time(s)" % emitter.sink_errors)
+    return 0
+
+
+def cmd_events_replay(args) -> int:
+    """Rebuild service state from a canonical ``events.ndjson`` log.
+
+    Validates the log (schema, strictly monotonic per-run sequence) and
+    folds every envelope through the same path live ingestion uses, so
+    ``--cct``/``--metrics`` outputs are byte-identical to what the live
+    service served — the CI replay-determinism gate diffs exactly that.
+    """
+    from .ingest import ReplayError, replay_file
+
+    try:
+        service, report = replay_file(args.log, strict=not args.lenient)
+    except OSError as error:
+        return _fault("event log unreadable: %s" % error)
+    except ReplayError as error:
+        return _fault(str(error))
+    outcomes = report.outcomes
+    print(
+        "replayed %d event(s) across %d run(s): %d folded, %d skipped, "
+        "%d rejected"
+        % (report.events, report.runs, outcomes.get("folded", 0),
+           outcomes.get("skipped", 0), outcomes.get("rejected", 0))
+    )
+    for error_line in report.errors:
+        print("  invalid: %s" % error_line)
+    try:
+        if args.cct:
+            with open(args.cct, "w") as handle:
+                handle.write(service.cct_json())
+            print("wrote %s" % args.cct)
+        if args.metrics:
+            with open(args.metrics, "w") as handle:
+                handle.write(service.metrics_text())
+            print("wrote %s" % args.metrics)
+        if args.flame:
+            with open(args.flame, "w") as handle:
+                handle.write(service.flame_text())
+            print("wrote %s" % args.flame)
+    except OSError as error:
+        return _fault("replay output unwritable: %s" % error)
+    return 0 if report.ok else 1
+
+
 def cmd_experiments(args) -> int:
     """Write the paper-vs-measured EXPERIMENTS.md report."""
     from .analysis.experiments import write_experiments_report
@@ -992,6 +1181,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="max records printed to stdout (0 = all)")
     p.add_argument("--output", default=None,
                    help="stream JSONL records to this path instead")
+    p.add_argument("--input", default=None,
+                   help="print an existing JSONL trace (reads rotated "
+                        "shards PATH.N..PATH.1 then PATH, oldest first) "
+                        "instead of running a workload")
     p.set_defaults(fn=cmd_trace)
 
     profile = sub.add_parser(
@@ -1072,6 +1265,68 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--trace-max-age", type=float, default=0.0)
     p.add_argument("--trace-backups", type=int, default=None)
     p.set_defaults(fn=cmd_profile_serve)
+
+    p = sub.add_parser(
+        "serve",
+        help="fleet ingestion service: frames in (HTTP/stdin/file), "
+             "canonical event log + merged live profile out",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 picks a free port (printed at startup)")
+    p.add_argument("--data-dir", default=None,
+                   help="persist one events.ndjson per run under this "
+                        "directory (enables /runs/<id>/events)")
+    p.add_argument("--run", default="default",
+                   help="run id for --stdin / --from frames")
+    p.add_argument("--stdin", action="store_true",
+                   help="also ingest frames piped on stdin")
+    p.add_argument("--from", dest="from_file", default=None,
+                   help="ingest a recorded frame file (NDJSON) at startup")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="stop after this many seconds (0 = until Ctrl-C)")
+    p.set_defaults(fn=cmd_serve)
+
+    events = sub.add_parser(
+        "events",
+        help="event ingestion plane: record producer frames, replay "
+             "canonical run logs (docs/EVENTS.md)",
+    )
+    events_sub = events.add_subparsers(dest="events_command", required=True)
+
+    p = events_sub.add_parser(
+        "record",
+        help="run a synthetic producer; emit dacce.engine.events.v1 frames",
+    )
+    p.add_argument("--frames", default="-",
+                   help="frame destination path ('-' = stdout, with human "
+                        "output on stderr)")
+    p.add_argument("--url", default=None,
+                   help="POST frames to a running `dacce serve` instead")
+    p.add_argument("--run", default=None,
+                   help="run id (default: generated)")
+    p.add_argument("--calls", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sample-every", type=int, default=64)
+    p.add_argument("--heartbeat", type=float, default=0.0,
+                   help="emit a heartbeat frame at least every N seconds")
+    p.set_defaults(fn=cmd_events_record)
+
+    p = events_sub.add_parser(
+        "replay",
+        help="rebuild aggregator + metrics state from an events.ndjson log",
+    )
+    p.add_argument("--log", required=True,
+                   help="canonical events.ndjson written by `dacce serve`")
+    p.add_argument("--cct", default=None,
+                   help="write the reconstructed /cct JSON here")
+    p.add_argument("--metrics", default=None,
+                   help="write the reconstructed /metrics text here")
+    p.add_argument("--flame", default=None,
+                   help="write the reconstructed folded stacks here")
+    p.add_argument("--lenient", action="store_true",
+                   help="report validation errors instead of failing")
+    p.set_defaults(fn=cmd_events_replay)
 
     args = parser.parse_args(argv)
     logging.basicConfig(

@@ -306,6 +306,10 @@ class DacceEngine:
         self._recover = self.config.fault_policy is FaultPolicy.RECOVER
         self.samples: List[CollectedSample] = []
         self.reencode_log: List[ReencodeRecord] = []
+        #: Called synchronously with each committed pass's record — the
+        #: ingest plane's frame-emission hook (see ``repro.ingest``).
+        #: Listener exceptions are logged, never raised into the pass.
+        self.reencode_listeners: List[Callable[[ReencodeRecord], None]] = []
         self.thread_parents: Dict[ThreadId, CollectedSample] = {}
         self._timestamp = 0
         self._window = WindowStats()
@@ -1711,17 +1715,21 @@ class DacceEngine:
         self.cost.charge_reencode(self.graph.num_edges, len(self._threads))
         self.stats.reencodings += 1
         self.stats.reencode_cost_cycles += cost
-        self.reencode_log.append(
-            ReencodeRecord(
-                timestamp=self._timestamp,
-                at_call=self.stats.calls,
-                nodes=self.graph.num_nodes,
-                edges=self.graph.num_edges,
-                max_id=self._current.max_id,
-                reasons=reasons,
-                cost_cycles=cost,
-            )
+        pass_record = ReencodeRecord(
+            timestamp=self._timestamp,
+            at_call=self.stats.calls,
+            nodes=self.graph.num_nodes,
+            edges=self.graph.num_edges,
+            max_id=self._current.max_id,
+            reasons=reasons,
+            cost_cycles=cost,
         )
+        self.reencode_log.append(pass_record)
+        for listener in self.reencode_listeners:
+            try:
+                listener(pass_record)
+            except Exception:
+                logger.exception("reencode listener %r failed", listener)
         logger.debug(
             "re-encoding pass %d at call %d: reasons=%s edges=%d maxID=%d",
             self._timestamp, self.stats.calls, ",".join(reasons),

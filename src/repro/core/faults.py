@@ -24,11 +24,17 @@ What ``recover`` guarantees and gives up is spelled out in
 from __future__ import annotations
 
 import enum
+import logging
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from .context import CallingContext, ContextStep
+
+logger = logging.getLogger(__name__)
+
+#: A fault-log subscriber: called synchronously with each new record.
+FaultListener = Callable[["FaultRecord"], None]
 
 
 class FaultPolicy(enum.Enum):
@@ -128,8 +134,23 @@ class FaultLog:
         self.capacity = capacity
         self._records: Deque[FaultRecord] = deque(maxlen=capacity)
         self._counts: Dict[FaultKind, int] = {}
+        self._listeners: List[FaultListener] = []
         self.total = 0
         self.dropped = 0
+
+    def subscribe(self, listener: FaultListener) -> FaultListener:
+        """Call ``listener`` with every record from now on (e.g. to emit
+        ``fault`` event frames).  Listeners see each record exactly once,
+        even after the bounded ring evicts it; exceptions are logged and
+        swallowed so a broken listener cannot break quarantine."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: FaultListener) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def record(self, record: FaultRecord) -> None:
         if len(self._records) == self.capacity:
@@ -137,6 +158,11 @@ class FaultLog:
         self._records.append(record)
         self.total += 1
         self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
+        for listener in self._listeners:
+            try:
+                listener(record)
+            except Exception:
+                logger.exception("fault-log listener %r failed", listener)
 
     def count(self, kind: FaultKind) -> int:
         return self._counts.get(kind, 0)

@@ -1,0 +1,80 @@
+"""Fleet-scale event ingestion plane (``docs/EVENTS.md``).
+
+Producer side: :class:`FrameEmitter` attaches to an engine and turns
+every observable action into ``dacce.engine.events.v1`` NDJSON frames
+through a pluggable :class:`EventSink`.  Service side:
+:class:`IngestService` (+ :class:`IngestServer` for HTTP) validates
+frames, stamps canonical ``dacce.events.v1`` envelopes, persists one
+append-only ``events.ndjson`` per run, folds into the merged CCT and
+metrics registry, and streams live over SSE; :func:`replay_file`
+rebuilds that state byte-exactly from a persisted log.
+"""
+
+from .emitter import DEFAULT_SAMPLE_BATCH, FrameEmitter
+from .envelope import (
+    ENVELOPE_SCHEMA,
+    Envelope,
+    EnvelopeError,
+    REJECT_TYPE,
+    envelope_from_dict,
+    parse_envelope,
+)
+from .frames import (
+    FRAME_SCHEMA,
+    FRAME_TYPES,
+    FrameError,
+    frame_line,
+    is_known_type,
+    make_frame,
+    parse_frame,
+    sample_entry,
+    samples_payload,
+    validate_frame,
+)
+from .replay import ReplayError, ReplayReport, replay_file, replay_lines
+from .server import IngestServer, serve_ingest
+from .service import IngestError, IngestService, new_run_id
+from .sinks import (
+    EventSink,
+    FileFrameSink,
+    HTTPFrameSink,
+    MemorySink,
+    SinkError,
+    StdoutFrameSink,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_BATCH",
+    "ENVELOPE_SCHEMA",
+    "Envelope",
+    "EnvelopeError",
+    "EventSink",
+    "FRAME_SCHEMA",
+    "FRAME_TYPES",
+    "FileFrameSink",
+    "FrameEmitter",
+    "FrameError",
+    "HTTPFrameSink",
+    "IngestError",
+    "IngestServer",
+    "IngestService",
+    "MemorySink",
+    "REJECT_TYPE",
+    "ReplayError",
+    "ReplayReport",
+    "SinkError",
+    "StdoutFrameSink",
+    "envelope_from_dict",
+    "frame_line",
+    "is_known_type",
+    "make_frame",
+    "new_run_id",
+    "parse_envelope",
+    "parse_frame",
+    "replay_file",
+    "replay_lines",
+    "sample_entry",
+    "samples_payload",
+    "serve_ingest",
+    "validate_frame",
+]

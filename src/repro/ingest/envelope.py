@@ -1,0 +1,160 @@
+"""The canonical API envelope: ``dacce.events.v1``.
+
+The ingestion service re-envelopes every accepted engine frame into the
+canonical event stream — the shape that is persisted (one
+``events.ndjson`` per run), streamed to clients (SSE / NDJSON download)
+and replayed.  The envelope adds what only the service knows::
+
+    {"schema": "dacce.events.v1",
+     "type": "profile.samples",          # frame type, preserved
+     "event_id": "evt_6f1c...",          # stamped by the service
+     "sequence": 42,                     # strictly monotonic per run
+     "run": "run-1a2b",                  # the run this event belongs to
+     "source": "engine",                 # or "api" for service events
+     "created_at": 1754650000.123,       # producer clock (from frame)
+     "received_at": 1754650000.321,      # service clock at ingest
+     "origin_seq": 17,                   # producer frame seq, if present
+     "payload": {...}}                   # validated frame payload
+
+Determinism contract: everything folding needs — the payload, the
+ordering (``sequence``) and the ingest lag (``received_at -
+created_at``) — is persisted *inside* the envelope, so replaying an
+``events.ndjson`` byte-exactly reproduces the live aggregator and
+metrics state (the ``dacce events replay`` gate in CI).
+
+Service-sourced events use the same envelope with ``source: "api"``;
+the v1 service emits ``ingest.rejected`` for frames that failed
+validation (payload carries the reason and a truncated echo of the raw
+line), so the canonical log accounts for every line it was offered.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Schema discriminator for canonical envelopes.
+ENVELOPE_SCHEMA = "dacce.events.v1"
+
+#: ``type`` of the service-sourced reject event.
+REJECT_TYPE = "ingest.rejected"
+
+
+class EnvelopeError(ValueError):
+    """An envelope line failed validation; ``reason`` is a stable slug."""
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One canonical event."""
+
+    type: str
+    event_id: str
+    sequence: int
+    run: str
+    source: str
+    created_at: float
+    received_at: float
+    payload: Dict[str, Any]
+    origin_seq: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema": ENVELOPE_SCHEMA,
+            "type": self.type,
+            "event_id": self.event_id,
+            "sequence": self.sequence,
+            "run": self.run,
+            "source": self.source,
+            "created_at": self.created_at,
+            "received_at": self.received_at,
+            "payload": self.payload,
+        }
+        if self.origin_seq is not None:
+            data["origin_seq"] = self.origin_seq
+        return data
+
+    def to_json_line(self) -> str:
+        """One NDJSON line (no trailing newline), key-sorted."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @property
+    def lag_seconds(self) -> float:
+        """Ingest lag as persisted; clamped at zero for skewed clocks."""
+        return max(0.0, self.received_at - self.created_at)
+
+
+def _require(condition: bool, reason: str, message: str) -> None:
+    if not condition:
+        raise EnvelopeError(reason, message)
+
+
+def envelope_from_dict(obj: Any) -> Envelope:
+    """Validate one parsed canonical event; raises :class:`EnvelopeError`."""
+    _require(isinstance(obj, dict), "not-an-object", "event is not a JSON object")
+    assert isinstance(obj, dict)
+    schema = obj.get("schema")
+    _require(
+        schema == ENVELOPE_SCHEMA,
+        "bad-schema",
+        "event schema %r is not %r" % (schema, ENVELOPE_SCHEMA),
+    )
+    for key, kinds in (
+        ("type", str),
+        ("event_id", str),
+        ("run", str),
+        ("source", str),
+        ("payload", dict),
+    ):
+        _require(
+            isinstance(obj.get(key), kinds),
+            "bad-field",
+            "event %r must be %s" % (key, kinds.__name__),
+        )
+    sequence = obj.get("sequence")
+    _require(
+        isinstance(sequence, int) and not isinstance(sequence, bool)
+        and sequence >= 1,
+        "bad-sequence",
+        "event 'sequence' must be a positive integer",
+    )
+    for key in ("created_at", "received_at"):
+        value = obj.get(key)
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            "bad-timestamp",
+            "event %r must be a unix timestamp" % key,
+        )
+    origin_seq = obj.get("origin_seq")
+    if origin_seq is not None:
+        _require(
+            isinstance(origin_seq, int) and not isinstance(origin_seq, bool),
+            "bad-field",
+            "event 'origin_seq' must be an integer",
+        )
+    assert isinstance(sequence, int)
+    return Envelope(
+        type=obj["type"],
+        event_id=obj["event_id"],
+        sequence=sequence,
+        run=obj["run"],
+        source=obj["source"],
+        created_at=float(obj["created_at"]),
+        received_at=float(obj["received_at"]),
+        payload=obj["payload"],
+        origin_seq=origin_seq,
+    )
+
+
+def parse_envelope(line: str) -> Envelope:
+    """Parse + validate one canonical NDJSON line."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise EnvelopeError("bad-json", "event line is not JSON: %s" % error)
+    return envelope_from_dict(obj)

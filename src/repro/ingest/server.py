@@ -1,0 +1,271 @@
+"""HTTP front-end for the ingestion service: POST frames, stream events.
+
+Stdlib-only (``http.server``), mirroring the profile server's shape: a
+transport-free :class:`IngestService` does all the work and the handler
+just maps routes.  Endpoints:
+
+* ``POST /ingest?run=<id>`` — NDJSON frame lines in the body; responds
+  with the per-batch ingest summary as JSON.
+* ``GET /events`` — live canonical envelopes as Server-Sent Events
+  (``Content-Type: text/event-stream``); ``?run=<id>`` filters to one
+  run, ``?backlog=N`` pre-seeds up to N recent events, ``?limit=N``
+  closes the stream after N events (what tests and the CI smoke job use
+  to make SSE finite).
+* ``GET /runs`` — run registry summaries.
+* ``GET /runs/<id>/events`` — the canonical ``events.ndjson`` log as an
+  NDJSON download.
+* ``GET /cct`` / ``/flame`` / ``/top`` / ``/metrics`` / ``/healthz`` —
+  the merged many-producer view, same documents the profile server
+  serves for a single in-process engine.
+
+Every response carries an explicit ``Content-Type`` and
+``Cache-Control: no-store``; unknown routes return a structured JSON
+404.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .envelope import Envelope
+from .service import IngestError, IngestService
+
+#: Seconds between SSE keep-alive comments when no events arrive.
+SSE_KEEPALIVE_SECONDS = 15.0
+
+
+def _json_body(obj: Any) -> Tuple[str, str]:
+    return "application/json", json.dumps(obj, indent=2) + "\n"
+
+
+def _not_found(path: str) -> Tuple[int, str, str]:
+    content_type, body = _json_body(
+        {
+            "error": "not-found",
+            "path": path,
+            "routes": [
+                "/", "/ingest", "/events", "/runs", "/runs/<id>/events",
+                "/cct", "/flame", "/top", "/metrics", "/healthz",
+            ],
+        }
+    )
+    return 404, content_type, body
+
+
+class _IngestHandler(BaseHTTPRequestHandler):
+    """Routes bound to a service via ``type(...)`` subclassing."""
+
+    service: IngestService
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are observable via /metrics, not stderr noise
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- ingestion -----------------------------------------------------
+    def do_POST(self) -> None:
+        parsed = urlparse(self.path)
+        if parsed.path != "/ingest":
+            self._send(*_not_found(parsed.path))
+            return
+        query = parse_qs(parsed.query)
+        run_id = query.get("run", ["default"])[0]
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        try:
+            summary = self.service.ingest_lines(
+                run_id, body.splitlines(), source="engine"
+            )
+        except IngestError as error:
+            self._send(
+                400, *_json_body({"error": "bad-request", "detail": str(error)})
+            )
+            return
+        self._send(200, *_json_body(summary))
+
+    # -- reads ---------------------------------------------------------
+    def do_GET(self) -> None:
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        path = parsed.path
+        if path == "/events":
+            self._stream_events(query)
+            return
+        if path.startswith("/runs/") and path.endswith("/events"):
+            self._download_run(path[len("/runs/"):-len("/events")])
+            return
+        status, content_type, body = self._document(path, query)
+        self._send(status, content_type, body)
+
+    def _document(
+        self, path: str, query: Dict[str, Any]
+    ) -> Tuple[int, str, str]:
+        service = self.service
+        if path == "/":
+            return (
+                200,
+                *_json_body(
+                    {
+                        "service": "dacce-ingest",
+                        "endpoints": [
+                            "/ingest (POST)", "/events", "/runs",
+                            "/runs/<id>/events", "/cct", "/flame", "/top",
+                            "/metrics", "/healthz",
+                        ],
+                    }
+                ),
+            )
+        if path == "/cct":
+            return 200, "application/json", service.cct_json()
+        if path == "/flame":
+            return 200, "text/plain; charset=utf-8", service.flame_text()
+        if path == "/top":
+            n = int(query.get("n", ["10"])[0])
+            by = query.get("by", ["self"])[0]
+            try:
+                rows = service.top_rows(n=n, by=by)
+            except ValueError as error:
+                return 400, *_json_body(
+                    {"error": "bad-request", "detail": str(error)}
+                )
+            return 200, *_json_body(rows)
+        if path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                service.metrics_text(),
+            )
+        if path == "/runs":
+            return 200, *_json_body(service.runs())
+        if path == "/healthz":
+            return 200, *_json_body(service.healthz())
+        return _not_found(path)
+
+    def _download_run(self, run_id: str) -> None:
+        events_path = self.service.events_path(run_id)
+        if events_path is None:
+            self._send(
+                404,
+                *_json_body(
+                    {"error": "not-found", "detail": "unknown run %r" % run_id}
+                ),
+            )
+            return
+        try:
+            with open(events_path) as handle:
+                body = handle.read()
+        except OSError:
+            body = ""
+        self._send(200, "application/x-ndjson", body)
+
+    def _stream_events(self, query: Dict[str, Any]) -> None:
+        run = query.get("run", [None])[0]
+        limit = int(query.get("limit", ["0"])[0])
+        backlog = int(query.get("backlog", ["0"])[0])
+        subscriber = self.service.subscribe(run=run, backlog=backlog)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        try:
+            while True:
+                try:
+                    envelope = subscriber.get(timeout=SSE_KEEPALIVE_SECONDS)
+                except queue.Empty:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    continue
+                if envelope is None:  # service shutdown sentinel
+                    break
+                self.wfile.write(self._sse_event(envelope))
+                self.wfile.flush()
+                sent += 1
+                if limit and sent >= limit:
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
+        finally:
+            self.service.unsubscribe(subscriber)
+
+    @staticmethod
+    def _sse_event(envelope: Envelope) -> bytes:
+        return (
+            "id: %d\nevent: %s\ndata: %s\n\n"
+            % (envelope.sequence, envelope.type, envelope.to_json_line())
+        ).encode("utf-8")
+
+
+class IngestServer:
+    """Threaded ingestion HTTP server around one :class:`IngestService`."""
+
+    def __init__(
+        self,
+        service: IngestService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        handler = type("BoundIngestHandler", (_IngestHandler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self) -> "IngestServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="dacce-ingest-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.service.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def serve_ingest(
+    service: Optional[IngestService] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    data_dir: Optional[str] = None,
+) -> IngestServer:
+    """Start a background ingestion server (tests + CLI convenience)."""
+    if service is None:
+        service = IngestService(data_dir=data_dir)
+    return IngestServer(service, host=host, port=port).start()

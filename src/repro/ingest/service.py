@@ -1,0 +1,471 @@
+"""The ingestion service: frames in, canonical envelopes out.
+
+:class:`IngestService` is the API side of the engine-frame → API-envelope
+split: it accepts ``dacce.engine.events.v1`` NDJSON frames from any
+number of producers (HTTP POST bodies, piped stdin, recorded files),
+validates each line, stamps the canonical ``dacce.events.v1`` envelope
+(``run``, ``event_id``, strictly monotonic per-run ``sequence``,
+``received_at``), persists one append-only ``events.ndjson`` per run,
+folds the payload into live state — the shared
+:class:`~repro.prof.cct.CCTAggregator` for sample frames, the
+:class:`~repro.obs.registry.MetricsRegistry` for everything else — and
+fans the envelope out to SSE subscribers.
+
+The ingestion plane observes itself: ``ingest_frames_total{kind,outcome}``
+counts every offered line (``folded`` / ``skipped`` / ``rejected``) and
+``ingest_lag_seconds`` histograms the producer-to-service latency using
+the two timestamps persisted in the envelope — which is what makes
+``dacce events replay`` byte-exact: every input to folding (payloads,
+ordering, lag) lives inside the canonical log, so rebuilding state from
+``events.ndjson`` reproduces the live ``/cct`` and ``/metrics`` payloads
+identically (the CI replay-determinism gate).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import re
+import threading
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+import time
+
+from ..core.context import CallingContext
+from ..core.faults import PartialDecode
+from ..obs.exporters import to_prometheus_text
+from ..obs.registry import MetricsRegistry
+from ..prof.cct import CCTAggregator, default_names
+from .envelope import ENVELOPE_SCHEMA, REJECT_TYPE, Envelope
+from .frames import FrameError, MAX_RAW_ECHO, is_known_type, parse_frame
+
+logger = logging.getLogger(__name__)
+
+#: Ingest-lag histogram bucket bounds, seconds: sub-millisecond local
+#: pipes up to slow cross-host batches.
+LAG_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
+)
+
+#: Run ids become directory names; keep them path-safe.
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+DEFAULT_RUN = "default"
+DEFAULT_RECENT_CAPACITY = 1024
+
+#: Validated frame outcomes (the ``outcome`` label values).
+OUTCOME_FOLDED = "folded"
+OUTCOME_SKIPPED = "skipped"
+OUTCOME_REJECTED = "rejected"
+
+
+class IngestError(ValueError):
+    """Invalid ingest request (bad run id, closed service)."""
+
+
+def new_run_id() -> str:
+    return "run-%s" % uuid.uuid4().hex[:8]
+
+
+def _default_id_factory() -> str:
+    return "evt_%s" % uuid.uuid4().hex[:16]
+
+
+@dataclass
+class RunState:
+    """Everything the service tracks per run."""
+
+    run: str
+    path: Optional[str] = None
+    sequence: int = 0
+    producer: Optional[str] = None
+    started_at: Optional[float] = None
+    last_received_at: Optional[float] = None
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    samples: int = 0
+    weight: float = 0.0
+    complete: bool = False
+    _handle: Optional[IO[str]] = None
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "run": self.run,
+            "sequence": self.sequence,
+            "producer": self.producer,
+            "started_at": self.started_at,
+            "last_received_at": self.last_received_at,
+            "outcomes": dict(self.outcomes),
+            "samples": self.samples,
+            "weight": self.weight,
+            "complete": self.complete,
+        }
+
+
+class IngestService:
+    """Validate, envelope, persist, fold and stream producer frames."""
+
+    def __init__(
+        self,
+        data_dir: Optional[str] = None,
+        clock: Callable[[], float] = time.time,
+        id_factory: Callable[[], str] = _default_id_factory,
+        recent_capacity: int = DEFAULT_RECENT_CAPACITY,
+    ):
+        self.data_dir = data_dir
+        if data_dir is not None:
+            os.makedirs(data_dir, exist_ok=True)
+        self._clock = clock
+        self._id_factory = id_factory
+        self._lock = threading.RLock()
+        self._runs: Dict[str, RunState] = {}
+        self._names: Dict[int, str] = {}
+        self.aggregator = CCTAggregator(names=self._resolve_name)
+        self.registry = MetricsRegistry(enabled=True)
+        self.aggregator.bind_metrics(self.registry)
+        # Instruments are created eagerly and in a fixed order so a
+        # replayed service renders the identical /metrics document.
+        self._c_frames = self.registry.counter(
+            "ingest_frames_total",
+            "Frames offered to the ingestion service, by kind and outcome.",
+            labelnames=("kind", "outcome"),
+        )
+        self._h_lag = self.registry.histogram(
+            "ingest_lag_seconds",
+            "Producer-to-service latency (received_at - created_at).",
+            buckets=LAG_BUCKETS,
+        )
+        self._g_runs = self.registry.gauge(
+            "ingest_runs",
+            "Runs known to the ingestion service.",
+        )
+        self._c_producer_stats = self.registry.counter(
+            "ingest_producer_stats_total",
+            "Latest cumulative producer counters from stats.delta frames.",
+            labelnames=("run", "stat"),
+        )
+        self._c_producer_faults = self.registry.counter(
+            "ingest_producer_faults_total",
+            "Producer fault frames ingested, by fault kind.",
+            labelnames=("kind",),
+        )
+        # Live-stream plumbing (not part of replayed state).
+        self._recent: Deque[Envelope] = deque(maxlen=recent_capacity)
+        self._subscribers: List[Tuple["queue.Queue[Optional[Envelope]]", Optional[str]]] = []
+        self.started_at = self._clock()
+
+    # ------------------------------------------------------------------
+    # names
+    # ------------------------------------------------------------------
+    def _resolve_name(self, function: int) -> str:
+        name = self._names.get(function)
+        return name if name is not None else default_names(function)
+
+    # ------------------------------------------------------------------
+    # run registry
+    # ------------------------------------------------------------------
+    def _run_state(self, run_id: str) -> RunState:
+        state = self._runs.get(run_id)
+        if state is None:
+            path = None
+            if self.data_dir is not None:
+                run_dir = os.path.join(self.data_dir, run_id)
+                os.makedirs(run_dir, exist_ok=True)
+                path = os.path.join(run_dir, "events.ndjson")
+            state = RunState(run=run_id, path=path)
+            self._runs[run_id] = state
+            self._g_runs.set(len(self._runs))
+        return state
+
+    def runs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                state.summary()
+                for _, state in sorted(self._runs.items())
+            ]
+
+    def events_path(self, run_id: str) -> Optional[str]:
+        with self._lock:
+            state = self._runs.get(run_id)
+            return state.path if state is not None else None
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest_lines(
+        self,
+        run_id: str,
+        lines: Iterable[str],
+        source: str = "engine",
+    ) -> Dict[str, Any]:
+        """Ingest NDJSON frame lines for one run; returns a summary.
+
+        Every non-blank line is accounted for: validated frames become
+        canonical envelopes (``folded`` or, for unknown types,
+        ``skipped``); invalid lines become service-sourced
+        ``ingest.rejected`` envelopes.  All three are persisted and
+        streamed, so the canonical log is a complete record of what the
+        service was offered.
+        """
+        if not _RUN_ID_RE.match(run_id):
+            raise IngestError(
+                "invalid run id %r (want %s)" % (run_id, _RUN_ID_RE.pattern)
+            )
+        counts = {OUTCOME_FOLDED: 0, OUTCOME_SKIPPED: 0, OUTCOME_REJECTED: 0}
+        last_sequence = 0
+        with self._lock:
+            state = self._run_state(run_id)
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                envelope = self._envelope_line(state, line, source)
+                outcome = self._fold(envelope)
+                counts[outcome] += 1
+                state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
+                self._persist(state, envelope)
+                self._publish(envelope)
+            last_sequence = state.sequence
+            if state._handle is not None:
+                state._handle.flush()
+        return {
+            "run": run_id,
+            "accepted": counts[OUTCOME_FOLDED] + counts[OUTCOME_SKIPPED],
+            "folded": counts[OUTCOME_FOLDED],
+            "skipped": counts[OUTCOME_SKIPPED],
+            "rejected": counts[OUTCOME_REJECTED],
+            "last_sequence": last_sequence,
+        }
+
+    def ingest_stream(
+        self,
+        stream: IO[str],
+        run_id: str,
+        source: str = "engine",
+        batch: int = 256,
+    ) -> Dict[str, Any]:
+        """Ingest frames from a line stream (piped producer stdout)."""
+        totals = {
+            "run": run_id, "accepted": 0, "folded": 0, "skipped": 0,
+            "rejected": 0, "last_sequence": 0,
+        }
+        buffer: List[str] = []
+        for line in stream:
+            buffer.append(line)
+            if len(buffer) >= batch:
+                self._merge_summary(totals, self.ingest_lines(run_id, buffer, source))
+                buffer = []
+        if buffer:
+            self._merge_summary(totals, self.ingest_lines(run_id, buffer, source))
+        return totals
+
+    @staticmethod
+    def _merge_summary(totals: Dict[str, Any], part: Dict[str, Any]) -> None:
+        for key in ("accepted", "folded", "skipped", "rejected"):
+            totals[key] += part[key]
+        totals["last_sequence"] = part["last_sequence"]
+
+    def _envelope_line(
+        self, state: RunState, line: str, source: str
+    ) -> Envelope:
+        """Validate one raw line and stamp its canonical envelope."""
+        received_at = self._clock()
+        state.sequence += 1
+        try:
+            frame = parse_frame(line)
+        except FrameError as error:
+            return Envelope(
+                type=REJECT_TYPE,
+                event_id=self._id_factory(),
+                sequence=state.sequence,
+                run=state.run,
+                source="api",
+                created_at=received_at,
+                received_at=received_at,
+                payload={
+                    "reason": error.reason,
+                    "error": str(error),
+                    "raw": line[:MAX_RAW_ECHO],
+                },
+            )
+        return Envelope(
+            type=frame["type"],
+            event_id=self._id_factory(),
+            sequence=state.sequence,
+            run=state.run,
+            source=source,
+            created_at=float(frame["created_at"]),
+            received_at=received_at,
+            payload=frame["payload"],
+            origin_seq=frame.get("seq"),
+        )
+
+    # ------------------------------------------------------------------
+    # folding (shared verbatim by live ingest and replay)
+    # ------------------------------------------------------------------
+    def _fold(self, envelope: Envelope) -> str:
+        """Fold one canonical envelope into live state.
+
+        Pure in the envelope: called with identical envelopes in
+        identical order it produces identical aggregator and registry
+        state — the replay-determinism contract.
+        """
+        state = self._run_state(envelope.run)
+        state.last_received_at = envelope.received_at
+        if state.started_at is None:
+            state.started_at = envelope.received_at
+        if envelope.type == REJECT_TYPE:
+            self._c_frames.labels("invalid", OUTCOME_REJECTED).inc()
+            return OUTCOME_REJECTED
+        if not is_known_type(envelope.type):
+            self._c_frames.labels(envelope.type, OUTCOME_SKIPPED).inc()
+            return OUTCOME_SKIPPED
+        self._c_frames.labels(envelope.type, OUTCOME_FOLDED).inc()
+        if envelope.source == "engine":
+            self._h_lag.observe(envelope.lag_seconds)
+        payload = envelope.payload
+        if envelope.type == "profile.samples":
+            self._fold_samples(state, payload)
+        elif envelope.type == "run.start":
+            producer = payload.get("producer")
+            if isinstance(producer, str):
+                state.producer = producer
+            names = payload.get("names")
+            if isinstance(names, dict):
+                for key, value in names.items():
+                    try:
+                        self._names[int(key)] = str(value)
+                    except (TypeError, ValueError):
+                        continue
+        elif envelope.type == "run.complete":
+            state.complete = True
+        elif envelope.type == "stats.delta":
+            stats = payload.get("stats")
+            if isinstance(stats, dict):
+                for stat, value in sorted(stats.items()):
+                    if isinstance(value, (int, float)) and not isinstance(
+                        value, bool
+                    ):
+                        self._c_producer_stats.set_total(
+                            float(value), envelope.run, str(stat)
+                        )
+        elif envelope.type == "fault":
+            kind = payload.get("kind")
+            self._c_producer_faults.labels(
+                kind if isinstance(kind, str) else "unknown"
+            ).inc()
+        # heartbeat: the frames counter above is the fold.
+        return OUTCOME_FOLDED
+
+    def _fold_samples(self, state: RunState, payload: Dict[str, Any]) -> None:
+        for entry in payload.get("samples", ()):
+            path = tuple(entry.get("path", ()))
+            weight = float(entry.get("weight", 1.0))
+            gts = int(entry.get("gts", 0))
+            context = CallingContext.from_functions(path)
+            if entry.get("partial"):
+                result: Any = PartialDecode(context=context, complete=False)
+            else:
+                result = context
+            self.aggregator.add_decoded(result, weight, timestamp=gts)
+            state.samples += 1
+            state.weight += weight
+
+    # ------------------------------------------------------------------
+    # persistence + streaming
+    # ------------------------------------------------------------------
+    def _persist(self, state: RunState, envelope: Envelope) -> None:
+        if state.path is None:
+            return
+        if state._handle is None:
+            state._handle = open(state.path, "a")
+        state._handle.write(envelope.to_json_line() + "\n")
+
+    def _publish(self, envelope: Envelope) -> None:
+        self._recent.append(envelope)
+        for subscriber, run_filter in list(self._subscribers):
+            if run_filter is not None and envelope.run != run_filter:
+                continue
+            try:
+                subscriber.put_nowait(envelope)
+            except queue.Full:  # pragma: no cover - unbounded queues
+                pass
+
+    def subscribe(
+        self,
+        run: Optional[str] = None,
+        backlog: int = 0,
+    ) -> "queue.Queue[Optional[Envelope]]":
+        """A live envelope queue; ``backlog`` recent events are pre-seeded."""
+        subscriber: "queue.Queue[Optional[Envelope]]" = queue.Queue()
+        with self._lock:
+            if backlog:
+                for envelope in list(self._recent)[-backlog:]:
+                    if run is not None and envelope.run != run:
+                        continue
+                    subscriber.put_nowait(envelope)
+            self._subscribers.append((subscriber, run))
+        return subscriber
+
+    def unsubscribe(self, subscriber: "queue.Queue[Optional[Envelope]]") -> None:
+        with self._lock:
+            self._subscribers = [
+                (q, f) for q, f in self._subscribers if q is not subscriber
+            ]
+
+    def close(self) -> None:
+        with self._lock:
+            for state in self._runs.values():
+                if state._handle is not None:
+                    state._handle.close()
+                    state._handle = None
+            for subscriber, _ in self._subscribers:
+                subscriber.put_nowait(None)
+            self._subscribers = []
+
+    # ------------------------------------------------------------------
+    # read-side documents (the server's and replay-diff's shared source)
+    # ------------------------------------------------------------------
+    def cct_json(self) -> str:
+        import json as _json
+
+        return _json.dumps(self.aggregator.to_dict(), indent=2) + "\n"
+
+    def metrics_text(self) -> str:
+        return to_prometheus_text(self.registry.snapshot())
+
+    def flame_text(self) -> str:
+        from ..prof.export import to_folded
+
+        return to_folded(self.aggregator) + "\n"
+
+    def top_rows(self, n: int = 10, by: str = "self") -> List[Dict[str, Any]]:
+        from ..prof.export import top_contexts
+
+        return top_contexts(self.aggregator, n=n, by=by)
+
+    def healthz(self) -> Dict[str, Any]:
+        stats = self.aggregator.stats()
+        with self._lock:
+            return {
+                "runs": len(self._runs),
+                "subscribers": len(self._subscribers),
+                "samples": stats["samples"],
+                "weight": stats["weight"],
+                "uptime_seconds": self._clock() - self.started_at,
+                "schema": ENVELOPE_SCHEMA,
+            }

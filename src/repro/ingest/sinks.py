@@ -1,0 +1,181 @@
+"""Pluggable frame sinks: where a producer's NDJSON frames go.
+
+A sink transports already-serialized frame lines; it never inspects
+them.  All sinks share the re-entrancy discipline of the buffered
+pytrace tracer (its ``_in_engine`` guard): a write that re-enters the
+sink — possible when the producer itself runs under instrumentation and
+the write syscall is traced — is dropped and counted instead of
+recursing.  Sinks therefore never raise into the engine hot path; the
+only raising method is :meth:`EventSink.flush`, which the emitter calls
+from safe points and wraps.
+
+* :class:`StdoutFrameSink` — the default producer contract: stdout is
+  reserved for frames, one per line, flushed per frame so a piped
+  consumer stays live.
+* :class:`FileFrameSink` — frames to a file (tests, ``dacce events
+  record``, offline hand-off to ``dacce serve --from``).
+* :class:`MemorySink` — frames to a list (tests).
+* :class:`HTTPFrameSink` — frames POSTed in batches to an
+  :class:`~repro.ingest.server.IngestServer`'s ``/ingest`` endpoint.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import urllib.error
+import urllib.request
+from typing import IO, List, Optional
+
+logger = logging.getLogger(__name__)
+
+
+class SinkError(OSError):
+    """A sink failed to deliver buffered frames (flush-time only)."""
+
+
+class EventSink:
+    """Base sink: re-entrancy guard + drop accounting around ``_write``."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+        self.dropped = 0
+        self._in_write = False
+
+    # -- subclass surface ----------------------------------------------
+    def _write(self, line: str) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Deliver anything buffered; may raise :class:`SinkError`."""
+
+    def close(self) -> None:
+        self.flush()
+
+    # -- the emitter-facing call ---------------------------------------
+    def emit(self, line: str) -> bool:
+        """Write one frame line; returns False when dropped."""
+        if self._in_write:
+            self.dropped += 1
+            return False
+        self._in_write = True
+        try:
+            self._write(line)
+        except Exception:
+            self.dropped += 1
+            logger.warning("frame sink %r write failed", self, exc_info=True)
+            return False
+        finally:
+            self._in_write = False
+        self.emitted += 1
+        return True
+
+
+class StdoutFrameSink(EventSink):
+    """Frames to stdout, one NDJSON line per frame, flushed per line.
+
+    Producers running under this sink must keep stdout clean: frames are
+    the process's machine-readable contract, human output belongs on
+    stderr (the CLI's ``dacce events record --frames -`` honours this).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        super().__init__()
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _write(self, line: str) -> None:
+        self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+class FileFrameSink(EventSink):
+    """Frames appended to a file path (or an open text stream)."""
+
+    def __init__(self, path: str):
+        super().__init__()
+        self.path = path
+        self._handle: Optional[IO[str]] = open(path, "a")
+
+    def _write(self, line: str) -> None:
+        if self._handle is None:
+            raise ValueError("file frame sink is closed")
+        self._handle.write(line + "\n")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class MemorySink(EventSink):
+    """Frames retained in memory (tests and the emitter's unit surface)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lines: List[str] = []
+
+    def _write(self, line: str) -> None:
+        self.lines.append(line)
+
+
+class HTTPFrameSink(EventSink):
+    """Frames POSTed in NDJSON batches to an ingestion service.
+
+    ``emit`` only buffers (hot-path safe); :meth:`flush` performs the
+    POST and raises :class:`SinkError` on transport failure, leaving the
+    batch buffered so a later flush retries it.  The emitter flushes at
+    sample-batch boundaries, so one POST carries many frames.
+    """
+
+    def __init__(self, url: str, run: str, batch_bytes: int = 1 << 20,
+                 timeout: float = 10.0):
+        super().__init__()
+        self.url = url.rstrip("/")
+        self.run = run
+        self.batch_bytes = batch_bytes
+        self.timeout = timeout
+        self.posts = 0
+        self._buffer: List[str] = []
+        self._buffered_bytes = 0
+
+    def _write(self, line: str) -> None:
+        self._buffer.append(line)
+        self._buffered_bytes += len(line) + 1
+
+    def emit(self, line: str) -> bool:
+        ok = super().emit(line)
+        if ok and self._buffered_bytes >= self.batch_bytes:
+            # Opportunistic flush; a transport failure keeps the batch
+            # buffered (retried at the next flush point) rather than
+            # raising into the caller's hot path.
+            try:
+                self.flush()
+            except SinkError:
+                logger.warning("ingest POST failed; batch retained",
+                               exc_info=True)
+        return ok
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        body = ("\n".join(self._buffer) + "\n").encode("utf-8")
+        request = urllib.request.Request(
+            "%s/ingest?run=%s" % (self.url, self.run),
+            data=body,
+            headers={"Content-Type": "application/x-ndjson"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                resp.read()
+        except (urllib.error.URLError, OSError) as error:
+            raise SinkError(
+                "ingest POST to %s failed: %s" % (self.url, error)
+            ) from error
+        self.posts += 1
+        self._buffer = []
+        self._buffered_bytes = 0

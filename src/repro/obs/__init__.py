@@ -31,6 +31,8 @@ from .trace import (
     DEFAULT_TRACE_CAPACITY,
     RotatingTraceStream,
     TraceEmitter,
+    read_rotated_jsonl,
+    rotated_files,
 )
 
 __all__ = [
@@ -55,6 +57,8 @@ __all__ = [
     "TraceEmitter",
     "null_registry",
     "parse_json_snapshot",
+    "read_rotated_jsonl",
+    "rotated_files",
     "to_json_snapshot",
     "to_prometheus_text",
 ]

@@ -24,7 +24,7 @@ import logging
 import os
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, IO, List, Optional
+from typing import Any, Callable, Deque, Dict, IO, Iterator, List, Optional
 
 logger = logging.getLogger(__name__)
 
@@ -237,3 +237,58 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     return str(value)
+
+
+def rotated_files(path: str, backups: int = DEFAULT_ROTATE_BACKUPS) -> List[str]:
+    """Existing shards of a rotated JSONL trace, oldest first.
+
+    The shift scheme writes ``path`` (active) with backups
+    ``path.1`` (newest) … ``path.N`` (oldest), so chronological order is
+    the highest-numbered backup down to the active file.  ``backups``
+    only bounds the scan when no higher-numbered shard exists — shards
+    beyond it (an older run with a larger ``--trace-backups``) are
+    still picked up.
+    """
+    out: List[str] = []
+    index = 1
+    misses = 0
+    while misses < max(1, backups):
+        candidate = "%s.%d" % (path, index)
+        if os.path.exists(candidate):
+            out.append(candidate)
+            misses = 0
+        else:
+            misses += 1
+        index += 1
+    out.reverse()
+    if os.path.exists(path):
+        out.append(path)
+    return out
+
+
+def read_rotated_jsonl(
+    path: str, backups: int = DEFAULT_ROTATE_BACKUPS
+) -> Iterator[Dict[str, Any]]:
+    """Yield records from a rotated JSONL trace in chronological order.
+
+    Reads ``path.N`` … ``path.1`` then the active ``path`` (what
+    ``dacce trace --input`` uses), skipping blank and truncated lines —
+    a mid-write rotation can legitimately leave a torn last line in a
+    shard.
+    """
+    for shard in rotated_files(path, backups=backups):
+        try:
+            handle = open(shard)
+        except OSError:
+            continue
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record

@@ -111,7 +111,22 @@ class ProfileService:
         if path == "/healthz":
             stats = self.aggregator.stats()
             return 200, "application/json", json.dumps(stats) + "\n"
-        return 404, "text/plain; charset=utf-8", "unknown route %s\n" % path
+        return (
+            404,
+            "application/json",
+            json.dumps(
+                {
+                    "error": "not-found",
+                    "path": path,
+                    "routes": [
+                        "/", "/cct", "/flame", "/top", "/metrics",
+                        "/overhead", "/healthz",
+                    ],
+                },
+                indent=2,
+            )
+            + "\n",
+        )
 
 
 class _ProfileHandler(BaseHTTPRequestHandler):
@@ -133,6 +148,9 @@ class _ProfileHandler(BaseHTTPRequestHandler):
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        # Live profile documents change between requests; make sure no
+        # intermediary serves a stale snapshot.
+        self.send_header("Cache-Control", "no-store")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
         self.wfile.write(payload)

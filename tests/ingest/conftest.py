@@ -1,0 +1,28 @@
+"""Shared producer helpers for the ingest plane tests."""
+
+import pytest
+
+from repro.core.engine import DacceEngine
+from repro.core.events import CallEvent, ReturnEvent
+from repro.ingest import FrameEmitter, MemorySink
+
+
+def run_simple_workload(engine: DacceEngine, iterations: int) -> None:
+    """main(0) -> a(2) -> b(3), repeated; root must be function 0."""
+    for _ in range(iterations):
+        engine.on_event(CallEvent(thread=0, callsite=11, caller=0, callee=2))
+        engine.on_event(CallEvent(thread=0, callsite=12, caller=2, callee=3))
+        engine.on_event(ReturnEvent(thread=0))
+        engine.on_event(ReturnEvent(thread=0))
+
+
+@pytest.fixture
+def recorded_frames():
+    """Frame lines from one small instrumented run (memory sink)."""
+    engine = DacceEngine()
+    sink = MemorySink()
+    emitter = FrameEmitter(sink, run="test-run", producer="conftest")
+    emitter.attach(engine, every=4, names={0: "main", 2: "a", 3: "b"})
+    run_simple_workload(engine, 50)
+    emitter.complete()
+    return sink.lines

@@ -1,0 +1,111 @@
+"""Replay: the canonical log byte-exactly reproduces live state."""
+
+import json
+
+import pytest
+
+from repro.ingest import (
+    IngestService,
+    ReplayError,
+    frame_line,
+    make_frame,
+    replay_file,
+    replay_lines,
+    sample_entry,
+    samples_payload,
+)
+
+
+def ingest_to_log(tmp_path, frames, run="r1"):
+    service = IngestService(data_dir=str(tmp_path))
+    service.ingest_lines(run, frames)
+    service.close()
+    return service, str(tmp_path / run / "events.ndjson")
+
+
+def test_replay_reproduces_cct_and_metrics_byte_exactly(
+    tmp_path, recorded_frames
+):
+    live, log_path = ingest_to_log(tmp_path, recorded_frames)
+    replayed, report = replay_file(log_path)
+    assert report.ok
+    assert report.events == len(recorded_frames)
+    assert replayed.cct_json() == live.cct_json()
+    assert replayed.metrics_text() == live.metrics_text()
+    assert replayed.flame_text() == live.flame_text()
+
+
+def test_replay_reproduces_rejects(tmp_path, recorded_frames):
+    frames = recorded_frames[:3] + ["garbage line"] + recorded_frames[3:]
+    live, log_path = ingest_to_log(tmp_path, frames)
+    replayed, report = replay_file(log_path)
+    assert report.outcomes["rejected"] == 1
+    assert replayed.metrics_text() == live.metrics_text()
+
+
+def test_replay_merges_multiple_run_logs(tmp_path, recorded_frames):
+    live = IngestService(data_dir=str(tmp_path))
+    live.ingest_lines("a", recorded_frames)
+    live.ingest_lines("b", recorded_frames)
+    live.close()
+    # Replay both logs into ONE fresh service, in the same ingest order.
+    replayed = IngestService()
+    for run in ("a", "b"):
+        with open(str(tmp_path / run / "events.ndjson")) as handle:
+            _, report = replay_lines(handle, service=replayed)
+        assert report.ok
+    assert replayed.cct_json() == live.cct_json()
+    assert replayed.metrics_text() == live.metrics_text()
+
+
+def test_replay_rejects_non_monotonic_sequence(tmp_path, recorded_frames):
+    _, log_path = ingest_to_log(tmp_path, recorded_frames)
+    lines = open(log_path).read().splitlines()
+    lines[2], lines[3] = lines[3], lines[2]  # reorder = tamper
+    with pytest.raises(ReplayError):
+        replay_lines(lines)
+    _, report = replay_lines(lines, strict=False)
+    assert not report.ok
+    assert "not greater" in report.errors[0]
+
+
+def test_replay_rejects_duplicated_event(tmp_path, recorded_frames):
+    _, log_path = ingest_to_log(tmp_path, recorded_frames)
+    lines = open(log_path).read().splitlines()
+    lines.insert(3, lines[2])  # replayed twice = tamper
+    with pytest.raises(ReplayError):
+        replay_lines(lines)
+
+
+def test_replay_rejects_foreign_schema_lines(tmp_path):
+    # A raw engine frame smuggled into a canonical log must not fold.
+    frame = frame_line(
+        make_frame(
+            "profile.samples",
+            samples_payload([sample_entry([0, 2], 1.0, 0)]),
+            1.0,
+            0,
+        )
+    )
+    _, report = replay_lines([frame], strict=False)
+    assert report.events == 0
+    assert "bad-schema" in report.errors[0]
+
+
+def test_replay_skips_blank_lines(tmp_path, recorded_frames):
+    live, log_path = ingest_to_log(tmp_path, recorded_frames)
+    lines = open(log_path).read().splitlines()
+    padded = ["", lines[0], "", *lines[1:], ""]
+    replayed, report = replay_lines(padded)
+    assert report.ok
+    assert replayed.cct_json() == live.cct_json()
+
+
+def test_replay_report_dict(tmp_path, recorded_frames):
+    _, log_path = ingest_to_log(tmp_path, recorded_frames)
+    _, report = replay_file(log_path)
+    document = report.to_dict()
+    assert document["ok"] is True
+    assert document["events"] == len(recorded_frames)
+    assert document["runs"] == 1
+    json.dumps(document)  # JSON-able for tooling

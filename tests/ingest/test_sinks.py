@@ -1,0 +1,84 @@
+"""Sink transport discipline: guards, buffering, failure modes."""
+
+import io
+
+import pytest
+
+from repro.ingest import (
+    FileFrameSink,
+    HTTPFrameSink,
+    MemorySink,
+    SinkError,
+    StdoutFrameSink,
+)
+
+
+def test_memory_sink_counts():
+    sink = MemorySink()
+    assert sink.emit("a") and sink.emit("b")
+    assert sink.lines == ["a", "b"]
+    assert sink.emitted == 2 and sink.dropped == 0
+
+
+def test_reentrant_write_is_dropped_not_recursed():
+    class ReentrantSink(MemorySink):
+        def _write(self, line):
+            # A traced write syscall re-entering the sink mid-write.
+            assert not self.emit("inner")
+            super()._write(line)
+
+    sink = ReentrantSink()
+    assert sink.emit("outer")
+    assert sink.lines == ["outer"]
+    assert sink.dropped == 1
+
+
+def test_write_failure_is_dropped_and_counted():
+    class FailingSink(MemorySink):
+        def _write(self, line):
+            raise OSError("disk full")
+
+    sink = FailingSink()
+    assert not sink.emit("x")
+    assert sink.dropped == 1 and sink.emitted == 0
+
+
+def test_stdout_sink_writes_lines(capsys=None):
+    stream = io.StringIO()
+    sink = StdoutFrameSink(stream)
+    sink.emit('{"a":1}')
+    sink.emit('{"b":2}')
+    assert stream.getvalue() == '{"a":1}\n{"b":2}\n'
+
+
+def test_file_sink_appends_and_closes(tmp_path):
+    path = tmp_path / "frames.ndjson"
+    sink = FileFrameSink(str(path))
+    sink.emit("one")
+    sink.flush()
+    assert path.read_text() == "one\n"
+    sink.emit("two")
+    sink.close()
+    assert path.read_text() == "one\ntwo\n"
+    assert not sink.emit("three")  # closed -> dropped, not raised
+    assert sink.dropped == 1
+
+
+def test_http_sink_buffers_until_flush():
+    sink = HTTPFrameSink("http://127.0.0.1:9", run="r")  # port 9: discard
+    sink.emit("frame-1")
+    sink.emit("frame-2")
+    assert sink.posts == 0  # nothing sent yet
+    with pytest.raises(SinkError):
+        sink.flush()
+    # The batch survives the failed flush for a later retry.
+    assert sink._buffer == ["frame-1", "frame-2"]
+
+
+def test_http_sink_auto_flush_failure_does_not_raise():
+    sink = HTTPFrameSink("http://127.0.0.1:9", run="r", batch_bytes=4)
+    # batch_bytes tiny -> emit triggers the opportunistic flush, which
+    # fails; emit must swallow it (hot-path safety) and keep the batch.
+    assert sink.emit("frame-1")
+    assert sink._buffer == ["frame-1"]
+    assert sink.emitted == 1

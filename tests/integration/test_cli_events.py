@@ -1,0 +1,173 @@
+"""CLI event-plane surfaces: ``dacce events``, ``dacce serve``,
+``dacce trace --input``."""
+
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+from repro.cli import main
+from repro.ingest import parse_frame, replay_file
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def test_events_record_to_file(tmp_path, capsys):
+    frames_path = tmp_path / "frames.ndjson"
+    assert main([
+        "events", "record", "--calls", "6000", "--frames", str(frames_path),
+        "--run", "cli-run", "--seed", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "cli-run" in out and "frames" in out
+    lines = frames_path.read_text().strip().splitlines()
+    frames = [parse_frame(line) for line in lines]  # all validate
+    types = [frame["type"] for frame in frames]
+    assert types[0] == "run.start"
+    assert types[-1] == "run.complete"
+    assert "profile.samples" in types
+
+
+def test_events_record_stdout_keeps_frames_clean(tmp_path):
+    """Frames on stdout, human text on stderr — the producer contract."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "events", "record",
+         "--calls", "4000", "--frames", "-", "--run", "pipe-run"],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": REPO_SRC},
+        timeout=120,
+    )
+    assert result.returncode == 0
+    for line in result.stdout.strip().splitlines():
+        parse_frame(line)  # every stdout line is a valid frame
+    assert "pipe-run" in result.stderr  # human summary went to stderr
+
+
+def test_events_replay_writes_documents(tmp_path, capsys):
+    frames_path = tmp_path / "frames.ndjson"
+    assert main([
+        "events", "record", "--calls", "6000", "--frames", str(frames_path),
+        "--run", "rp", "--seed", "2",
+    ]) == 0
+    capsys.readouterr()
+
+    # Build a canonical log by serving the file briefly with persistence.
+    from repro.ingest import IngestService
+
+    service = IngestService(data_dir=str(tmp_path / "data"))
+    with open(frames_path) as handle:
+        service.ingest_stream(handle, "rp")
+    service.close()
+    log = tmp_path / "data" / "rp" / "events.ndjson"
+
+    cct_out = tmp_path / "replay-cct.json"
+    metrics_out = tmp_path / "replay-metrics.prom"
+    assert main([
+        "events", "replay", "--log", str(log),
+        "--cct", str(cct_out), "--metrics", str(metrics_out),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
+    assert cct_out.read_text() == service.cct_json()
+    assert metrics_out.read_text() == service.metrics_text()
+
+
+def test_events_replay_rejects_tampered_log(tmp_path, capsys):
+    frames_path = tmp_path / "frames.ndjson"
+    assert main([
+        "events", "record", "--calls", "4000", "--frames", str(frames_path),
+    ]) == 0
+    capsys.readouterr()
+    from repro.ingest import IngestService
+
+    service = IngestService(data_dir=str(tmp_path / "data"))
+    with open(frames_path) as handle:
+        service.ingest_stream(handle, "t")
+    service.close()
+    log = tmp_path / "data" / "t" / "events.ndjson"
+    lines = log.read_text().splitlines()
+    lines[0], lines[1] = lines[1], lines[0]
+    log.write_text("\n".join(lines) + "\n")
+
+    assert main(["events", "replay", "--log", str(log)]) == 1
+    assert "FAULT:" in capsys.readouterr().out
+
+
+def test_serve_from_file_end_to_end(tmp_path):
+    """record -> serve --from -> live /cct == `events replay` /cct."""
+    frames_path = tmp_path / "frames.ndjson"
+    assert main([
+        "events", "record", "--calls", "6000", "--frames", str(frames_path),
+        "--run", "e2e",
+    ]) == 0
+
+    env = {**os.environ, "PYTHONPATH": REPO_SRC}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--data-dir", str(tmp_path / "data"), "--run", "e2e",
+         "--from", str(frames_path), "--duration", "15"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        # The --from file is pre-loaded before the banner, so the
+        # readiness line may not be first on stdout.
+        banner = ""
+        for _ in range(10):
+            banner = proc.stdout.readline()
+            if "listening on " in banner:
+                break
+        assert "listening on " in banner
+        url = banner.strip().rsplit(" ", 1)[-1]
+        live_cct = urllib.request.urlopen(url + "/cct", timeout=10).read()
+        live_metrics = urllib.request.urlopen(
+            url + "/metrics", timeout=10
+        ).read().decode()
+        sse = urllib.request.urlopen(
+            url + "/events?limit=1&backlog=5", timeout=10
+        ).read().decode()
+        assert "data: " in sse
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+    replayed, report = replay_file(str(tmp_path / "data" / "e2e" / "events.ndjson"))
+    assert report.ok
+    assert replayed.cct_json().encode() == live_cct
+    assert replayed.metrics_text() == live_metrics
+
+
+def test_serve_bind_failure_is_fault(capsys):
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    port = blocker.getsockname()[1]
+    try:
+        assert main(["serve", "--port", str(port)]) == 1
+    finally:
+        blocker.close()
+    assert "FAULT:" in capsys.readouterr().out
+
+
+def test_trace_input_reads_rotated_shards(tmp_path, capsys):
+    base = tmp_path / "trace.jsonl"
+    # Oldest shard .2, then .1, then the active file.
+    (tmp_path / "trace.jsonl.2").write_text('{"seq": 0}\n')
+    (tmp_path / "trace.jsonl.1").write_text('{"seq": 1}\ntruncated{{{\n')
+    base.write_text('{"seq": 2}\n')
+    assert main(["trace", "--input", str(base)]) == 0
+    records = [
+        json.loads(line)
+        for line in capsys.readouterr().out.splitlines()
+        if line.startswith("{")
+    ]
+    assert [record["seq"] for record in records] == [0, 1, 2]
+
+
+def test_trace_input_missing_is_fault(tmp_path, capsys):
+    assert main(["trace", "--input", str(tmp_path / "nope.jsonl")]) == 1
+    assert "FAULT:" in capsys.readouterr().out

@@ -125,3 +125,44 @@ def test_emitter_mirrors_through_rotating_stream(tmp_path):
         mirrored.extend(json.loads(line) for line in open(name))
     assert any(record["index"] == 24 for record in mirrored)
     stream.close()
+
+
+def test_read_rotated_jsonl_chronological(tmp_path):
+    from repro.obs import read_rotated_jsonl, rotated_files
+
+    path = tmp_path / "trace.jsonl"
+    stream = RotatingTraceStream(str(path), max_bytes=200, backups=3)
+    emitter = TraceEmitter(capacity=4, stream=stream)
+    for index in range(30):
+        emitter.emit("tick", index=index)
+    stream.close()
+    shards = rotated_files(str(path))
+    assert shards[-1] == str(path)  # active file last = newest
+    records = list(read_rotated_jsonl(str(path)))
+    indexes = [record["index"] for record in records]
+    # Oldest-first and strictly increasing across the shard boundary.
+    assert indexes == sorted(indexes)
+    assert indexes[-1] == 29
+
+
+def test_read_rotated_jsonl_skips_torn_lines(tmp_path):
+    from repro.obs import read_rotated_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    (tmp_path / "trace.jsonl.1").write_text('{"seq": 0}\n{"torn": \n')
+    path.write_text('\n{"seq": 1}\nnot-json\n')
+    records = list(read_rotated_jsonl(str(path)))
+    assert [record["seq"] for record in records] == [0, 1]
+
+
+def test_read_rotated_jsonl_finds_shards_beyond_backups(tmp_path):
+    from repro.obs import read_rotated_jsonl
+
+    path = tmp_path / "trace.jsonl"
+    for index in (1, 2, 3, 4, 5):
+        (tmp_path / ("trace.jsonl.%d" % index)).write_text(
+            '{"shard": %d}\n' % index
+        )
+    # A reader configured with fewer backups than exist still reads all.
+    records = list(read_rotated_jsonl(str(path), backups=3))
+    assert [record["shard"] for record in records] == [5, 4, 3, 2, 1]

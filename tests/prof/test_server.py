@@ -134,3 +134,29 @@ def test_handler_error_returns_500(aggregator):
         assert caught.value.code == 500
     finally:
         server.shutdown()
+
+
+def test_unknown_route_is_structured_json(aggregator):
+    service = ProfileService(aggregator)
+    status, content_type, body = service.handle("/nope", {})
+    assert status == 404
+    assert content_type == "application/json"
+    document = json.loads(body)
+    assert document["error"] == "not-found"
+    assert document["path"] == "/nope"
+    assert "/cct" in document["routes"]
+
+
+def test_responses_carry_no_store_and_content_type(aggregator):
+    server = serve_profile(aggregator, port=0)
+    try:
+        for path in ("/", "/cct", "/flame", "/top", "/healthz"):
+            with urllib.request.urlopen(server.url + path, timeout=5) as resp:
+                assert resp.headers["Cache-Control"] == "no-store", path
+                assert resp.headers["Content-Type"], path
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(server.url + "/missing", timeout=5)
+        assert caught.value.headers["Cache-Control"] == "no-store"
+        assert caught.value.headers["Content-Type"] == "application/json"
+    finally:
+        server.shutdown()
