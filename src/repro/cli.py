@@ -310,14 +310,75 @@ def cmd_decode(args) -> int:
     return 0
 
 
-def cmd_doctor(args) -> int:
-    """Validate a decoding-state file (and optionally a log) offline.
+def _doctor_events(target: str, report) -> None:
+    """Validate a canonical ``events.ndjson`` run log.
 
-    Checks, in order: the state file parses and carries a supported
-    format version; every dictionary passes its checksum (v2) and the
-    structural invariants of Algorithm 1; the sample log's framing and
-    per-record checksums hold; every sample decodes against the state.
-    Exits non-zero with a fault report when anything is damaged.
+    ``target`` is the log file itself or a run directory containing
+    one.  Checks every line parses as a ``dacce.events.v1`` envelope,
+    the per-run ``sequence`` is strictly monotonic, and the file ends
+    on a newline (a torn tail means the writing service died
+    mid-append and has not recovered the log yet).
+    """
+    from .ingest import EnvelopeError, parse_envelope
+
+    path = target
+    if os.path.isdir(target):
+        path = os.path.join(target, "events.ndjson")
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
+        report("event log unreadable: %s" % error)
+        return
+    torn = b""
+    body = raw
+    if raw and not raw.endswith(b"\n"):
+        cut = raw.rfind(b"\n") + 1
+        body, torn = raw[:cut], raw[cut:]
+    last_sequence = {}
+    events = 0
+    for lineno, line in enumerate(
+        body.decode("utf-8", errors="replace").splitlines(), 1
+    ):
+        if not line.strip():
+            continue
+        try:
+            envelope = parse_envelope(line)
+        except EnvelopeError as error:
+            report("events line %d: %s [%s]" % (lineno, error, error.reason))
+            continue
+        previous = last_sequence.get(envelope.run, 0)
+        if envelope.sequence <= previous:
+            report(
+                "events line %d: run %r sequence %d is not greater than %d"
+                % (lineno, envelope.run, envelope.sequence, previous)
+            )
+        else:
+            last_sequence[envelope.run] = envelope.sequence
+        events += 1
+    if torn:
+        report(
+            "events torn tail: final line incomplete (%d byte(s), %r...)"
+            % (len(torn), torn[:40].decode("utf-8", errors="replace"))
+        )
+    print(
+        "events: %d envelope(s) across %d run(s)" % (events, len(last_sequence))
+    )
+    for run, sequence in sorted(last_sequence.items()):
+        print("  run %s: sequence watermark %d" % (run, sequence))
+
+
+def cmd_doctor(args) -> int:
+    """Validate persisted artifacts offline; non-zero exit on damage.
+
+    ``--state`` (+ optional ``--log``) checks a decoding-state file:
+    it parses and carries a supported format version; every dictionary
+    passes its checksum (v2) and the structural invariants of
+    Algorithm 1; the sample log's framing and per-record checksums
+    hold; every sample decodes against the state.  ``--events`` checks
+    a canonical ``events.ndjson`` run log (or the run directory
+    holding one): parseable envelopes, strictly-monotonic per-run
+    sequence, no torn tail.
     """
     from .core.invariants import check_dictionary
     from .core.samplelog import SampleLog
@@ -329,18 +390,31 @@ def cmd_doctor(args) -> int:
         verify_dictionary_entry,
     )
 
+    if not args.state and not args.events:
+        return _fault("doctor needs --state and/or --events")
+
     problems = []
 
     def report(message: str) -> None:
         problems.append(message)
         print("FAULT: %s" % message)
 
+    if args.events:
+        _doctor_events(args.events, report)
+    if not args.state:
+        if problems:
+            print("doctor: %d fault(s) found" % len(problems))
+            return 1
+        print("doctor: all checks passed")
+        return 0
+
     try:
         with open(args.state) as handle:
             data = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         report("state file unreadable: %s" % error)
-        print("doctor: 1 fault, no further checks possible")
+        print("doctor: %d fault(s), no further checks possible"
+              % len(problems))
         return 1
 
     version = data.get("format")
@@ -899,6 +973,17 @@ def cmd_serve(args) -> int:
     from .ingest import IngestServer, IngestService
 
     service = IngestService(data_dir=args.data_dir)
+    recovery = service.recovery
+    if recovery["events"] or recovery["torn_lines"]:
+        # Crash recovery: the data dir already held canonical logs and
+        # the service re-folded them (no re-ingestion) before serving.
+        print(
+            "recovered %d event(s) across %d run(s) from %s "
+            "(%d torn line(s) truncated, %d bad line(s) skipped)"
+            % (recovery["events"], recovery["runs"], args.data_dir,
+               recovery["torn_lines"], recovery["bad_lines"]),
+            flush=True,
+        )
     try:
         server = IngestServer(service, host=args.host, port=args.port)
     except OSError as error:
@@ -959,14 +1044,25 @@ def cmd_events_record(args) -> int:
     stderr), a file, or an ingestion server via ``--url``.
     """
     from .ingest import FileFrameSink, FrameEmitter, HTTPFrameSink, SinkError
-    from .ingest import StdoutFrameSink, new_run_id
+    from .ingest import SpoolingSink, StdoutFrameSink, new_run_id
     from .program.trace import run_workload_batched
 
     run = args.run or new_run_id()
     to_stdout = args.url is None and args.frames == "-"
     human = sys.stderr if to_stdout else sys.stdout
+    spool_dir = None
     if args.url is not None:
         sink = HTTPFrameSink(args.url, run=run)
+        if args.spool:
+            # Durable delivery: failed flushes spill to CRC-framed
+            # segments and retry with backoff; segments left by a
+            # previous crashed producer of the *same run* are adopted.
+            # The run id namespaces the directory because segments
+            # store raw frame lines while the run identity travels in
+            # the POST URL — replaying another run's segments would
+            # deliver its frames into this run's sequence space.
+            spool_dir = os.path.join(args.spool, run)
+            sink = SpoolingSink(sink, spool_dir)
     elif to_stdout:
         sink = StdoutFrameSink()
     else:
@@ -1001,6 +1097,23 @@ def cmd_events_record(args) -> int:
         sink.flush()
     except SinkError as error:
         return _fault("frame delivery failed: %s" % error)
+    if isinstance(sink, SpoolingSink):
+        if args.drain_timeout > 0 and sink.pending():
+            sink.drain(args.drain_timeout)
+        if sink.pending_frames:
+            # Durable, not lost: the spool outlives this process and a
+            # later producer (or drain) delivers it, so this is success.
+            print(
+                "spooled: %d undelivered frame(s) kept under %s"
+                % (sink.pending_frames, spool_dir),
+                file=human,
+            )
+        if sink.frames_dropped:
+            print(
+                "dropped: %d frame(s) accounted via fault frames"
+                % sink.frames_dropped,
+                file=human,
+            )
     sink.close()
     print(
         "run %s: %d calls at 1/%d -> %d frames (%d samples), %d dropped"
@@ -1127,10 +1240,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser(
         "doctor",
-        help="validate a decoding-state file (and optionally a log) offline",
+        help="validate a decoding-state file, a sample log, or a "
+             "canonical events.ndjson run log offline",
     )
-    p.add_argument("--state", required=True)
+    p.add_argument("--state", default=None)
     p.add_argument("--log", default=None)
+    p.add_argument("--events", default=None,
+                   help="events.ndjson path (or run directory) to "
+                        "validate: envelopes, monotonic sequence, "
+                        "torn tail")
     p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser(
@@ -1310,6 +1428,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--sample-every", type=int, default=64)
     p.add_argument("--heartbeat", type=float, default=0.0,
                    help="emit a heartbeat frame at least every N seconds")
+    p.add_argument("--spool", default=None,
+                   help="with --url: spill undeliverable batches to "
+                        "CRC-framed segments under DIR/<run> and "
+                        "retry with backoff (durable at-least-once; "
+                        "a restarted producer of the same run adopts "
+                        "its leftover segments)")
+    p.add_argument("--drain-timeout", type=float, default=0.0,
+                   help="with --spool: keep retrying up to N seconds "
+                        "after the run to empty the spool")
     p.set_defaults(fn=cmd_events_record)
 
     p = events_sub.add_parser(

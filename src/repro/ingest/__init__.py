@@ -12,9 +12,11 @@ rebuilds that state byte-exactly from a persisted log.
 
 from .emitter import DEFAULT_SAMPLE_BATCH, FrameEmitter
 from .envelope import (
+    DUPLICATE_TYPE,
     ENVELOPE_SCHEMA,
     Envelope,
     EnvelopeError,
+    NOTICE_TYPE,
     REJECT_TYPE,
     envelope_from_dict,
     parse_envelope,
@@ -40,11 +42,15 @@ from .sinks import (
     HTTPFrameSink,
     MemorySink,
     SinkError,
+    SpoolingSink,
     StdoutFrameSink,
+    read_spool_segment,
+    write_spool_segment,
 )
 
 __all__ = [
     "DEFAULT_SAMPLE_BATCH",
+    "DUPLICATE_TYPE",
     "ENVELOPE_SCHEMA",
     "Envelope",
     "EnvelopeError",
@@ -59,10 +65,12 @@ __all__ = [
     "IngestServer",
     "IngestService",
     "MemorySink",
+    "NOTICE_TYPE",
     "REJECT_TYPE",
     "ReplayError",
     "ReplayReport",
     "SinkError",
+    "SpoolingSink",
     "StdoutFrameSink",
     "envelope_from_dict",
     "frame_line",
@@ -71,10 +79,12 @@ __all__ = [
     "new_run_id",
     "parse_envelope",
     "parse_frame",
+    "read_spool_segment",
     "replay_file",
     "replay_lines",
     "sample_entry",
     "samples_payload",
     "serve_ingest",
     "validate_frame",
+    "write_spool_segment",
 ]

@@ -318,7 +318,7 @@ class FrameEmitter:
         assert engine is not None
         stats = engine.stats
         cache = engine._decode_cache
-        return {
+        cumulative: Dict[str, float] = {
             "calls": stats.calls,
             "returns": stats.returns,
             "handler_invocations": stats.handler_invocations,
@@ -330,6 +330,14 @@ class FrameEmitter:
             "decode_cache_misses": cache.misses,
             "faults": engine.faults.total,
         }
+        # Delivery-resilience counters (spool/replay/drop accounting)
+        # ride the same stats.delta surface, so the service's
+        # ingest_producer_stats_total mirror exposes transport loss.
+        # Sinks only report failure counters here — a counter that
+        # moved on every emitted frame would make stats.delta dirty
+        # itself forever.
+        cumulative.update(self.sink.stats())
+        return cumulative
 
     def flush_stats(self) -> bool:
         """Emit a ``stats.delta`` frame when any counter moved."""

@@ -23,9 +23,21 @@ created_at``) — is persisted *inside* the envelope, so replaying an
 metrics state (the ``dacce events replay`` gate in CI).
 
 Service-sourced events use the same envelope with ``source: "api"``;
-the v1 service emits ``ingest.rejected`` for frames that failed
-validation (payload carries the reason and a truncated echo of the raw
-line), so the canonical log accounts for every line it was offered.
+the v1 service emits:
+
+* ``ingest.rejected`` for frames that failed validation (payload
+  carries the reason and a truncated echo of the raw line), so the
+  canonical log accounts for every line it was offered;
+* ``ingest.duplicate`` for frames whose ``(run, origin_seq)`` was
+  already folded — the at-least-once transport (spool replay, retried
+  POSTs) may resend, and the duplicate envelope is *persisted* so
+  replay reproduces the dedupe decision deterministically (payload
+  carries ``of``, the original frame type, and ``origin_seq``);
+* ``ingest.notice`` for service conditions pushed to live SSE
+  subscribers only (e.g. slow-consumer drop accounting).  Notices are
+  *not* persisted and *not* folded: they describe this server
+  process's delivery to one subscriber, not run state, so they must
+  stay out of the replay-determinism surface.
 """
 
 from __future__ import annotations
@@ -39,6 +51,13 @@ ENVELOPE_SCHEMA = "dacce.events.v1"
 
 #: ``type`` of the service-sourced reject event.
 REJECT_TYPE = "ingest.rejected"
+
+#: ``type`` of the service-sourced duplicate-suppression event
+#: (persisted: the dedupe decision replays deterministically).
+DUPLICATE_TYPE = "ingest.duplicate"
+
+#: ``type`` of service-sourced live notices (SSE only, never persisted).
+NOTICE_TYPE = "ingest.notice"
 
 
 class EnvelopeError(ValueError):

@@ -69,16 +69,26 @@ def make_frame(
     type: str,
     payload: Dict[str, Any],
     created_at: float,
-    seq: int,
+    seq: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Build one frame dict (callers serialize with :func:`frame_line`)."""
-    return {
+    """Build one frame dict (callers serialize with :func:`frame_line`).
+
+    ``seq`` is the producer's delivery sequence and feeds the service's
+    ``(run, origin_seq)`` dedupe.  Frames synthesized outside the
+    emitter's sequence space (e.g. a sink's spool-eviction ``fault``
+    frame) pass ``None``: the key is omitted and the service never
+    dedupes the frame — colliding with a real emitter seq would
+    silently swallow it.
+    """
+    frame: Dict[str, Any] = {
         "schema": FRAME_SCHEMA,
         "type": type,
         "created_at": created_at,
-        "seq": seq,
         "payload": payload,
     }
+    if seq is not None:
+        frame["seq"] = seq
+    return frame
 
 
 def frame_line(frame: Dict[str, Any]) -> str:

@@ -18,7 +18,7 @@ per run, a schema mismatch or an unparsable line is a validation error
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .envelope import Envelope, EnvelopeError, parse_envelope
 from .service import IngestService
@@ -36,6 +36,10 @@ class ReplayReport:
     runs: int = 0
     outcomes: Dict[str, int] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: Truncated echo of a torn (newline-less) final line that was
+    #: skipped under ``tolerate_torn_tail``; None when the log ended
+    #: cleanly.
+    torn_tail: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -47,6 +51,7 @@ class ReplayReport:
             "runs": self.runs,
             "outcomes": dict(self.outcomes),
             "errors": list(self.errors),
+            "torn_tail": self.torn_tail,
             "ok": self.ok,
         }
 
@@ -114,8 +119,28 @@ def replay_file(
     path: str,
     service: Optional[IngestService] = None,
     strict: bool = True,
+    tolerate_torn_tail: bool = False,
 ) -> Tuple[IngestService, ReplayReport]:
-    """Replay one persisted ``events.ndjson`` file."""
-    handle: IO[str]
-    with open(path) as handle:
-        return replay_lines(handle, service=service, strict=strict)
+    """Replay one persisted ``events.ndjson`` file.
+
+    With ``tolerate_torn_tail`` a final line that the writing process
+    tore mid-append (no trailing newline) is skipped and reported in
+    ``report.errors``-free prose via ``torn_tail`` — the same tolerance
+    the service's startup crash recovery applies — instead of failing
+    strict validation.  Everything before the tear still replays.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    torn: Optional[str] = None
+    if tolerate_torn_tail and raw and not raw.endswith(b"\n"):
+        cut = raw.rfind(b"\n") + 1
+        torn = raw[cut:].decode("utf-8", errors="replace")
+        raw = raw[:cut]
+    service, report = replay_lines(
+        raw.decode("utf-8", errors="replace").splitlines(),
+        service=service,
+        strict=strict,
+    )
+    if torn is not None:
+        report.torn_tail = torn[:200]
+    return service, report

@@ -67,12 +67,21 @@ class _IngestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # requests are observable via /metrics, not stderr noise
 
-    def _send(self, status: int, content_type: str, body: str) -> None:
+    def _send(
+        self,
+        status: int,
+        content_type: str,
+        body: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Cache-Control", "no-store")
         self.send_header("Content-Length", str(len(payload)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -85,17 +94,42 @@ class _IngestHandler(BaseHTTPRequestHandler):
         query = parse_qs(parsed.query)
         run_id = query.get("run", ["default"])[0]
         length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8", errors="replace")
-        try:
-            summary = self.service.ingest_lines(
-                run_id, body.splitlines(), source="engine"
-            )
-        except IngestError as error:
+        admitted, retry_after = self.service.admit(length)
+        if not admitted:
+            # Overload: shed the request before reading its body.  The
+            # producer's spool honours Retry-After, so the backlog
+            # drains at the pace the service asks for.
             self._send(
-                400, *_json_body({"error": "bad-request", "detail": str(error)})
+                429,
+                *_json_body(
+                    {
+                        "error": "overloaded",
+                        "detail": "ingest backlog over %d bytes"
+                        % self.service.max_pending_bytes,
+                        "retry_after": retry_after,
+                    }
+                ),
+                extra_headers={
+                    "Retry-After": "%g" % (retry_after or 1.0),
+                    "Connection": "close",
+                },
             )
             return
-        self._send(200, *_json_body(summary))
+        try:
+            body = self.rfile.read(length).decode("utf-8", errors="replace")
+            try:
+                summary = self.service.ingest_lines(
+                    run_id, body.splitlines(), source="engine"
+                )
+            except IngestError as error:
+                self._send(
+                    400,
+                    *_json_body({"error": "bad-request", "detail": str(error)}),
+                )
+                return
+            self._send(200, *_json_body(summary))
+        finally:
+            self.service.release(length)
 
     # -- reads ---------------------------------------------------------
     def do_GET(self) -> None:
@@ -254,6 +288,20 @@ class IngestServer:
         self._httpd.shutdown()
         self._httpd.server_close()
         self.service.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def abort(self) -> None:
+        """Kill the HTTP listener *without* closing the service.
+
+        Simulates a crash for the chaos harness: file handles stay
+        unflushed-as-they-were and no shutdown sentinel reaches
+        subscribers, exactly as if the process died.  A fresh service
+        pointed at the same data dir must then recover from disk.
+        """
+        self._httpd.shutdown()
+        self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None

@@ -19,6 +19,26 @@ the two timestamps persisted in the envelope — which is what makes
 ordering, lag) lives inside the canonical log, so rebuilding state from
 ``events.ndjson`` reproduces the live ``/cct`` and ``/metrics`` payloads
 identically (the CI replay-determinism gate).
+
+Resilience (PR 7): the service additionally
+
+* **recovers from its own log on startup** — a service constructed over
+  an existing ``data_dir`` rescans every per-run ``events.ndjson``
+  through the same ``_fold`` path, restoring sequence watermarks, run
+  summaries and the merged CCT byte-exactly without re-ingesting; a
+  torn final line (the previous process died mid-append) is truncated
+  away and reported, and the producer's at-least-once retry plus dedupe
+  re-covers the lost event;
+* **folds exactly once** — engine frames carry the producer's ``seq``;
+  a ``(run, origin_seq)`` already folded (spool replay, a retried POST
+  whose first attempt was applied but timed out on the wire) becomes a
+  persisted ``ingest.duplicate`` envelope instead of double-counting,
+  so replay reproduces the dedupe decision deterministically;
+* **sheds load explicitly** — :meth:`IngestService.admit` bounds the
+  bytes of in-flight POST work (the transport answers ``429`` +
+  ``Retry-After``), and SSE subscriber queues are bounded with
+  per-subscriber drop accounting pushed as an ``ingest.notice`` event
+  once the consumer catches up.
 """
 
 from __future__ import annotations
@@ -40,6 +60,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Set,
     Tuple,
 )
 
@@ -50,7 +71,15 @@ from ..core.faults import PartialDecode
 from ..obs.exporters import to_prometheus_text
 from ..obs.registry import MetricsRegistry
 from ..prof.cct import CCTAggregator, default_names
-from .envelope import ENVELOPE_SCHEMA, REJECT_TYPE, Envelope
+from .envelope import (
+    DUPLICATE_TYPE,
+    ENVELOPE_SCHEMA,
+    NOTICE_TYPE,
+    REJECT_TYPE,
+    Envelope,
+    EnvelopeError,
+    parse_envelope,
+)
 from .frames import FrameError, MAX_RAW_ECHO, is_known_type, parse_frame
 
 logger = logging.getLogger(__name__)
@@ -68,10 +97,17 @@ _RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 DEFAULT_RUN = "default"
 DEFAULT_RECENT_CAPACITY = 1024
 
+#: Bound on one SSE subscriber's undelivered-envelope queue.
+DEFAULT_SUBSCRIBER_QUEUE = 1024
+
+#: Bound on bytes of admitted-but-unprocessed POST work (back-pressure).
+DEFAULT_MAX_PENDING_BYTES = 16 << 20
+
 #: Validated frame outcomes (the ``outcome`` label values).
 OUTCOME_FOLDED = "folded"
 OUTCOME_SKIPPED = "skipped"
 OUTCOME_REJECTED = "rejected"
+OUTCOME_DUPLICATE = "duplicate"
 
 
 class IngestError(ValueError):
@@ -100,7 +136,25 @@ class RunState:
     samples: int = 0
     weight: float = 0.0
     complete: bool = False
+    #: Highest producer ``seq`` below which every frame was folded.
+    origin_watermark: int = -1
+    #: Folded producer seqs above the watermark (out-of-order arrivals),
+    #: compacted into the watermark as the gap below them fills.
+    origin_pending: Set[int] = field(default_factory=set)
     _handle: Optional[IO[str]] = None
+
+    def origin_seen(self, seq: int) -> bool:
+        """Was producer frame ``seq`` already folded for this run?"""
+        return seq <= self.origin_watermark or seq in self.origin_pending
+
+    def mark_origin(self, seq: int) -> None:
+        """Record producer frame ``seq`` as folded (watermark + sparse set)."""
+        if self.origin_seen(seq):
+            return
+        self.origin_pending.add(seq)
+        while self.origin_watermark + 1 in self.origin_pending:
+            self.origin_watermark += 1
+            self.origin_pending.discard(self.origin_watermark)
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -113,7 +167,20 @@ class RunState:
             "samples": self.samples,
             "weight": self.weight,
             "complete": self.complete,
+            "origin_watermark": self.origin_watermark,
         }
+
+
+@dataclass
+class _Subscriber:
+    """One SSE consumer: a bounded queue plus its drop ledger."""
+
+    queue: "queue.Queue[Optional[Envelope]]"
+    run: Optional[str] = None
+    dropped_total: int = 0
+    #: Drops not yet reported to the consumer; flushed as one
+    #: ``ingest.notice`` the next time its queue has room.
+    dropped_pending: int = 0
 
 
 class IngestService:
@@ -125,6 +192,7 @@ class IngestService:
         clock: Callable[[], float] = time.time,
         id_factory: Callable[[], str] = _default_id_factory,
         recent_capacity: int = DEFAULT_RECENT_CAPACITY,
+        max_pending_bytes: int = DEFAULT_MAX_PENDING_BYTES,
     ):
         self.data_dir = data_dir
         if data_dir is not None:
@@ -165,8 +233,17 @@ class IngestService:
         )
         # Live-stream plumbing (not part of replayed state).
         self._recent: Deque[Envelope] = deque(maxlen=recent_capacity)
-        self._subscribers: List[Tuple["queue.Queue[Optional[Envelope]]", Optional[str]]] = []
+        self._subscribers: List[_Subscriber] = []
+        self.subscriber_drops = 0
+        # Back-pressure accounting: its own lock, so admission control
+        # answers immediately even while a fold holds the main lock.
+        self._pending_lock = threading.Lock()
+        self._pending_bytes = 0
+        self.max_pending_bytes = max_pending_bytes
+        self.overload_rejections = 0
         self.started_at = self._clock()
+        # Crash recovery: adopt whatever a previous process persisted.
+        self.recovery = self.recover_from_disk()
 
     # ------------------------------------------------------------------
     # names
@@ -225,7 +302,12 @@ class IngestService:
             raise IngestError(
                 "invalid run id %r (want %s)" % (run_id, _RUN_ID_RE.pattern)
             )
-        counts = {OUTCOME_FOLDED: 0, OUTCOME_SKIPPED: 0, OUTCOME_REJECTED: 0}
+        counts = {
+            OUTCOME_FOLDED: 0,
+            OUTCOME_SKIPPED: 0,
+            OUTCOME_REJECTED: 0,
+            OUTCOME_DUPLICATE: 0,
+        }
         last_sequence = 0
         with self._lock:
             state = self._run_state(run_id)
@@ -248,6 +330,7 @@ class IngestService:
             "folded": counts[OUTCOME_FOLDED],
             "skipped": counts[OUTCOME_SKIPPED],
             "rejected": counts[OUTCOME_REJECTED],
+            "duplicates": counts[OUTCOME_DUPLICATE],
             "last_sequence": last_sequence,
         }
 
@@ -261,7 +344,7 @@ class IngestService:
         """Ingest frames from a line stream (piped producer stdout)."""
         totals = {
             "run": run_id, "accepted": 0, "folded": 0, "skipped": 0,
-            "rejected": 0, "last_sequence": 0,
+            "rejected": 0, "duplicates": 0, "last_sequence": 0,
         }
         buffer: List[str] = []
         for line in stream:
@@ -275,7 +358,7 @@ class IngestService:
 
     @staticmethod
     def _merge_summary(totals: Dict[str, Any], part: Dict[str, Any]) -> None:
-        for key in ("accepted", "folded", "skipped", "rejected"):
+        for key in ("accepted", "folded", "skipped", "rejected", "duplicates"):
             totals[key] += part[key]
         totals["last_sequence"] = part["last_sequence"]
 
@@ -301,6 +384,26 @@ class IngestService:
                     "error": str(error),
                     "raw": line[:MAX_RAW_ECHO],
                 },
+            )
+        origin = frame.get("seq")
+        if (
+            source == "engine"
+            and isinstance(origin, int)
+            and state.origin_seen(origin)
+        ):
+            # At-least-once transport (spool replay, a retried POST
+            # whose first attempt was applied) resent a frame we
+            # already folded.  Persist the dedupe decision so replay
+            # reproduces it; the sequence slot is still consumed.
+            return Envelope(
+                type=DUPLICATE_TYPE,
+                event_id=self._id_factory(),
+                sequence=state.sequence,
+                run=state.run,
+                source="api",
+                created_at=received_at,
+                received_at=received_at,
+                payload={"of": frame["type"], "origin_seq": origin},
             )
         return Envelope(
             type=frame["type"],
@@ -331,6 +434,17 @@ class IngestService:
         if envelope.type == REJECT_TYPE:
             self._c_frames.labels("invalid", OUTCOME_REJECTED).inc()
             return OUTCOME_REJECTED
+        if envelope.type == DUPLICATE_TYPE:
+            of = envelope.payload.get("of")
+            self._c_frames.labels(
+                of if isinstance(of, str) else "unknown", OUTCOME_DUPLICATE
+            ).inc()
+            return OUTCOME_DUPLICATE
+        if envelope.source == "engine" and envelope.origin_seq is not None:
+            # Folded (or skipped-but-accounted) engine frames enter the
+            # dedupe ledger here — shared by live ingest, replay and
+            # crash recovery, so all three agree on what counts as seen.
+            state.mark_origin(envelope.origin_seq)
         if not is_known_type(envelope.type):
             self._c_frames.labels(envelope.type, OUTCOME_SKIPPED).inc()
             return OUTCOME_SKIPPED
@@ -397,35 +511,186 @@ class IngestService:
 
     def _publish(self, envelope: Envelope) -> None:
         self._recent.append(envelope)
-        for subscriber, run_filter in list(self._subscribers):
-            if run_filter is not None and envelope.run != run_filter:
+        for sub in list(self._subscribers):
+            if sub.run is not None and envelope.run != sub.run:
                 continue
+            self._offer(sub, envelope)
+
+    def _offer(self, sub: _Subscriber, envelope: Envelope) -> None:
+        """Deliver to one bounded subscriber queue, accounting drops.
+
+        A full queue (slow consumer) drops the envelope and counts it;
+        once the consumer drains some room, the accumulated drop count
+        is pushed as a single ``ingest.notice`` event ahead of the next
+        delivery, so the consumer knows its view has a gap.
+        """
+        if sub.dropped_pending:
+            notice = Envelope(
+                type=NOTICE_TYPE,
+                event_id=self._id_factory(),
+                sequence=envelope.sequence,
+                run=envelope.run,
+                source="api",
+                created_at=envelope.received_at,
+                received_at=envelope.received_at,
+                payload={
+                    "kind": "subscriber.dropped",
+                    "dropped": sub.dropped_pending,
+                    "dropped_total": sub.dropped_total,
+                },
+            )
             try:
-                subscriber.put_nowait(envelope)
-            except queue.Full:  # pragma: no cover - unbounded queues
+                sub.queue.put_nowait(notice)
+            except queue.Full:
                 pass
+            else:
+                sub.dropped_pending = 0
+        try:
+            sub.queue.put_nowait(envelope)
+        except queue.Full:
+            sub.dropped_pending += 1
+            sub.dropped_total += 1
+            self.subscriber_drops += 1
 
     def subscribe(
         self,
         run: Optional[str] = None,
         backlog: int = 0,
+        maxsize: int = DEFAULT_SUBSCRIBER_QUEUE,
     ) -> "queue.Queue[Optional[Envelope]]":
-        """A live envelope queue; ``backlog`` recent events are pre-seeded."""
-        subscriber: "queue.Queue[Optional[Envelope]]" = queue.Queue()
+        """A live envelope queue; ``backlog`` recent events are pre-seeded.
+
+        The queue is bounded (``maxsize``): a consumer that cannot keep
+        up loses envelopes with per-subscriber accounting instead of
+        growing the server's memory without limit; the loss is reported
+        to that consumer as an ``ingest.notice`` event.
+        """
+        sub = _Subscriber(queue=queue.Queue(maxsize=maxsize), run=run)
         with self._lock:
             if backlog:
                 for envelope in list(self._recent)[-backlog:]:
                     if run is not None and envelope.run != run:
                         continue
-                    subscriber.put_nowait(envelope)
-            self._subscribers.append((subscriber, run))
-        return subscriber
+                    try:
+                        sub.queue.put_nowait(envelope)
+                    except queue.Full:
+                        break
+            self._subscribers.append(sub)
+        return sub.queue
 
     def unsubscribe(self, subscriber: "queue.Queue[Optional[Envelope]]") -> None:
         with self._lock:
             self._subscribers = [
-                (q, f) for q, f in self._subscribers if q is not subscriber
+                s for s in self._subscribers if s.queue is not subscriber
             ]
+
+    def subscriber_summary(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [
+                {
+                    "run": s.run,
+                    "queued": s.queue.qsize(),
+                    "dropped_total": s.dropped_total,
+                }
+                for s in self._subscribers
+            ]
+
+    # ------------------------------------------------------------------
+    # back-pressure (transport admission control)
+    # ------------------------------------------------------------------
+    def admit(self, nbytes: int) -> Tuple[bool, Optional[float]]:
+        """Admission gate for ``nbytes`` of transport work.
+
+        Returns ``(True, None)`` and reserves the bytes (pair with
+        :meth:`release` when the work is done), or ``(False,
+        retry_after_seconds)`` when the pending backlog would exceed
+        ``max_pending_bytes`` — the transport layer turns that into
+        ``429`` + ``Retry-After`` without reading the request body.
+        """
+        with self._pending_lock:
+            if self._pending_bytes + nbytes > self.max_pending_bytes:
+                self.overload_rejections += 1
+                backlog = self._pending_bytes + nbytes
+                retry_after = min(
+                    30.0, max(1.0, backlog / float(max(1, self.max_pending_bytes)))
+                )
+                return False, retry_after
+            self._pending_bytes += nbytes
+            return True, None
+
+    def release(self, nbytes: int) -> None:
+        with self._pending_lock:
+            self._pending_bytes = max(0, self._pending_bytes - nbytes)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover_from_disk(self) -> Dict[str, Any]:
+        """Rebuild live state from persisted per-run event logs.
+
+        Every ``<data_dir>/<run>/events.ndjson`` is rescanned through
+        the same :meth:`_fold` path live ingest uses, restoring
+        sequence watermarks, origin-dedupe ledgers, run summaries and
+        the merged CCT byte-exactly — without re-ingesting anything
+        (recovered envelopes are neither re-persisted nor published).
+        A torn final line is truncated off the file (and reported) so
+        later appends cannot concatenate into garbage; unparseable
+        lines are skipped and counted, recover-never-raises style.
+        """
+        report = {"runs": 0, "events": 0, "torn_lines": 0, "bad_lines": 0}
+        if self.data_dir is None or not os.path.isdir(self.data_dir):
+            return report
+        with self._lock:
+            for run_id in sorted(os.listdir(self.data_dir)):
+                if not _RUN_ID_RE.match(run_id):
+                    continue
+                path = os.path.join(self.data_dir, run_id, "events.ndjson")
+                if not os.path.isfile(path):
+                    continue
+                report["runs"] += 1
+                report["events"] += self._recover_run(run_id, path, report)
+        if report["events"] or report["torn_lines"]:
+            logger.info(
+                "recovered %d event(s) across %d run(s) "
+                "(%d torn line(s) truncated, %d bad line(s) skipped)",
+                report["events"], report["runs"],
+                report["torn_lines"], report["bad_lines"],
+            )
+        return report
+
+    def _recover_run(
+        self, run_id: str, path: str, report: Dict[str, Any]
+    ) -> int:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        if raw and not raw.endswith(b"\n"):
+            # The previous process died mid-append.  Drop the torn tail
+            # on disk too: a later append would otherwise concatenate
+            # with it into one garbage line.  The producer's
+            # at-least-once retry + (run, origin_seq) dedupe re-covers
+            # the lost event without double-counting the rest.
+            cut = raw.rfind(b"\n") + 1
+            os.truncate(path, cut)
+            raw = raw[:cut]
+            report["torn_lines"] += 1
+        state = self._run_state(run_id)
+        events = 0
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            try:
+                envelope = parse_envelope(line)
+            except EnvelopeError:
+                report["bad_lines"] += 1
+                continue
+            if envelope.sequence <= state.sequence:
+                report["bad_lines"] += 1
+                continue
+            state.sequence = envelope.sequence
+            outcome = self._fold(envelope)
+            state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
+            events += 1
+        return events
 
     def close(self) -> None:
         with self._lock:
@@ -433,8 +698,18 @@ class IngestService:
                 if state._handle is not None:
                     state._handle.close()
                     state._handle = None
-            for subscriber, _ in self._subscribers:
-                subscriber.put_nowait(None)
+            for sub in self._subscribers:
+                try:
+                    sub.queue.put_nowait(None)
+                except queue.Full:
+                    # Make room for the shutdown sentinel: the consumer
+                    # is gone or stalled, one more dropped envelope is
+                    # already accounted-for behaviour.
+                    try:
+                        sub.queue.get_nowait()
+                        sub.queue.put_nowait(None)
+                    except (queue.Empty, queue.Full):
+                        pass
             self._subscribers = []
 
     # ------------------------------------------------------------------
@@ -460,10 +735,18 @@ class IngestService:
 
     def healthz(self) -> Dict[str, Any]:
         stats = self.aggregator.stats()
+        with self._pending_lock:
+            pending_bytes = self._pending_bytes
+            overload_rejections = self.overload_rejections
         with self._lock:
             return {
                 "runs": len(self._runs),
                 "subscribers": len(self._subscribers),
+                "subscriber_drops": self.subscriber_drops,
+                "pending_bytes": pending_bytes,
+                "max_pending_bytes": self.max_pending_bytes,
+                "overload_rejections": overload_rejections,
+                "recovery": dict(self.recovery),
                 "samples": stats["samples"],
                 "weight": stats["weight"],
                 "uptime_seconds": self._clock() - self.started_at,

@@ -1,0 +1,153 @@
+"""Chaos-harness building blocks for the ingestion resilience tests.
+
+Three mutators, matching the three failure surfaces of the delivery
+path:
+
+* :class:`FlakySink` — a transport that fails a seeded fraction of
+  delivery attempts, either *before* the bytes go out (connection
+  refused) or *after* they were applied (the ack lost on the wire).
+  The second mode is the interesting one: the producer must retry a
+  batch the service already folded, and only the ``(run, origin_seq)``
+  dedupe keeps the fold exactly-once.
+* :class:`LatencySink` — a transport that stalls each delivery,
+  modelling a saturated link; the spool's drain loop must still
+  converge within its timeout.
+* :func:`record_chaos_frames` — one deterministic instrumented run
+  recorded through a :class:`~repro.ingest.MemorySink`, so every chaos
+  scenario drives the *same* frame stream and the fair-weather fold is
+  a fixed point to compare against.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from repro.core.engine import DacceEngine
+from repro.core.events import CallEvent, ReturnEvent
+from repro.ingest import EventSink, FrameEmitter, MemorySink, SinkError
+
+
+class FlakySink(EventSink):
+    """Decorator that injects seeded delivery failures around ``inner``.
+
+    ``fail_rate`` attempts raise before the inner delivery runs (a
+    seeded draw, deterministic per seed); every ``ack_loss_every``-th
+    *successful* delivery raises anyway after the bytes went out, as if
+    the response timed out after the service applied the batch.
+    Buffering is delegated to ``inner`` so a wrapping
+    :class:`~repro.ingest.SpoolingSink` sees the usual
+    ``take_pending``/``send`` surface.
+    """
+
+    def __init__(
+        self,
+        inner: EventSink,
+        fail_rate: float = 0.0,
+        ack_loss_every: int = 0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.inner = inner
+        self.fail_rate = fail_rate
+        self.ack_loss_every = ack_loss_every
+        self._random = random.Random(seed)
+        self._successes = 0
+        self.failures_injected = 0
+        self.acks_lost = 0
+
+    def _roll_pre(self) -> None:
+        if self._random.random() < self.fail_rate:
+            self.failures_injected += 1
+            raise SinkError("injected delivery failure")
+
+    def _roll_post(self) -> None:
+        self._successes += 1
+        if self.ack_loss_every and self._successes % self.ack_loss_every == 0:
+            self.acks_lost += 1
+            raise SinkError("injected ack loss (batch was applied)")
+
+    def emit(self, line: str) -> bool:
+        return self.inner.emit(line)
+
+    def pending(self) -> int:
+        return self.inner.pending()
+
+    def take_pending(self) -> List[str]:
+        return self.inner.take_pending()
+
+    def stats(self):
+        return self.inner.stats()
+
+    def send(self, lines: List[str]) -> None:
+        self._roll_pre()
+        self.inner.send(lines)
+        self._roll_post()
+
+    def flush(self) -> None:
+        if not self.inner.pending():
+            return
+        self._roll_pre()
+        self.inner.flush()
+        self._roll_post()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class LatencySink(EventSink):
+    """Decorator that stalls every delivery by ``delay`` seconds."""
+
+    def __init__(self, inner: EventSink, delay: float, sleep=None):
+        super().__init__()
+        self.inner = inner
+        self.delay = delay
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    def emit(self, line: str) -> bool:
+        return self.inner.emit(line)
+
+    def pending(self) -> int:
+        return self.inner.pending()
+
+    def take_pending(self) -> List[str]:
+        return self.inner.take_pending()
+
+    def stats(self):
+        return self.inner.stats()
+
+    def send(self, lines: List[str]) -> None:
+        self._sleep(self.delay)
+        self.inner.send(lines)
+
+    def flush(self) -> None:
+        self._sleep(self.delay)
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def record_chaos_frames(
+    iterations: int = 50,
+    run: str = "chaos-run",
+) -> List[str]:
+    """Record one deterministic run: ``main(0) -> a(2) -> b(3)`` loops."""
+    engine = DacceEngine()
+    sink = MemorySink()
+    # Small sample_batch: many profile.samples frames, so chaos can
+    # strike between deliveries instead of one frame carrying the run.
+    emitter = FrameEmitter(
+        sink, run=run, producer="chaos", sample_batch=2, clock=lambda: 1000.0
+    )
+    emitter.attach(engine, every=4, names={0: "main", 2: "a", 3: "b"})
+    for index in range(iterations):
+        engine.on_event(CallEvent(thread=0, callsite=11, caller=0, callee=2))
+        engine.on_event(CallEvent(thread=0, callsite=12, caller=2, callee=3))
+        engine.on_event(ReturnEvent(thread=0))
+        engine.on_event(ReturnEvent(thread=0))
+        if index % 10 == 9:
+            emitter.flush_stats()
+    emitter.complete()
+    return sink.lines

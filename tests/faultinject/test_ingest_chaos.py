@@ -1,0 +1,191 @@
+"""End-to-end ingestion chaos: flaky transport, kill/restart, overload.
+
+The invariant under test is the PR's acceptance bar: after arbitrary
+injected delivery failures, lost acks, and a mid-stream service crash
+plus restart over the same data dir, the recovered ``/cct`` equals the
+fair-weather fold of the same frame stream *exactly* — or differs only
+by drops the producer explicitly accounted (here: none, so exactly).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ingest import (
+    HTTPFrameSink,
+    IngestServer,
+    IngestService,
+    SpoolingSink,
+    parse_envelope,
+)
+
+from .chaos import FlakySink, LatencySink, record_chaos_frames
+
+pytestmark = pytest.mark.faultinject
+
+RUN = "chaos-run"
+
+
+def chaos_data_dir(tmp_path):
+    """Honour ``CHAOS_DATA_DIR`` so CI can doctor the artefacts after."""
+    path = os.environ.get("CHAOS_DATA_DIR") or str(tmp_path / "data")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def fair_weather_cct(frames):
+    service = IngestService()
+    service.ingest_lines(RUN, frames)
+    return service.cct_json()
+
+
+def feed(sink, frames, flush_every=5):
+    for index, line in enumerate(frames, 1):
+        sink.emit(line)
+        if index % flush_every == 0:
+            sink.flush()
+    sink.flush()
+
+
+def assert_gapless_log(path):
+    """Every persisted envelope sequence is 1..N with no gap or repeat."""
+    sequences = []
+    with open(path) as handle:
+        for line in handle:
+            sequences.append(parse_envelope(line).sequence)
+    assert sequences == list(range(1, len(sequences) + 1))
+
+
+def test_kill_restart_with_flaky_transport_recovers_exactly(tmp_path):
+    frames = record_chaos_frames()
+    baseline = fair_weather_cct(frames)
+    data_dir = chaos_data_dir(tmp_path)
+    spool_dir = str(tmp_path / "spool")
+
+    service1 = IngestService(data_dir=data_dir)
+    server1 = IngestServer(service1).start()
+    # >=20% of delivery attempts fail; some succeed but lose the ack,
+    # forcing redelivery of batches the service already folded.
+    sink = SpoolingSink(
+        FlakySink(
+            HTTPFrameSink(server1.url, run=RUN),
+            fail_rate=0.25,
+            ack_loss_every=3,
+            seed=1234,
+        ),
+        spool_dir,
+        base_delay=0.01,
+        max_delay=0.05,
+    )
+
+    half = len(frames) // 2
+    feed(sink, frames[:half])
+    # The service dies mid-stream: no clean close, no flushed sentinel.
+    port = server1.port
+    server1.abort()
+    # The producer keeps going against a dead endpoint: everything
+    # spills to the spool, nothing raises into the workload.
+    feed(sink, frames[half : half + 10])
+
+    # A fresh process over the same data dir recovers from the event
+    # log alone, then reopens the same port.
+    service2 = IngestService(data_dir=data_dir)
+    assert service2.recovery["runs"] >= 1
+    server2 = IngestServer(service2, port=port).start()
+    try:
+        feed(sink, frames[half + 10 :])
+        assert sink.drain(timeout=30.0), "spool failed to drain"
+        assert sink.pending() == 0
+        assert sink.frames_dropped == 0
+        flaky = sink.inner
+        assert flaky.failures_injected > 0, "chaos did not bite"
+        assert flaky.acks_lost > 0, "no lost acks were exercised"
+        # Lost acks forced redelivery; dedupe must have absorbed it.
+        duplicates = sum(
+            summary["outcomes"].get("duplicate", 0)
+            for summary in service2.runs()
+        )
+        assert duplicates > 0, "redelivery never reached the service"
+        # Zero double-fold, zero loss: byte-exact fair-weather CCT.
+        assert service2.cct_json() == baseline
+        assert_gapless_log(os.path.join(data_dir, RUN, "events.ndjson"))
+    finally:
+        server2.shutdown()
+
+
+def test_concurrent_flaky_producers_conserve_weight(tmp_path):
+    streams = {
+        "chaos-a": record_chaos_frames(iterations=30, run="chaos-a"),
+        "chaos-b": record_chaos_frames(iterations=40, run="chaos-b"),
+    }
+    expected_weight = 0.0
+    for run, frames in streams.items():
+        probe = IngestService()
+        probe.ingest_lines(run, frames)
+        expected_weight += probe.aggregator.stats()["weight"]
+
+    service = IngestService(data_dir=str(tmp_path / "data"))
+    server = IngestServer(service).start()
+    try:
+        import threading
+
+        def produce(run, frames, seed):
+            sink = SpoolingSink(
+                FlakySink(
+                    HTTPFrameSink(server.url, run=run),
+                    fail_rate=0.3,
+                    ack_loss_every=4,
+                    seed=seed,
+                ),
+                str(tmp_path / ("spool-" + run)),
+                base_delay=0.01,
+                max_delay=0.05,
+            )
+            feed(sink, frames, flush_every=3)
+            assert sink.drain(timeout=30.0)
+            assert sink.frames_dropped == 0
+
+        threads = [
+            threading.Thread(target=produce, args=(run, frames, seed))
+            for seed, (run, frames) in enumerate(streams.items(), 7)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+
+        # Weight conservation across interleaved flaky producers.
+        assert service.aggregator.stats()["weight"] == pytest.approx(
+            expected_weight
+        )
+        for run in streams:
+            assert_gapless_log(
+                str(tmp_path / "data" / run / "events.ndjson")
+            )
+    finally:
+        server.shutdown()
+
+
+def test_latency_sink_still_drains_within_timeout(tmp_path):
+    frames = record_chaos_frames(iterations=10)
+    baseline = fair_weather_cct(frames)
+    service = IngestService()
+    server = IngestServer(service).start()
+    try:
+        sink = SpoolingSink(
+            LatencySink(HTTPFrameSink(server.url, run=RUN), delay=0.05),
+            str(tmp_path / "spool"),
+            base_delay=0.01,
+        )
+        feed(sink, frames)
+        assert sink.drain(timeout=10.0)
+        assert service.cct_json() == baseline
+    finally:
+        server.shutdown()
+
+
+def test_fair_weather_recorder_is_deterministic():
+    assert record_chaos_frames() == record_chaos_frames()
+    assert json.loads(record_chaos_frames()[0])["type"] == "run.start"

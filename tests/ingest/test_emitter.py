@@ -208,3 +208,31 @@ def test_reentrant_emit_is_dropped():
     assert emitter.emit("heartbeat", {})
     assert emitter.frames_dropped == 1
     assert len(sink.lines) == 1
+
+
+def test_sink_resilience_counters_ride_stats_delta():
+    class AccountingSink(MemorySink):
+        def __init__(self):
+            super().__init__()
+            self.spooled = 0.0
+
+        def stats(self):
+            return {"frames_spooled": self.spooled, "frames_dropped": 0.0}
+
+    engine = DacceEngine()
+    sink = AccountingSink()
+    emitter = FrameEmitter(sink)
+    emitter.attach(engine, every=64)
+    run_simple_workload(engine, 5)
+    sink.spooled = 3.0
+    assert emitter.flush_stats()
+    frame = frames_of(sink)[-1]
+    assert frame["payload"]["stats"]["frames_spooled"] == 3.0
+    assert frame["payload"]["delta"]["frames_spooled"] == 3.0
+    # Unchanged sink counters must not keep re-dirtying stats.delta.
+    assert not emitter.flush_stats()
+    sink.spooled = 4.0
+    assert emitter.flush_stats()
+    frame = frames_of(sink)[-1]
+    assert frame["payload"]["delta"]["frames_spooled"] == 1.0
+    emitter.detach()

@@ -1,0 +1,241 @@
+"""Crash recovery, idempotent ingest, back-pressure, bounded subscribers."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ingest import (
+    HTTPFrameSink,
+    IngestServer,
+    IngestService,
+    SinkError,
+    frame_line,
+    make_frame,
+    parse_envelope,
+    replay_file,
+    sample_entry,
+    samples_payload,
+)
+
+
+def sample_line(paths, seq, weight=1.0, gts=0):
+    payload = samples_payload(
+        [sample_entry(path, weight, gts) for path in paths]
+    )
+    return frame_line(make_frame("profile.samples", payload, 100.0, seq))
+
+
+# ----------------------------------------------------------------------
+# startup crash recovery
+# ----------------------------------------------------------------------
+def test_restart_restores_state_byte_exactly(tmp_path, recorded_frames):
+    service = IngestService(data_dir=str(tmp_path))
+    service.ingest_lines("r1", recorded_frames)
+    cct = service.cct_json()
+    metrics = service.metrics_text()
+    runs = service.runs()
+    service.close()
+    log_size = (tmp_path / "r1" / "events.ndjson").stat().st_size
+
+    # A fresh process over the same data dir: no re-ingestion, same
+    # watermarks, byte-exact documents.
+    recovered = IngestService(data_dir=str(tmp_path))
+    assert recovered.recovery["runs"] == 1
+    assert recovered.recovery["events"] == len(recorded_frames)
+    assert recovered.recovery["torn_lines"] == 0
+    assert recovered.cct_json() == cct
+    assert recovered.metrics_text() == metrics
+    assert recovered.runs() == runs
+    # The log was only read, never appended to.
+    assert (tmp_path / "r1" / "events.ndjson").stat().st_size == log_size
+
+
+def test_recovery_truncates_torn_tail(tmp_path):
+    service = IngestService(data_dir=str(tmp_path))
+    service.ingest_lines("r1", [sample_line([[0, 2]], 0)])
+    cct = service.cct_json()
+    service.close()
+    path = tmp_path / "r1" / "events.ndjson"
+    with open(path, "a") as handle:
+        handle.write('{"schema":"dacce.events.v1","torn')  # no newline
+
+    recovered = IngestService(data_dir=str(tmp_path))
+    assert recovered.recovery["torn_lines"] == 1
+    assert recovered.recovery["events"] == 1
+    assert recovered.cct_json() == cct
+    # The tear is gone on disk: future appends cannot concatenate.
+    assert path.read_bytes().endswith(b"\n")
+    assert b"torn" not in path.read_bytes()
+    (summary,) = recovered.runs()
+    assert summary["sequence"] == 1
+
+
+def test_recovery_restores_dedupe_ledger(tmp_path):
+    service = IngestService(data_dir=str(tmp_path))
+    service.ingest_lines("r1", [sample_line([[0, 2]], 0)])
+    service.close()
+
+    recovered = IngestService(data_dir=str(tmp_path))
+    weight = recovered.aggregator.stats()["weight"]
+    # The producer retries its frame against the restarted service: the
+    # recovered (run, origin_seq) ledger suppresses the double-fold.
+    summary = recovered.ingest_lines("r1", [sample_line([[0, 2]], 0)])
+    assert summary["duplicates"] == 1 and summary["folded"] == 0
+    assert recovered.aggregator.stats()["weight"] == weight
+
+
+# ----------------------------------------------------------------------
+# idempotent ingest
+# ----------------------------------------------------------------------
+def test_retried_post_folds_exactly_once(tmp_path):
+    service = IngestService(data_dir=str(tmp_path))
+    line = sample_line([[0, 2], [0, 3]], 5, weight=2.0)
+    first = service.ingest_lines("r1", [line])
+    assert first["folded"] == 1
+    weight = service.aggregator.stats()["weight"]
+
+    # The first POST was applied but the response timed out on the
+    # wire; the producer retries the identical batch.
+    second = service.ingest_lines("r1", [line])
+    assert second["folded"] == 0 and second["duplicates"] == 1
+    assert service.aggregator.stats()["weight"] == weight
+    # The dedupe decision is persisted and the sequence slot consumed.
+    assert second["last_sequence"] == 2
+    service.close()
+    lines = (tmp_path / "r1" / "events.ndjson").read_text().splitlines()
+    duplicate = parse_envelope(lines[1])
+    assert duplicate.type == "ingest.duplicate"
+    assert duplicate.source == "api"
+    assert duplicate.payload == {"of": "profile.samples", "origin_seq": 5}
+
+
+def test_duplicate_envelopes_replay_deterministically(tmp_path):
+    service = IngestService(data_dir=str(tmp_path))
+    line = sample_line([[0, 2]], 0)
+    service.ingest_lines("r1", [line, line])
+    cct = service.cct_json()
+    metrics = service.metrics_text()
+    service.close()
+
+    replayed, report = replay_file(str(tmp_path / "r1" / "events.ndjson"))
+    assert report.outcomes == {"folded": 1, "duplicate": 1}
+    assert replayed.cct_json() == cct
+    assert replayed.metrics_text() == metrics
+
+
+def test_out_of_order_seqs_dedupe_via_sparse_set():
+    service = IngestService()
+    service.ingest_lines("r1", [sample_line([[0, 2]], 3)])
+    service.ingest_lines("r1", [sample_line([[0, 2]], 1)])
+    assert service.ingest_lines("r1", [sample_line([[0, 2]], 3)])["duplicates"] == 1
+    assert service.ingest_lines("r1", [sample_line([[0, 2]], 0)])["folded"] == 1
+    assert service.ingest_lines("r1", [sample_line([[0, 2]], 2)])["folded"] == 1
+    # Everything 0..3 is now compacted into the watermark.
+    (summary,) = service.runs()
+    assert summary["origin_watermark"] == 3
+    assert service.ingest_lines("r1", [sample_line([[0, 2]], 2)])["duplicates"] == 1
+
+
+def test_sink_fault_frames_without_seq_are_never_deduped():
+    service = IngestService()
+    fault = frame_line(
+        make_frame("fault", {"kind": "spool.evicted", "frames": 3}, 1.0)
+    )
+    assert "seq" not in json.loads(fault)
+    summary = service.ingest_lines("r1", [fault, fault])
+    # Two distinct loss events may serialize identically; both fold.
+    assert summary["folded"] == 2 and summary["duplicates"] == 0
+
+
+# ----------------------------------------------------------------------
+# back-pressure
+# ----------------------------------------------------------------------
+def test_admit_bounds_pending_bytes():
+    service = IngestService(max_pending_bytes=100)
+    ok, retry = service.admit(60)
+    assert ok and retry is None
+    refused, retry = service.admit(60)
+    assert not refused and retry >= 1.0
+    assert service.overload_rejections == 1
+    service.release(60)
+    ok, _ = service.admit(60)
+    assert ok
+    assert service.healthz()["overload_rejections"] == 1
+
+
+def test_http_429_carries_retry_after(tmp_path):
+    service = IngestService(max_pending_bytes=64)
+    server = IngestServer(service).start()
+    try:
+        body = (sample_line([[0, 2]], 0) + "\n") * 10  # > 64 bytes
+        request = urllib.request.Request(
+            "%s/ingest?run=r1" % server.url,
+            data=body.encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 429
+        assert float(excinfo.value.headers["Retry-After"]) >= 1.0
+        # Nothing was ingested: the body was shed unread.
+        assert service.runs() == []
+
+        # The HTTP sink surfaces the hint for the spool's backoff.
+        sink = HTTPFrameSink(server.url, run="r1")
+        sink.emit(body)
+        with pytest.raises(SinkError) as sink_err:
+            sink.flush()
+        assert sink_err.value.status == 429
+        assert sink_err.value.retry_after >= 1.0
+    finally:
+        server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# bounded subscribers
+# ----------------------------------------------------------------------
+def test_slow_subscriber_drops_are_accounted_and_noticed():
+    service = IngestService()
+    subscriber = service.subscribe(maxsize=2)
+    for seq in range(5):
+        service.ingest_lines("r1", [sample_line([[0, 2]], seq)])
+    assert subscriber.qsize() == 2  # bounded: 3 envelopes shed
+    assert service.subscriber_drops == 3
+    assert service.healthz()["subscriber_drops"] == 3
+
+    # Consumer catches up; the next delivery is preceded by a notice
+    # accounting exactly what it missed.
+    while not subscriber.empty():
+        subscriber.get_nowait()
+    service.ingest_lines("r1", [sample_line([[0, 2]], 5)])
+    notice = subscriber.get_nowait()
+    assert notice.type == "ingest.notice"
+    assert notice.source == "api"
+    assert notice.payload["kind"] == "subscriber.dropped"
+    assert notice.payload["dropped"] == 3
+    envelope = subscriber.get_nowait()
+    assert envelope.type == "profile.samples"
+
+
+def test_notices_are_not_persisted(tmp_path):
+    service = IngestService(data_dir=str(tmp_path))
+    service.subscribe(maxsize=1)
+    for seq in range(4):
+        service.ingest_lines("r1", [sample_line([[0, 2]], seq)])
+    service.close()
+    log = (tmp_path / "r1" / "events.ndjson").read_text()
+    assert "ingest.notice" not in log
+
+
+def test_close_reaches_full_subscriber_queues():
+    service = IngestService()
+    subscriber = service.subscribe(maxsize=1)
+    service.ingest_lines("r1", [sample_line([[0, 2]], 0)])
+    assert subscriber.full()
+    service.close()  # must not raise; sentinel still lands
+    items = []
+    while not subscriber.empty():
+        items.append(subscriber.get_nowait())
+    assert items[-1] is None

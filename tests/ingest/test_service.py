@@ -43,8 +43,8 @@ def test_fold_counts_and_aggregation(recorded_frames):
 def test_sequence_is_strictly_monotonic_across_batches():
     service = IngestService()
     service.ingest_lines("r1", [make_sample_line([[0, 2]])])
-    service.ingest_lines("r1", ["garbage", make_sample_line([[0, 2]])])
-    summary = service.ingest_lines("r1", [make_sample_line([[0, 3]])])
+    service.ingest_lines("r1", ["garbage", make_sample_line([[0, 2]], seq=1)])
+    summary = service.ingest_lines("r1", [make_sample_line([[0, 3]], seq=2)])
     assert summary["last_sequence"] == 4  # rejects consume sequence too
 
 
@@ -94,7 +94,8 @@ def test_unknown_type_is_skipped_not_rejected():
 def test_ingest_metrics_series():
     service = IngestService()
     service.ingest_lines(
-        "r1", [make_sample_line([[0, 2]]), "broken", make_sample_line([[0, 2]])]
+        "r1",
+        [make_sample_line([[0, 2]]), "broken", make_sample_line([[0, 2]], seq=1)],
     )
     metrics = service.metrics_text()
     assert (
@@ -130,10 +131,13 @@ def test_producer_stats_fold_as_set_total():
 
 def test_fault_frames_count_by_kind():
     service = IngestService()
-    fault = frame_line(
-        make_frame("fault", {"kind": "unknown-thread", "message": "x"}, 1.0, 0)
-    )
-    service.ingest_lines("r1", [fault, fault])
+    faults = [
+        frame_line(
+            make_frame("fault", {"kind": "unknown-thread", "message": "x"}, 1.0, seq)
+        )
+        for seq in (0, 1)
+    ]
+    service.ingest_lines("r1", faults)
     assert (
         'dacce_ingest_producer_faults_total{kind="unknown-thread"} 2'
         in service.metrics_text()

@@ -1,6 +1,7 @@
 """Sink transport discipline: guards, buffering, failure modes."""
 
 import io
+import urllib.error
 
 import pytest
 
@@ -72,7 +73,7 @@ def test_http_sink_buffers_until_flush():
     with pytest.raises(SinkError):
         sink.flush()
     # The batch survives the failed flush for a later retry.
-    assert sink._buffer == ["frame-1", "frame-2"]
+    assert list(sink._buffer) == ["frame-1", "frame-2"]
 
 
 def test_http_sink_auto_flush_failure_does_not_raise():
@@ -80,5 +81,99 @@ def test_http_sink_auto_flush_failure_does_not_raise():
     # batch_bytes tiny -> emit triggers the opportunistic flush, which
     # fails; emit must swallow it (hot-path safety) and keep the batch.
     assert sink.emit("frame-1")
-    assert sink._buffer == ["frame-1"]
+    assert list(sink._buffer) == ["frame-1"]
     assert sink.emitted == 1
+
+
+def test_http_sink_retained_batch_delivers_on_later_flush(monkeypatch):
+    posted = []
+    fail = {"remaining": 1}
+
+    class _Response:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def read(self):
+            return b"{}"
+
+    def fake_urlopen(request, timeout=None):
+        if fail["remaining"]:
+            fail["remaining"] -= 1
+            raise OSError("connection refused")
+        posted.append(request.data)
+        return _Response()
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    sink = HTTPFrameSink("http://ingest.test", run="r")
+    sink.emit("frame-1")
+    with pytest.raises(SinkError):
+        sink.flush()  # first attempt fails; batch retained
+    assert sink.posts == 0 and sink.pending() == 1
+    sink.flush()  # the very same batch goes out on the retry
+    assert sink.posts == 1 and sink.pending() == 0
+    assert posted == [b"frame-1\n"]
+
+
+def test_http_sink_surfaces_retry_after_and_status(monkeypatch):
+    import email.message
+
+    headers = email.message.Message()
+    headers["Retry-After"] = "3.5"
+
+    def fake_urlopen(request, timeout=None):
+        raise urllib.error.HTTPError(
+            request.full_url, 429, "Too Many Requests", headers, None
+        )
+
+    monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+    sink = HTTPFrameSink("http://ingest.test", run="r")
+    sink.emit("frame-1")
+    with pytest.raises(SinkError) as excinfo:
+        sink.flush()
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after == pytest.approx(3.5)
+    # The batch is still buffered for the post-backoff retry.
+    assert sink.pending() == 1
+
+
+def test_http_sink_explicit_flush_raises_sink_error():
+    sink = HTTPFrameSink("http://127.0.0.1:9", run="r")
+    sink.emit("frame-1")
+    with pytest.raises(SinkError):
+        sink.flush()
+    with pytest.raises(SinkError):
+        sink.send(["frame-2"])  # direct sends surface failures too
+    assert sink.posts == 0
+
+
+def test_http_sink_buffer_bound_evicts_oldest_with_accounting():
+    sink = HTTPFrameSink(
+        "http://127.0.0.1:9", run="r",
+        batch_bytes=1 << 30,  # never auto-flush
+        max_buffer_bytes=64,
+    )
+    for i in range(8):
+        sink.emit("frame-%d-padding-padding" % i)  # 22 bytes each
+    assert sink._buffered_bytes <= 64
+    assert sink.buffer_evicted == 6
+    # Newest frames survive; the oldest were shed.
+    assert list(sink._buffer)[-1] == "frame-7-padding-padding"
+    assert "frame-0-padding-padding" not in sink._buffer
+    assert sink.stats() == {"frames_dropped": 6.0}
+
+
+def test_http_sink_reentrant_emit_is_dropped():
+    sink = HTTPFrameSink("http://127.0.0.1:9", run="r")
+    original_write = sink._write
+
+    def reentrant_write(line):
+        assert not sink.emit("inner")  # guard refuses the nested write
+        original_write(line)
+
+    sink._write = reentrant_write
+    assert sink.emit("outer")
+    assert list(sink._buffer) == ["outer"]
+    assert sink.dropped == 1

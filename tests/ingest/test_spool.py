@@ -1,0 +1,269 @@
+"""SpoolingSink: durable spill, backoff, replay, eviction accounting."""
+
+import json
+import os
+
+import pytest
+
+from repro.ingest import (
+    EventSink,
+    SinkError,
+    SpoolingSink,
+    read_spool_segment,
+    write_spool_segment,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeHTTPSink(EventSink):
+    """Buffers like HTTPFrameSink; delivery gated on an ``up`` flag."""
+
+    def __init__(self, retry_after=None):
+        super().__init__()
+        self.up = False
+        self.retry_after = retry_after
+        self.delivered = []
+        self.attempts = 0
+        self._buffer = []
+
+    def _write(self, line):
+        self._buffer.append(line)
+
+    def pending(self):
+        return len(self._buffer)
+
+    def take_pending(self):
+        lines, self._buffer = self._buffer, []
+        return lines
+
+    def send(self, lines):
+        self.attempts += 1
+        if not self.up:
+            raise SinkError("down", retry_after=self.retry_after)
+        self.delivered.extend(lines)
+
+    def flush(self):
+        if not self._buffer:
+            return
+        self.attempts += 1
+        if not self.up:
+            raise SinkError("down", retry_after=self.retry_after)
+        self.delivered.extend(self._buffer)
+        self._buffer = []
+
+
+def make_spool(tmp_path, inner=None, **kwargs):
+    clock = FakeClock()
+    inner = inner if inner is not None else FakeHTTPSink()
+    kwargs.setdefault("base_delay", 1.0)
+    sink = SpoolingSink(
+        inner, str(tmp_path / "spool"), clock=clock, sleep=clock.advance,
+        **kwargs,
+    )
+    return sink, inner, clock
+
+
+def test_segment_roundtrip(tmp_path):
+    path = str(tmp_path / "spool-00000001-3.seg")
+    lines = ['{"a":1}', '{"b":2}', '{"c":3}']
+    size = write_spool_segment(path, lines)
+    assert os.path.getsize(path) == size
+    recovered, damaged = read_spool_segment(path)
+    assert recovered == lines and damaged == 0
+
+
+def test_damaged_record_is_skipped_not_fatal(tmp_path):
+    path = str(tmp_path / "spool-00000001-3.seg")
+    lines = ['{"a":1}', '{"b":2}', '{"c":3}']
+    write_spool_segment(path, lines)
+    raw = bytearray(open(path, "rb").read())
+    # Flip one byte inside the second record's payload: its checksum
+    # fails, the framing resynchronises, the third record survives.
+    offset = raw.find(b'{"b":2}')
+    raw[offset + 2] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(raw)
+    recovered, damaged = read_spool_segment(path)
+    assert recovered == ['{"a":1}', '{"c":3}']
+    assert damaged == 1
+
+
+def test_flush_failure_spills_to_disk_then_replays(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    sink.emit("frame-1")
+    sink.emit("frame-2")
+    sink.flush()  # transport down: spills, never raises
+    assert sink.frames_spooled == 2
+    assert sink.pending_frames == 2
+    assert inner.pending() == 0  # batch moved out of the inner buffer
+    assert len(sink.segments()) == 1 and os.path.exists(sink.segments()[0])
+
+    inner.up = True
+    clock.advance(10.0)  # past backoff
+    sink.emit("frame-3")
+    sink.flush()
+    # Spooled frames replay before the live batch: order preserved.
+    assert inner.delivered == ["frame-1", "frame-2", "frame-3"]
+    assert sink.frames_replayed == 2
+    assert sink.pending() == 0
+    assert sink.segments() == []
+
+
+def test_backoff_suppresses_hammering(tmp_path):
+    sink, inner, clock = make_spool(tmp_path, base_delay=2.0)
+    sink.emit("frame-1")
+    sink.flush()
+    attempts = inner.attempts
+    assert sink.next_retry > clock()
+    sink.emit("frame-2")
+    sink.flush()  # inside the backoff window: spill, no delivery attempt
+    assert inner.attempts == attempts
+    assert sink.frames_spooled == 2
+    clock.advance(sink.next_retry + 0.1)
+    sink.flush()  # due now: attempts again (still down -> re-scheduled)
+    assert inner.attempts > attempts
+
+
+def test_backoff_grows_and_is_deterministic(tmp_path):
+    sink, inner, clock = make_spool(tmp_path, base_delay=1.0, max_delay=60.0)
+    delays = []
+    sink.emit("x")
+    for _ in range(4):
+        clock.advance(1000.0)
+        sink.flush()
+        delays.append(sink.next_retry - clock())
+    assert delays == sorted(delays)  # capped exponential growth
+    assert delays[-1] > delays[0]
+
+    sink2, _, clock2 = make_spool(
+        tmp_path / "b", base_delay=1.0, max_delay=60.0
+    )
+    sink2.emit("x")
+    delays2 = []
+    for _ in range(4):
+        clock2.advance(1000.0)
+        sink2.flush()
+        delays2.append(sink2.next_retry - clock2())
+    assert delays == delays2  # jitter is deterministic, no RNG
+
+
+def test_retry_after_is_honored(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    inner.retry_after = 7.5
+    sink.emit("frame-1")
+    sink.flush()
+    assert sink.next_retry - clock() == pytest.approx(7.5)
+
+
+def test_eviction_drops_oldest_and_emits_accounted_fault(tmp_path):
+    sink, inner, clock = make_spool(tmp_path, max_spool_bytes=150)
+    for i in range(3):
+        sink.emit("frame-a-%d-padding-padding-pad" % i)
+    sink.flush()  # down -> segment A (~112 bytes)
+    assert sink.frames_spooled == 3 and sink.frames_dropped == 0
+
+    for i in range(3):
+        sink.emit("frame-b-%d-padding-padding-pad" % i)
+    clock.advance(1000.0)
+    sink.flush()  # A + B would exceed the bound: oldest (A) evicted
+    assert sink.frames_dropped == 3
+    assert sink.spool_bytes <= 150
+    assert len(sink.segments()) == 1  # only B remains
+
+    faults = [json.loads(line) for line in inner._buffer
+              if '"fault"' in line]
+    assert faults, "eviction must inject an accounted fault frame"
+    fault = faults[0]
+    assert fault["payload"]["kind"] == "spool.evicted"
+    assert fault["payload"]["frames"] == 3
+    assert fault["payload"]["frames_dropped"] == 3
+    assert "seq" not in fault  # never collides with real producer seqs
+
+
+def test_startup_rescan_adopts_previous_spool(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    sink.emit("frame-1")
+    sink.emit("frame-2")
+    sink.flush()  # down -> spooled
+    assert sink.pending_frames == 2
+
+    # A fresh producer process over the same spool dir adopts the
+    # segments and delivers them once the transport is back.
+    inner2 = FakeHTTPSink()
+    inner2.up = True
+    sink2 = SpoolingSink(
+        inner2, str(tmp_path / "spool"), clock=FakeClock(), sleep=lambda _: None
+    )
+    assert sink2.pending_frames == 2
+    sink2.flush()
+    assert inner2.delivered == ["frame-1", "frame-2"]
+    assert sink2.frames_replayed == 2
+    assert sink2.pending() == 0
+
+
+def test_corrupt_spool_segment_costs_only_damaged_records(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    sink.emit('{"n":1}')
+    sink.emit('{"n":2}')
+    sink.flush()
+    (segment,) = sink.segments()
+    raw = bytearray(open(segment, "rb").read())
+    raw[-2] ^= 0xFF  # damage the last record's payload
+    with open(segment, "wb") as handle:
+        handle.write(raw)
+
+    inner.up = True
+    clock.advance(1000.0)
+    sink.flush()
+    assert inner.delivered[0] == '{"n":1}'
+    assert sink.frames_dropped == 1
+    assert sink.segments() == []
+    # The loss is accounted on the wire too (the fault frame itself
+    # flows through and gets delivered with the live batch).
+    faults = [line for line in inner.delivered + inner._buffer
+              if "spool.corrupt" in line]
+    assert faults
+
+
+def test_drain_retries_until_empty_or_timeout(tmp_path):
+    sink, inner, clock = make_spool(tmp_path, base_delay=0.5)
+    sink.emit("frame-1")
+    sink.flush()
+    assert sink.drain(timeout=5.0) is False  # still down when time runs out
+    assert sink.pending_frames == 1
+
+    inner.up = True
+    assert sink.drain(timeout=5.0) is True
+    assert inner.delivered == ["frame-1"]
+    assert sink.pending() == 0
+
+
+def test_stats_expose_resilience_counters_only(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    sink.emit("frame-1")
+    sink.flush()
+    stats = sink.stats()
+    assert stats["frames_spooled"] == 1.0
+    assert stats["frames_replayed"] == 0.0
+    assert stats["frames_dropped"] == 0.0
+    assert stats["delivery_retries"] == 1.0
+    # Per-frame counters stay out: they would dirty stats.delta forever.
+    assert "emitted" not in stats and "posts" not in stats
+
+
+def test_close_spills_inner_failure(tmp_path):
+    sink, inner, clock = make_spool(tmp_path)
+    sink.emit("frame-1")
+    sink.close()  # flush fails -> spooled; close must not raise
+    assert sink.pending_frames == 1
+    assert os.path.exists(sink.segments()[0])
