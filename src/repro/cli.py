@@ -503,7 +503,14 @@ def cmd_static(args) -> int:
             "pass exactly one of --source, --benchmark, or --record-seed"
         )
     if args.source:
-        graph = extract_package(args.source)
+        if not os.path.isdir(args.source):
+            return _fault(
+                "source tree unreadable: %r is not a directory" % args.source
+            )
+        try:
+            graph = extract_package(args.source)
+        except OSError as error:
+            return _fault("source tree unreadable: %s" % error)
     elif args.record_seed is not None:
         graph = extract_program(_record_program(args.record_seed))
     else:
@@ -516,7 +523,10 @@ def cmd_static(args) -> int:
         benchmark = suite.get(args.benchmark)
         program = generate_program(benchmark.generator_config(args.scale))
         graph = extract_program(program)
-    graph.save(args.output)
+    try:
+        graph.save(args.output)
+    except OSError as error:
+        return _fault("static graph unwritable: %s" % error)
     histogram = graph.confidence_histogram()
     print(
         "static graph: %d functions, %d edges (%s), %d unresolved sites"
@@ -543,6 +553,7 @@ def cmd_lint(args) -> int:
     """
     from .static import Severity, StaticCallGraph, has_errors, lint_state
     from .static.graph import StaticAnalysisError
+    from .static.lint import lint_targets
 
     try:
         with open(args.state) as handle:
@@ -559,9 +570,26 @@ def cmd_lint(args) -> int:
             print("FAULT: static graph unreadable: %s" % error)
             return 1
 
+    specs = None
+    if args.targets:
+        if static_graph is None:
+            return _fault(
+                "--targets needs --static to resolve sink names to ids"
+            )
+        from .static.reachability import load_targets
+
+        try:
+            specs = load_targets(args.targets)
+        except OSError as error:
+            return _fault("targets manifest unreadable: %s" % error)
+        except StaticAnalysisError as error:
+            return _fault("targets manifest invalid: %s" % error)
+
     findings = lint_state(
         data, static_graph=static_graph, margin_bits=args.margin_bits
     )
+    if specs is not None:
+        findings.extend(lint_targets(data, specs, static_graph))
     for finding in findings:
         print(finding.render())
     by_severity = {severity: 0 for severity in Severity}
@@ -576,6 +604,170 @@ def cmd_lint(args) -> int:
         )
     )
     return 1 if has_errors(findings) else 0
+
+
+def cmd_guard_record(args) -> int:
+    """Record a targeted run with per-sink context capture.
+
+    Builds the sink-reaching plan from a ``targets.json`` manifest over
+    the exact program ``dacce record --seed N`` runs, drives the same
+    workload through a targeted engine, and snapshots the encoded
+    context at every call into a sink.  Writes ``PREFIX.state.json``
+    (decoding state) and ``PREFIX.guard.json`` (counted sink contexts,
+    each stored with its record-time decoded path) for
+    ``dacce guard check``.
+    """
+    from .core.serialize import export_decoding_state
+    from .guard import GuardRecorder, write_guard
+    from .program.trace import TraceExecutor
+    from .static import extract_program
+    from .static.graph import StaticAnalysisError
+    from .static.reachability import load_targets
+    from .static.targeted import build_targeted
+
+    try:
+        specs = load_targets(args.targets)
+    except OSError as error:
+        return _fault("targets manifest unreadable: %s" % error)
+    except StaticAnalysisError as error:
+        return _fault("targets manifest invalid: %s" % error)
+
+    program = _record_program(args.seed)
+    static = extract_program(program)
+    try:
+        plan = build_targeted(static, specs)
+    except StaticAnalysisError as error:
+        return _fault("targeted plan failed: %s" % error)
+
+    spec = WorkloadSpec(
+        calls=args.calls,
+        seed=args.seed + 1,
+        sample_period=max(10, args.calls // 500),
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
+    )
+    engine = DacceEngine(targeted=plan)
+    recorder = GuardRecorder(engine, plan.sinks)
+    for event in TraceExecutor(program, spec).events():
+        engine.on_event(event)
+        recorder.observe(event)
+    hits = recorder.finish()
+
+    state_path = args.prefix + ".state.json"
+    guard_path = args.prefix + ".guard.json"
+    names = {fn.id: fn.qualname for fn in static.functions()}
+    try:
+        export_decoding_state(engine, state_path)
+        write_guard(hits, plan.sinks, guard_path, names=names)
+    except OSError as error:
+        return _fault("guard output unwritable: %s" % error)
+
+    summary = plan.summary()
+    print(
+        "targeted %d/%d functions (%.1f%%), %d sink(s), "
+        "static max_id %d (%s)"
+        % (
+            summary["functions"],
+            summary["total_functions"],
+            plan.instrumented_fraction * 100.0,
+            len(plan.sinks),
+            plan.report.proof.max_id,
+            "collision-free"
+            if plan.report.proof.collision_free
+            else "NOT collision-free",
+        )
+    )
+    print(
+        "captured %d sink call(s) across %d distinct context(s)"
+        % (sum(hit.count for hit in hits), len(hits))
+    )
+    print("wrote %s and %s" % (state_path, guard_path))
+    return 0
+
+
+def cmd_guard_check(args) -> int:
+    """Check a guard recording against a policy (and a baseline).
+
+    Re-decodes every stored sink context from the state file (a
+    mismatch with the stored path is itself a violation), applies
+    allow / deny / rate-limit rules to the decoded paths, and — with
+    ``--baseline`` — scores how far the context mix drifted from a
+    previous recording.  Exits non-zero iff any violation is found.
+    """
+    from .core.serialize import SerializationError, load_decoder
+    from .guard import (
+        GuardError,
+        Violation,
+        anomaly_scores,
+        evaluate_policy,
+        load_guard,
+        load_policy,
+        render_path,
+        verify_hits,
+    )
+
+    try:
+        decoder = load_decoder(args.state)
+    except OSError as error:
+        return _fault("state file unreadable: %s" % error)
+    except SerializationError as error:
+        return _fault("state file invalid: %s" % error)
+    try:
+        guard = load_guard(args.guard)
+    except OSError as error:
+        return _fault("guard log unreadable: %s" % error)
+    except GuardError as error:
+        return _fault("guard log invalid: %s" % error)
+    try:
+        policy = load_policy(args.policy).resolve(guard.names)
+    except OSError as error:
+        return _fault("policy unreadable: %s" % error)
+    except GuardError as error:
+        return _fault("policy invalid: %s" % error)
+
+    violations = verify_hits(decoder, guard.hits)
+    violations.extend(evaluate_policy(guard.hits, policy))
+
+    if args.baseline:
+        try:
+            baseline = load_guard(args.baseline)
+        except OSError as error:
+            return _fault("baseline guard log unreadable: %s" % error)
+        except GuardError as error:
+            return _fault("baseline guard log invalid: %s" % error)
+        scores = anomaly_scores(guard.hits, baseline.hits)
+        worst = max(scores.values(), default=0.0)
+        novel = sum(1 for score in scores.values() if score >= 1.0)
+        print(
+            "anomaly: %d context(s) scored against baseline, "
+            "%d never seen before, worst score %.3f"
+            % (len(scores), novel, worst)
+        )
+        if args.max_anomaly is not None and worst > args.max_anomaly:
+            offender = max(scores, key=lambda path: scores[path])
+            violations.append(
+                Violation(
+                    kind="anomaly",
+                    message="context mix drifted %.3f > %.3f (worst: %s)"
+                    % (
+                        worst,
+                        args.max_anomaly,
+                        render_path(offender, guard.names),
+                    ),
+                    path=offender,
+                )
+            )
+
+    for violation in violations:
+        print(
+            "guard violation [%s]: %s"
+            % (violation.kind, violation.message)
+        )
+    print(
+        "guard: %d sink call(s) in %d context(s), %d violation(s)"
+        % (guard.total, len(guard.hits), len(violations))
+    )
+    return 1 if violations else 0
 
 
 def _telemetry_workload(args):
@@ -1275,7 +1467,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="static graph file from `dacce static`")
     p.add_argument("--margin-bits", type=int, default=8,
                    help="id-space headroom (bits) below which to warn")
+    p.add_argument("--targets", default=None,
+                   help="targets.json sink manifest: verify the recording's "
+                        "targeted plan covers every declared sink "
+                        "(requires --static)")
     p.set_defaults(fn=cmd_lint)
+
+    guard = sub.add_parser(
+        "guard",
+        help="targeted sink guards: record per-sink contexts, check "
+             "them against allow/deny/rate-limit policies",
+    )
+    guard_sub = guard.add_subparsers(dest="guard_command", required=True)
+
+    p = guard_sub.add_parser(
+        "record",
+        help="targeted run over a sink manifest; write state + guard log",
+    )
+    p.add_argument("--targets", required=True,
+                   help="targets.json sink manifest")
+    p.add_argument("--prefix", default="dacce-guard")
+    p.add_argument("--calls", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=cmd_guard_record)
+
+    p = guard_sub.add_parser(
+        "check",
+        help="re-decode a guard log and enforce a policy over its paths",
+    )
+    p.add_argument("--state", required=True,
+                   help="state file from `dacce guard record`")
+    p.add_argument("--guard", required=True,
+                   help="guard log from `dacce guard record`")
+    p.add_argument("--policy", required=True,
+                   help="policy JSON: {default, rules:[{action,...}]}")
+    p.add_argument("--baseline", default=None,
+                   help="previous guard log to score context drift against")
+    p.add_argument("--max-anomaly", type=float, default=None,
+                   help="fail when the worst per-context anomaly score "
+                        "exceeds this (0..1)")
+    p.set_defaults(fn=cmd_guard_check)
 
     p = sub.add_parser(
         "metrics",

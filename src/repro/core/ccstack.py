@@ -26,6 +26,16 @@ from .events import CallSiteId, FunctionId
 #: decoder stops at this sentinel and stitches the parent context.
 CLONE_CALLSITE: CallSiteId = -1
 
+#: Reserved callsite id marking a targeted-encoding boundary crossing:
+#: the entry was pushed when control left the targeted subgraph
+#: (departure) or came back into it (re-entry).  The decoder renders the
+#: untracked span as a single ``<untracked>`` pseudo-frame.
+UNTRACKED_CALLSITE: CallSiteId = -2
+
+#: Pseudo function id standing for all code outside the targeted
+#: subgraph — the ``<untracked>`` frame in decoded contexts and samples.
+UNTRACKED_FUNCTION: FunctionId = -2
+
 
 @dataclass(slots=True)
 class _MutableEntry:

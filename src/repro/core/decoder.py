@@ -34,7 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .ccstack import CLONE_CALLSITE
+from .ccstack import CLONE_CALLSITE, UNTRACKED_CALLSITE, UNTRACKED_FUNCTION
 from .context import CallingContext, CcStackEntry, CollectedSample, ContextStep
 from .dictionary import DictionaryStore, EncodingDictionary
 from .errors import DecodingError, StaleDictionaryError
@@ -386,6 +386,36 @@ class Decoder:
                         )
                     segments.append(_Segment(current))
                     return segments, True
+                if top.callsite == UNTRACKED_CALLSITE:
+                    # Targeted-encoding boundary entries (see
+                    # repro.static.targeted).  A departure entry was
+                    # pushed when control left the targeted subgraph; a
+                    # re-entry entry when untracked code called back in.
+                    # The whole untracked span between them decodes to a
+                    # single <untracked> pseudo-step.
+                    if ifun == UNTRACKED_FUNCTION:
+                        # Departure: resume at the tracked function that
+                        # made the departing call, with its saved id.
+                        onstack = False
+                        stack.pop()
+                        segments.append(_Segment(current, entry=top))
+                        ifun = top.target
+                        current = [ContextStep(ifun)]
+                        id_value = top.id
+                        adjust()
+                        continue
+                    if ifun == top.target:
+                        # Re-entry: the function untracked code called
+                        # back into; below it sits the untracked span.
+                        onstack = False
+                        stack.pop()
+                        segments.append(_Segment(current, entry=top))
+                        ifun = UNTRACKED_FUNCTION
+                        current = [ContextStep(ifun)]
+                        id_value = top.id
+                        adjust()
+                        continue
+                    break  # sub-path continues through encoded edges
                 if ifun == top.target:
                     onstack = False
                     stack.pop()

@@ -59,7 +59,12 @@ from .adaptive import (
     classify_back_edges,
 )
 from .callgraph import CallEdge, CallGraph
-from .ccstack import CLONE_CALLSITE, CcStack
+from .ccstack import (
+    CLONE_CALLSITE,
+    UNTRACKED_CALLSITE,
+    UNTRACKED_FUNCTION,
+    CcStack,
+)
 from .context import CallingContext, CollectedSample, ContextStep
 from .dictionary import DictionaryStore, EncodingDictionary
 from .encoder import EdgeOrderPolicy, Encoder, frequency_order, insertion_order
@@ -88,6 +93,7 @@ from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
 from .invariants import check_dictionary
 
 if TYPE_CHECKING:  # imported lazily: repro.static depends on repro.core
+    from ..static.targeted import TargetedPlan
     from ..static.warmstart import WarmStartPlan
 
 logger = logging.getLogger(__name__)
@@ -140,6 +146,9 @@ class _Action(enum.Enum):
     PUSH = 2            # ccStack push (recursive back edge)
     COMPRESS = 3        # ccStack counter bump (compressed recursion)
     DISCOVERY_PUSH = 4  # ccStack push for a not-yet-encoded edge
+    UNTRACKED = 5       # targeted mode: interior untracked call, no work
+    BOUNDARY_DEP = 6    # targeted mode: departure from the subgraph
+    BOUNDARY_RE = 7     # targeted mode: re-entry into the subgraph
 
 
 @dataclass(slots=True)
@@ -224,6 +233,13 @@ class DacceStats:
     #: Samples delivered to the continuous-profiling hook (distinct from
     #: ``samples``, which counts explicit SampleEvents in the stream).
     profile_samples: int = 0
+    #: Targeted mode: calls entirely outside the targeted subgraph —
+    #: each one paid a shadow frame and nothing else (no id update, no
+    #: ccStack traffic, no graph or dictionary work).
+    untracked_calls: int = 0
+    #: Targeted mode: calls that crossed the subgraph boundary
+    #: (departures plus re-entries), each costing one ccStack push.
+    boundary_crossings: int = 0
 
     @property
     def gts(self) -> int:
@@ -278,10 +294,20 @@ class DacceEngine:
         initial_order_policy: EdgeOrderPolicy = insertion_order,
         telemetry: Optional[Telemetry] = None,
         warm_start: Optional["WarmStartPlan"] = None,
+        targeted: Optional["TargetedPlan"] = None,
     ):
         self.config = config or DacceConfig()
         self.cost = cost_model or CostModel()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._targeted = targeted
+        self._targeted_fns: Optional[Set[FunctionId]] = None
+        if targeted is not None:
+            if warm_start is not None or graph is not None:
+                raise DacceError(
+                    "a targeted plan embeds its own warm-start graph; "
+                    "pass neither graph nor warm_start alongside targeted"
+                )
+            warm_start = targeted.warm_start
         if warm_start is not None:
             if graph is not None:
                 raise DacceError(
@@ -296,6 +322,10 @@ class DacceEngine:
         self.graph = graph if graph is not None else CallGraph(root)
         if graph is not None:
             root = graph.root
+        if targeted is not None:
+            # The root is force-tracked: every thread's bottom frame must
+            # be inside the subgraph or decoding would start untracked.
+            self._targeted_fns = set(targeted.functions) | {root}
         self.dictionaries = DictionaryStore()
         self.policy = AdaptivePolicy(self.config.adaptive)
         self.indirect = IndirectDispatchTable(self.config.hash_threshold)
@@ -501,6 +531,8 @@ class DacceEngine:
                 stats.warmstart_handler_hits_avoided,
             ),
             ("profile_samples", stats.profile_samples),
+            ("untracked_calls", stats.untracked_calls),
+            ("boundary_crossings", stats.boundary_crossings),
         ):
             self._c_stats.set_total(value, name)
         ccstack = self.ccstack_stats()
@@ -1045,6 +1077,20 @@ class DacceEngine:
         self._prof = None
         return hook
 
+    def _sampled_function(self, state: _ThreadState) -> FunctionId:
+        """The function a sample reports — the pseudo id when untracked.
+
+        In targeted mode a sample taken while control is outside the
+        subgraph reports :data:`UNTRACKED_FUNCTION`: the real function
+        has no encoding, and the pseudo id is what lets Algorithm 1
+        match the boundary entries on the ccStack.
+        """
+        function = state.frames[-1].function
+        fns = self._targeted_fns
+        if fns is not None and function not in fns:
+            return UNTRACKED_FUNCTION
+        return function
+
     def _fire_profile_sample(self, hook: SampleHook, thread: ThreadId) -> None:
         state = self._threads.get(thread)
         if state is None:  # pragma: no cover - hook fires post-apply
@@ -1052,7 +1098,7 @@ class DacceEngine:
         sample = CollectedSample(
             timestamp=self._timestamp,
             context_id=state.id_value,
-            function=state.frames[-1].function,
+            function=self._sampled_function(state),
             ccstack=state.ccstack.snapshot(),
             thread=thread,
         )
@@ -1085,6 +1131,15 @@ class DacceEngine:
         self.cost.charge_call_baseline()
         if self._obs:
             self._m_calls[event.kind].inc()
+
+        if self._targeted_fns is not None and self._apply_targeted(state, event):
+            hook = self._prof
+            if hook is not None:
+                hook.countdown -= 1
+                if hook.countdown <= 0:
+                    hook.countdown = hook.every
+                    self._fire_profile_sample(hook, event.thread)
+            return
 
         edge = self.graph.find_edge(event.callsite, event.callee)
         if edge is None:
@@ -1124,7 +1179,10 @@ class DacceEngine:
         if frame.is_tail_chain:
             # TcStack restoration: one restore covers the whole chain.
             state.ccstack.restore(frame.cc_state)
-            self.cost.charge_tcstack()
+            if frame.action is not _Action.UNTRACKED:
+                # A chain that never left untracked code pushed nothing
+                # and carries no TcStack instrumentation to charge.
+                self.cost.charge_tcstack()
         elif frame.action is _Action.PUSH or frame.action is _Action.COMPRESS:
             state.ccstack.pop()
             self.cost.charge_ccstack_pop()
@@ -1138,6 +1196,17 @@ class DacceEngine:
             self._window.ccstack_ops += 1
             if self._obs:
                 self._h_ccstack_depth.observe(state.ccstack.depth())
+        elif (
+            frame.action is _Action.BOUNDARY_DEP
+            or frame.action is _Action.BOUNDARY_RE
+        ):
+            state.ccstack.pop()
+            self.cost.charge_ccstack_pop()
+            self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
+        elif frame.action is _Action.UNTRACKED:
+            pass  # interior untracked return: the shadow pop is all
         elif frame.action is _Action.ID:
             self.cost.charge_id_update()
         state.id_value = frame.restore_id
@@ -1149,7 +1218,7 @@ class DacceEngine:
         sample = CollectedSample(
             timestamp=self._timestamp,
             context_id=state.id_value,
-            function=state.frames[-1].function,
+            function=self._sampled_function(state),
             ccstack=state.ccstack.snapshot(),
             thread=event.thread,
         )
@@ -1215,10 +1284,15 @@ class DacceEngine:
         self.thread_parents[event.thread] = CollectedSample(
             timestamp=self._timestamp,
             context_id=parent.id_value,
-            function=parent.frames[-1].function,
+            function=self._sampled_function(parent),
             ccstack=parent.ccstack.snapshot(),
             thread=event.parent,
         )
+        if self._targeted_fns is not None:
+            # Thread entries are force-tracked: an untracked entry would
+            # put a re-entry record directly above the clone sentinel and
+            # leave the spawned thread's contexts undecodable.
+            self._targeted_fns.add(event.entry)
         ccstack = CcStack(compression_enabled=True)
         ccstack.push(0, CLONE_CALLSITE, event.entry)
         state = _ThreadState(
@@ -1294,6 +1368,8 @@ class DacceEngine:
             for function, callsite, _kind in frame.chain:
                 steps.append(ContextStep(function, callsite))
             steps.append(ContextStep(frame.function, frame.callsite))
+        if self._targeted_fns is not None:
+            steps = self._collapse_untracked(steps)
         if state.spawned_entry is not None:
             parent_sample = self.thread_parents.get(thread)
             if parent_sample is not None:
@@ -1303,6 +1379,36 @@ class DacceEngine:
                 )
                 return CallingContext(tuple(parent.steps) + tuple(steps))
         return CallingContext(tuple(steps))
+
+    def _collapse_untracked(self, steps: List[ContextStep]) -> List[ContextStep]:
+        """Fold untracked runs into ``<untracked>`` pseudo-steps.
+
+        Mirrors what decoding produces in targeted mode: a maximal run
+        of out-of-subgraph frames becomes one
+        ``ContextStep(UNTRACKED_FUNCTION, UNTRACKED_CALLSITE)``, and the
+        tracked function entered from such a run keeps its function but
+        reports the reserved callsite (its concrete call site lives in
+        uninstrumented code).
+        """
+        fns = self._targeted_fns
+        assert fns is not None
+        out: List[ContextStep] = []
+        in_untracked = False
+        for step in steps:
+            if step.function not in fns:
+                if not in_untracked:
+                    out.append(
+                        ContextStep(UNTRACKED_FUNCTION, UNTRACKED_CALLSITE)
+                    )
+                    in_untracked = True
+            elif in_untracked:
+                out.append(
+                    ContextStep(step.function, UNTRACKED_CALLSITE, step.count)
+                )
+                in_untracked = False
+            else:
+                out.append(step)
+        return out
 
     def _shadow_context_of_sample(self, sample: CollectedSample) -> CallingContext:
         """Decode a parent-thread spawn sample (threads may have exited)."""
@@ -1340,7 +1446,7 @@ class DacceEngine:
         sample = CollectedSample(
             timestamp=self._timestamp,
             context_id=state.id_value,
-            function=state.frames[-1].function,
+            function=self._sampled_function(state),
             ccstack=state.ccstack.snapshot(),
             thread=thread,
         )
@@ -1388,6 +1494,13 @@ class DacceEngine:
         snapshot["fastpath"] = self.fastpath_stats()
         snapshot["decode_cache"] = self._decode_cache.stats()
         snapshot["profile_samples"] = self.stats.profile_samples
+        snapshot["untracked_calls"] = self.stats.untracked_calls
+        snapshot["boundary_crossings"] = self.stats.boundary_crossings
+        if self._targeted is not None:
+            snapshot["targeted"] = {
+                "functions": len(self._targeted_fns or ()),
+                "sinks": len(self._targeted.sinks),
+            }
         if self._obs:
             snapshot["reencode_passes"] = self.telemetry.pass_reports.to_list()
         return snapshot
@@ -1604,6 +1717,97 @@ class DacceEngine:
                 chain=old.chain + ((old.function, old.callsite, old.kind),),
             )
         )
+
+    def _apply_targeted(self, state: _ThreadState, event: CallEvent) -> bool:
+        """Targeted-mode handling of calls touching untracked code.
+
+        Returns ``False`` for tracked→tracked calls, which take the
+        normal path unchanged.  The three other cases never touch the
+        graph, dictionary or encoder:
+
+        * tracked→untracked (*departure*): push ``<id, UNTRACKED,
+          caller>`` and mark the id — the Figure 2(b) discipline with the
+          reserved callsite, so Algorithm 1 can resume at the caller;
+        * untracked→untracked (*interior*): a shadow frame only.  This
+          is the cheap uninstrumented path targeted encoding buys;
+        * untracked→tracked (*re-entry*): push ``<id, UNTRACKED,
+          callee>`` (the id is already marked by the departure push) so
+          the decoder can emit the ``<untracked>`` pseudo-step and
+          continue below it.
+
+        Tail calls merge into the replaced frame's chain exactly like
+        :meth:`_apply_tail_call`, so the executor's one-return-per-chain
+        contract and the TcStack restore (Figure 7) hold across
+        boundaries.
+        """
+        fns = self._targeted_fns
+        assert fns is not None
+        caller_in = event.caller in fns
+        callee_in = event.callee in fns
+        if caller_in and callee_in:
+            return False
+
+        if event.kind is CallKind.TAIL:
+            if len(state.frames) <= 1:
+                raise TraceError(
+                    "tail call from the bottom frame",
+                    thread=event.thread,
+                    gts=self._timestamp,
+                    event=event,
+                )
+            old = state.frames.pop()
+            if old.function in fns:
+                self._tail_calling_functions.add(old.function)
+            chain = old.chain + ((old.function, old.callsite, old.kind),)
+            restore_id = old.restore_id
+            cc_state = old.cc_state
+        else:
+            chain = ()
+            restore_id = state.id_value
+            cc_state = state.ccstack.saved_state()
+
+        if caller_in:  # departure
+            if event.kind is CallKind.TAIL:
+                self.stats.tail_calls += 1
+            self.stats.boundary_crossings += 1
+            state.ccstack.push(
+                state.id_value, UNTRACKED_CALLSITE, event.caller
+            )
+            self.cost.charge_ccstack_push()
+            self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
+            state.id_value = self._current.max_id + 1
+            action = _Action.BOUNDARY_DEP
+        elif callee_in:  # re-entry
+            if event.kind is CallKind.TAIL:
+                self.stats.tail_calls += 1
+            self.stats.boundary_crossings += 1
+            state.ccstack.push(
+                state.id_value, UNTRACKED_CALLSITE, event.callee
+            )
+            self.cost.charge_ccstack_push()
+            self._window.ccstack_ops += 1
+            if self._obs:
+                self._h_ccstack_depth.observe(state.ccstack.depth())
+            state.id_value = self._current.max_id + 1
+            action = _Action.BOUNDARY_RE
+        else:  # interior untracked
+            self.stats.untracked_calls += 1
+            action = _Action.UNTRACKED
+
+        state.frames.append(
+            _Frame(
+                function=event.callee,
+                callsite=event.callsite,
+                restore_id=restore_id,
+                cc_state=cc_state,
+                action=action,
+                kind=event.kind,
+                chain=chain,
+            )
+        )
+        return True
 
     # ------------------------------------------------------------------
     # adaptive re-encoding
@@ -1858,6 +2062,8 @@ class DacceEngine:
             )
         )
 
+        fns = self._targeted_fns
+        prev_fn = bottom.function
         for frame in state.frames[1:]:
             chain_restore_id = id_value
             chain_cc_state = ccstack.saved_state()
@@ -1866,6 +2072,27 @@ class DacceEngine:
             ]
             action = _Action.NONE
             for function, callsite, kind in transitions:
+                if fns is not None and (
+                    prev_fn not in fns or function not in fns
+                ):
+                    # Boundary/untracked transition: replay the targeted
+                    # discipline — these edges are never in the graph.
+                    if prev_fn in fns:
+                        ccstack.push(
+                            id_value, UNTRACKED_CALLSITE, prev_fn
+                        )
+                        id_value = self._current.max_id + 1
+                        action = _Action.BOUNDARY_DEP
+                    elif function in fns:
+                        ccstack.push(
+                            id_value, UNTRACKED_CALLSITE, function
+                        )
+                        id_value = self._current.max_id + 1
+                        action = _Action.BOUNDARY_RE
+                    else:
+                        action = _Action.UNTRACKED
+                    prev_fn = function
+                    continue
                 edge = self.graph.edge(callsite, function)
                 encoding = self._edge_encoding(edge)
                 if encoding is not None:
@@ -1884,6 +2111,7 @@ class DacceEngine:
                     action = (
                         _Action.COMPRESS if compressed else _Action.PUSH
                     )
+                prev_fn = function
             new_frames.append(
                 _Frame(
                     function=frame.function,

@@ -161,6 +161,26 @@ def decoding_state_to_dict(engine) -> Dict[str, Any]:
             }
             for edge in engine.graph.edges()
         ],
+        **_targeted_section(engine),
+    }
+
+
+def _targeted_section(engine) -> Dict[str, Any]:
+    """Additive ``targeted`` section for engines in targeted mode.
+
+    Records the targeted function set and resolved sinks so offline
+    tools (``dacce lint --targets``, ``dacce guard check``) can verify
+    coverage against the plan the run actually used.
+    """
+    plan = getattr(engine, "_targeted", None)
+    if plan is None:
+        return {}
+    fns = getattr(engine, "_targeted_fns", None) or plan.functions
+    return {
+        "targeted": {
+            "functions": sorted(fns),
+            "sinks": sorted(plan.sinks),
+        }
     }
 
 

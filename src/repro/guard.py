@@ -1,0 +1,465 @@
+"""Context-sensitive guards over targeted recordings.
+
+Targeted encoding (:mod:`repro.static.targeted`) instruments only the
+sink-reaching subgraph, which makes an always-on *guard* deployment
+cheap: every call into a declared sink snapshots the encoded context —
+a few words — and the decision about whether that call was acceptable
+is made offline, with the full decoded call path in hand.
+
+Two halves, mirroring the paper's record/decode split:
+
+* **recording** — :class:`GuardRecorder` rides along an event stream,
+  capturing one :class:`~repro.core.context.CollectedSample` per sink
+  entry and aggregating identical contexts (same id, gTimeStamp and
+  ccStack) into counted :class:`GuardHit` records.  The hit log
+  (``*.guard.json``) stores both the raw sample *and* the path decoded
+  at record time, so a checker can re-decode against the state file and
+  prove the stored path was not tampered with.
+* **checking** — :func:`evaluate_policy` applies allow / deny /
+  rate-limit rules to decoded paths, :func:`verify_hits` re-decodes the
+  raw samples, and :func:`anomaly_scores` compares the context mix
+  against a baseline recording: a sink context never seen before scores
+  1.0, a context whose share of traffic shifted scores the relative
+  shift.
+
+Everything here returns data; rendering and exit codes belong to the
+CLI (``dacce guard record`` / ``dacce guard check``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .core.ccstack import UNTRACKED_FUNCTION
+from .core.context import CollectedSample
+from .core.errors import DacceError
+from .core.events import CallEvent, Event, SampleEvent
+from .core.serialize import sample_from_dict, sample_to_dict
+
+#: Format version of the ``*.guard.json`` hit log.
+GUARD_FORMAT_VERSION = 1
+
+#: Policy rule actions, in documentation order.
+ACTIONS = ("allow", "deny", "rate-limit")
+
+
+class GuardError(DacceError):
+    """Invalid guard log, policy document, or unresolvable rule."""
+
+
+# ----------------------------------------------------------------------
+# hit log
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GuardHit:
+    """One distinct sink-entry context and how often it fired."""
+
+    sample: CollectedSample
+    #: Decoded call path, root first, sink last (function ids).
+    path: Tuple[int, ...]
+    count: int = 1
+
+
+@dataclass
+class GuardLog:
+    """A parsed ``*.guard.json`` document."""
+
+    sinks: List[int]
+    hits: List[GuardHit]
+    names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(hit.count for hit in self.hits)
+
+
+class GuardRecorder:
+    """Capture one sample per call into a sink function.
+
+    Drive it alongside the engine::
+
+        recorder = GuardRecorder(engine, plan.sinks)
+        for event in events:
+            engine.on_event(event)
+            recorder.observe(event)
+        hits = recorder.finish()
+
+    ``observe`` must run *after* the engine applied the event, so the
+    sample sees the sink frame on top.  Decoding is deferred to
+    :meth:`finish` — the decoder carries every dictionary epoch, so
+    samples taken before a re-encoding still decode correctly.
+    """
+
+    def __init__(self, engine: Any, sinks: Iterable[int]):
+        self.engine = engine
+        self.sinks = frozenset(sinks)
+        self._counts: Dict[CollectedSample, int] = {}
+
+    def observe(self, event: Event) -> None:
+        if isinstance(event, CallEvent) and event.callee in self.sinks:
+            sample = self.engine.on_sample(SampleEvent(thread=event.thread))
+            self._counts[sample] = self._counts.get(sample, 0) + 1
+
+    def finish(self) -> List[GuardHit]:
+        decoder = self.engine.decoder()
+        hits = []
+        for sample, count in self._counts.items():
+            path = tuple(
+                step.function for step in decoder.decode(sample).steps
+            )
+            hits.append(GuardHit(sample=sample, path=path, count=count))
+        hits.sort(key=lambda hit: (-hit.count, hit.path))
+        return hits
+
+
+def guard_to_dict(
+    hits: Iterable[GuardHit],
+    sinks: Iterable[int],
+    names: Optional[Mapping[int, str]] = None,
+) -> Dict[str, Any]:
+    return {
+        "format": GUARD_FORMAT_VERSION,
+        "sinks": sorted(sinks),
+        "names": {str(k): v for k, v in (names or {}).items()},
+        "hits": [
+            {
+                **sample_to_dict(hit.sample),
+                "path": list(hit.path),
+                "count": hit.count,
+            }
+            for hit in hits
+        ],
+    }
+
+
+def parse_guard(data: Any) -> GuardLog:
+    if not isinstance(data, dict):
+        raise GuardError("guard log must be an object")
+    version = data.get("format")
+    if version != GUARD_FORMAT_VERSION:
+        raise GuardError(
+            "unsupported guard-log format %r" % (version,), format=version
+        )
+    hits = []
+    for index, entry in enumerate(data.get("hits", [])):
+        try:
+            sample = sample_from_dict(entry)
+            path = tuple(int(f) for f in entry["path"])
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as error:
+            raise GuardError(
+                "guard hit %d is malformed: %s" % (index, error)
+            ) from error
+        hits.append(GuardHit(sample=sample, path=path, count=count))
+    names = {
+        int(k): str(v) for k, v in (data.get("names") or {}).items()
+    }
+    return GuardLog(
+        sinks=[int(s) for s in data.get("sinks", [])],
+        hits=hits,
+        names=names,
+    )
+
+
+def write_guard(
+    hits: Iterable[GuardHit],
+    sinks: Iterable[int],
+    path: str,
+    names: Optional[Mapping[int, str]] = None,
+) -> str:
+    with open(path, "w") as handle:
+        json.dump(guard_to_dict(hits, sinks, names), handle, indent=0)
+    return path
+
+
+def load_guard(path: str) -> GuardLog:
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise GuardError("not a guard log: %s" % error) from error
+    return parse_guard(data)
+
+
+# ----------------------------------------------------------------------
+# policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicyRule:
+    """First matching rule wins; the policy default covers the rest."""
+
+    action: str
+    #: Restrict the rule to hits on this sink (None = any sink).
+    sink: Optional[int] = None
+    #: Required tail of the decoded path, sink included (empty = any).
+    suffix: Tuple[int, ...] = ()
+    #: For ``rate-limit``: max total count across matching hits.
+    limit: int = 0
+    label: str = ""
+
+    def matches(self, hit: GuardHit) -> bool:
+        if self.sink is not None and hit.sample.function != self.sink:
+            return False
+        if self.suffix and hit.path[-len(self.suffix):] != self.suffix:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = [self.action]
+        if self.label:
+            parts.append("%r" % self.label)
+        if self.sink is not None:
+            parts.append("sink=%d" % self.sink)
+        if self.suffix:
+            parts.append("suffix=%s" % (list(self.suffix),))
+        if self.action == "rate-limit":
+            parts.append("limit=%d" % self.limit)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    default: str = "allow"
+    rules: Tuple[PolicyRule, ...] = ()
+
+    def resolve(self, names: Mapping[int, str]) -> "GuardPolicy":
+        """Replace name strings in rules with function ids.
+
+        Policies may reference functions by the names recorded in the
+        guard log; unresolvable names raise :class:`GuardError` rather
+        than silently matching nothing.
+        """
+        reverse: Dict[str, int] = {}
+        for fid, name in names.items():
+            reverse.setdefault(name, fid)
+
+        def lookup(token: Any, what: str) -> int:
+            if isinstance(token, bool):
+                raise GuardError("%s %r is not a function" % (what, token))
+            if isinstance(token, int):
+                return token
+            if isinstance(token, str):
+                if token in reverse:
+                    return reverse[token]
+                raise GuardError(
+                    "%s %r matches no recorded function name" % (what, token)
+                )
+            raise GuardError("%s %r is not a function" % (what, token))
+
+        resolved = []
+        for rule in self.rules:
+            resolved.append(
+                PolicyRule(
+                    action=rule.action,
+                    sink=(
+                        None
+                        if rule.sink is None
+                        else lookup(rule.sink, "rule sink")
+                    ),
+                    suffix=tuple(
+                        lookup(token, "rule suffix entry")
+                        for token in rule.suffix
+                    ),
+                    limit=rule.limit,
+                    label=rule.label,
+                )
+            )
+        return GuardPolicy(default=self.default, rules=tuple(resolved))
+
+
+def parse_policy(data: Any) -> GuardPolicy:
+    """Parse a guard policy document.
+
+    Shape::
+
+        {"default": "deny",
+         "rules": [{"action": "allow", "suffix": [3, 7]},
+                   {"action": "rate-limit", "sink": 7, "limit": 100}]}
+
+    ``sink`` and ``suffix`` entries may be function ids or names (names
+    resolve against the guard log at check time).
+    """
+    if not isinstance(data, dict):
+        raise GuardError("policy must be an object")
+    default = data.get("default", "allow")
+    if default not in ("allow", "deny"):
+        raise GuardError("policy default must be allow or deny, got %r"
+                         % (default,))
+    rules = []
+    for index, entry in enumerate(data.get("rules", [])):
+        if not isinstance(entry, dict):
+            raise GuardError("policy rule %d must be an object" % index)
+        action = entry.get("action")
+        if action not in ACTIONS:
+            raise GuardError(
+                "policy rule %d: unknown action %r (expected one of %s)"
+                % (index, action, ", ".join(ACTIONS))
+            )
+        suffix = entry.get("suffix", [])
+        if not isinstance(suffix, list):
+            raise GuardError("policy rule %d: suffix must be a list" % index)
+        limit = entry.get("limit", 0)
+        if action == "rate-limit" and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+        ):
+            raise GuardError(
+                "policy rule %d: rate-limit needs a non-negative "
+                "integer limit" % index
+            )
+        rules.append(
+            PolicyRule(
+                action=action,
+                sink=entry.get("sink"),
+                suffix=tuple(suffix),
+                limit=limit,
+                label=str(entry.get("label", "")),
+            )
+        )
+    return GuardPolicy(default=default, rules=tuple(rules))
+
+
+def load_policy(path: str) -> GuardPolicy:
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise GuardError("not a policy document: %s" % error) from error
+    return parse_policy(data)
+
+
+# ----------------------------------------------------------------------
+# checking
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Violation:
+    """One policy breach, ready for the CLI to render."""
+
+    kind: str  # denied | rate-limit | anomaly | decode-mismatch
+    message: str
+    path: Tuple[int, ...] = ()
+    count: int = 0
+
+
+def verify_hits(decoder: Any, hits: Iterable[GuardHit]) -> List[Violation]:
+    """Re-decode every raw sample; stored paths must match exactly.
+
+    A mismatch means the guard log and the state file disagree — a
+    tampered log, or a log checked against the wrong recording.
+    """
+    violations = []
+    for hit in hits:
+        decoded = tuple(
+            step.function for step in decoder.decode(hit.sample).steps
+        )
+        if decoded != hit.path:
+            violations.append(
+                Violation(
+                    kind="decode-mismatch",
+                    message="stored path %s does not re-decode from the "
+                    "state file (got %s)"
+                    % (list(hit.path), list(decoded)),
+                    path=hit.path,
+                    count=hit.count,
+                )
+            )
+    return violations
+
+
+def evaluate_policy(
+    hits: Iterable[GuardHit], policy: GuardPolicy
+) -> List[Violation]:
+    """Apply the policy to every hit; first matching rule wins."""
+    violations = []
+    rate_totals: Dict[int, int] = {}
+    rate_paths: Dict[int, Tuple[int, ...]] = {}
+    for hit in hits:
+        action = policy.default
+        rule_index = None
+        for index, rule in enumerate(policy.rules):
+            if rule.matches(hit):
+                action = rule.action
+                rule_index = index
+                break
+        if action == "deny":
+            rule = (
+                policy.rules[rule_index]
+                if rule_index is not None
+                else None
+            )
+            violations.append(
+                Violation(
+                    kind="denied",
+                    message="context %s hit sink %d %d time(s) [%s]"
+                    % (
+                        list(hit.path),
+                        hit.sample.function,
+                        hit.count,
+                        rule.describe() if rule else "policy default",
+                    ),
+                    path=hit.path,
+                    count=hit.count,
+                )
+            )
+        elif action == "rate-limit":
+            assert rule_index is not None
+            rate_totals[rule_index] = (
+                rate_totals.get(rule_index, 0) + hit.count
+            )
+            rate_paths.setdefault(rule_index, hit.path)
+    for index, total in sorted(rate_totals.items()):
+        rule = policy.rules[index]
+        if total > rule.limit:
+            violations.append(
+                Violation(
+                    kind="rate-limit",
+                    message="%d call(s) exceed limit %d [%s]"
+                    % (total, rule.limit, rule.describe()),
+                    path=rate_paths[index],
+                    count=total,
+                )
+            )
+    return violations
+
+
+def anomaly_scores(
+    current: Iterable[GuardHit], baseline: Iterable[GuardHit]
+) -> Dict[Tuple[int, ...], float]:
+    """Per-path anomaly of the current context mix against a baseline.
+
+    A path absent from the baseline scores 1.0 (a sink reached through a
+    never-before-seen context — the interesting case for a guard).  A
+    shared path scores the relative shift of its traffic share:
+    ``1 - min(share) / max(share)``, so unchanged mixes score 0.0.
+    """
+    cur = {hit.path: hit.count for hit in current}
+    base = {hit.path: hit.count for hit in baseline}
+    cur_total = sum(cur.values()) or 1
+    base_total = sum(base.values()) or 1
+    scores: Dict[Tuple[int, ...], float] = {}
+    for path, count in cur.items():
+        if path not in base:
+            scores[path] = 1.0
+            continue
+        share_cur = count / cur_total
+        share_base = base[path] / base_total
+        scores[path] = 1.0 - (
+            min(share_cur, share_base) / max(share_cur, share_base)
+        )
+    return scores
+
+
+def render_path(
+    path: Iterable[int], names: Optional[Mapping[int, str]] = None
+) -> str:
+    names = names or {}
+    parts = []
+    for function in path:
+        if function in names:
+            parts.append(names[function])
+        elif function == UNTRACKED_FUNCTION:
+            parts.append("<untracked>")
+        else:
+            parts.append("fn%d" % function)
+    return " -> ".join(parts)

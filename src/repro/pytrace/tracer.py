@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import os
 
+from ..core.ccstack import UNTRACKED_FUNCTION
 from ..core.context import CallingContext, CollectedSample
 from ..core.engine import DacceConfig, DacceEngine
 from ..core.errors import TraceError
@@ -32,6 +33,13 @@ from ..core.events import EV_CALL, EV_RETURN, CompactEvent
 
 #: Function id reserved for the tracing root (the ``main`` node).
 ROOT_FUNCTION = 0
+
+#: Targeted-mode shadow-frame kinds: an in-plan frame, the frame that
+#: opened an untracked region (its call/return cross the boundary), and
+#: frames entirely inside such a region (zero engine events).
+_TRACKED = 0
+_REGION_OPEN = 1
+_REGION_INNER = 2
 
 #: The tracer never traces the repro package itself — its own engine
 #: calls (sampling, decoding) run while the profile hook is active.
@@ -78,8 +86,55 @@ class PythonDacceTracer:
         static_graph: Optional[Any] = None,
         source_root: Optional[str] = None,
         wall_time: bool = False,
+        targeted: Optional[Any] = None,
     ):
-        self.engine = DacceEngine(root=ROOT_FUNCTION, config=config)
+        # Targeted mode (repro.static.targeted): the engine encodes only
+        # the plan's sink-reaching subgraph, and the tracer classifies
+        # each code object once — out-of-plan code gets no function id,
+        # no callsite mapping and (inside an untracked region) no engine
+        # events at all.  Under ``sys.setprofile`` the interpreter still
+        # invokes the hook, so the modeled saving is everything past the
+        # disposition-cache probe; a real deployment (sys.monitoring's
+        # per-code DISABLE, or binary patching as in the paper) would
+        # also skip the callback itself.
+        self.targeted = targeted
+        self._plan_fns: Optional[set] = None
+        self.skipped_code_objects = 0
+        self.suppressed_events = 0
+        self._disposition: Dict[CodeType, bool] = {}
+        self._frame_kinds: List[int] = []
+        self._static_site: Dict[Tuple[int, int], int] = {}
+        if targeted is not None:
+            if targeted.warm_start.graph.root != ROOT_FUNCTION:
+                raise TraceError(
+                    "a targeted plan for tracing must be built against the "
+                    "tracer root: build_targeted(..., root=%d)"
+                    % ROOT_FUNCTION
+                )
+            if source_root is None:
+                raise TraceError(
+                    "targeted tracing requires source_root (plan function "
+                    "ids are static ids)"
+                )
+            if static_graph is None:
+                # The full analysed graph, so every statically known
+                # function resolves to its id for disposition checks.
+                static_graph = targeted.report.graph
+            self._plan_fns = set(targeted.functions)
+            # Tracked-pair -> seeded static call site.  Emitting the
+            # *static* site id for tracked calls lands them on the
+            # warm-started dictionary edges instead of re-discovering
+            # every edge under fresh dynamic site ids (pairs with
+            # several static sites collapse onto the smallest — a
+            # deliberate precision trade documented in the docs).
+            for edge in targeted.static_graph.edges():
+                key = (edge.caller, edge.callee)
+                site = self._static_site.get(key)
+                if site is None or edge.callsite < site:
+                    self._static_site[key] = edge.callsite
+            self.engine = DacceEngine(config=config, targeted=targeted)
+        else:
+            self.engine = DacceEngine(root=ROOT_FUNCTION, config=config)
         self.sample_every = sample_every
         self.samples: List[CollectedSample] = []
         #: Per-sample weights, parallel to :attr:`samples`: 1.0 each in
@@ -93,6 +148,10 @@ class PythonDacceTracer:
         self._function_names: Dict[int, FunctionInfo] = {
             ROOT_FUNCTION: FunctionInfo(ROOT_FUNCTION, "<root>", "<tracer>", 0)
         }
+        if targeted is not None:
+            self._function_names[UNTRACKED_FUNCTION] = FunctionInfo(
+                UNTRACKED_FUNCTION, "<untracked>", "<targeted>", 0
+            )
         self._callsites: Dict[Tuple[int, int], int] = {}
         self._next_function = ROOT_FUNCTION + 1
         self._next_callsite = 1
@@ -125,6 +184,14 @@ class PythonDacceTracer:
             # Dynamically discovered functions must not collide with the
             # statically allocated id range.
             self._next_function = highest + 1
+            if self._plan_fns is not None:
+                # Dynamic (boundary) call sites must not collide with
+                # the static site ids seeded into the engine dictionary.
+                top_site = max(
+                    (edge.callsite for edge in static_graph.edges()),
+                    default=0,
+                )
+                self._next_callsite = max(self._next_callsite, top_site + 1)
         #: Frames we have emitted CallEvents for, bottom first.
         self._live_frames: List[FrameType] = []
         self._active = False
@@ -187,6 +254,24 @@ class PythonDacceTracer:
             (module, code.co_name, code.co_firstlineno)
         )
 
+    def _code_disposition(self, code: CodeType) -> bool:
+        """Whether ``code`` is inside the targeted plan (cached).
+
+        Each code object is classified exactly once; out-of-plan code
+        never gets a function id or call-site allocation.  Everything
+        past this cache probe — id mapping, event construction, engine
+        work — is what targeted mode skips for untracked code.
+        """
+        tracked = self._disposition.get(code)
+        if tracked is None:
+            assert self._plan_fns is not None
+            static_id = self._static_function_id(code)
+            tracked = static_id is not None and static_id in self._plan_fns
+            self._disposition[code] = tracked
+            if not tracked:
+                self.skipped_code_objects += 1
+        return tracked
+
     def _callsite_id(self, caller: int, lasti: int) -> int:
         key = (caller, lasti)
         site = self._callsites.get(key)
@@ -232,6 +317,8 @@ class PythonDacceTracer:
         # call may terminate via an exception caught above us).
         while self._live_frames:
             self._live_frames.pop()
+            if self._frame_kinds and self._frame_kinds.pop() == _REGION_INNER:
+                continue
             self._buffer.append((EV_RETURN, 0))
         self.flush()
         self._base_frame = None
@@ -262,6 +349,9 @@ class PythonDacceTracer:
         filename = frame.f_code.co_filename
         if filename.startswith(_PACKAGE_ROOT) or filename.startswith("<frozen"):
             return  # never trace the tracer/engine machinery itself
+        if self._plan_fns is not None:
+            self._on_call_targeted(frame)
+            return
         parent = frame.f_back
         if self._live_frames:
             if parent is not self._live_frames[-1]:
@@ -288,12 +378,98 @@ class PythonDacceTracer:
         if len(self._buffer) >= self._buffer_limit:
             self.flush()
 
+    def _on_call_targeted(self, frame: FrameType) -> None:
+        kinds = self._frame_kinds
+        in_region = bool(kinds) and kinds[-1] != _TRACKED
+        if self._code_disposition(frame.f_code):
+            if in_region:
+                # Re-entry from an untracked region: the true call path
+                # passed through unencoded code, so the caller is the
+                # merged ``<untracked>`` pseudo-function (the engine
+                # pushes the boundary ccStack entry Algorithm 1 needs).
+                caller_id = UNTRACKED_FUNCTION
+                lasti = 0
+            else:
+                parent = frame.f_back
+                if self._live_frames:
+                    if parent is not self._live_frames[-1]:
+                        caller_id = self._function_id(
+                            self._live_frames[-1].f_code
+                        )
+                    else:
+                        caller_id = self._function_id(parent.f_code)
+                    lasti = parent.f_lasti if parent is not None else 0
+                else:
+                    caller_id = ROOT_FUNCTION
+                    lasti = 0
+            callee_id = self._function_id(frame.f_code)
+            kind = _TRACKED
+            if caller_id != UNTRACKED_FUNCTION:
+                site = self._static_site.get((caller_id, callee_id))
+                if site is not None:
+                    self._emit_targeted(frame, site, caller_id, callee_id, kind)
+                    return
+        elif in_region:
+            # Interior of an untracked region: zero engine events.  This
+            # is the tracer-side saving of targeted mode — with per-code
+            # DISABLE (sys.monitoring) or binary patching the
+            # interpreter would not even invoke the hook here.
+            self._live_frames.append(frame)
+            kinds.append(_REGION_INNER)
+            self.suppressed_events += 1
+            return
+        else:
+            # Departure into untracked code: one boundary event opens
+            # the region, attributed to the real call site in the
+            # tracked caller; everything beneath it is suppressed.
+            if self._live_frames:
+                top = self._live_frames[-1]
+                caller_id = self._function_id(top.f_code)
+                parent = frame.f_back
+                lasti = parent.f_lasti if parent is top else 0
+            else:
+                caller_id = ROOT_FUNCTION
+                lasti = 0
+            callee_id = UNTRACKED_FUNCTION
+            kind = _REGION_OPEN
+        self._emit_targeted(
+            frame,
+            self._callsite_id(caller_id, lasti),
+            caller_id,
+            callee_id,
+            kind,
+        )
+
+    def _emit_targeted(
+        self,
+        frame: FrameType,
+        callsite: int,
+        caller_id: int,
+        callee_id: int,
+        kind: int,
+    ) -> None:
+        """Common tail of every event-emitting targeted call path."""
+        self._buffer.append((EV_CALL, 0, callsite, caller_id, callee_id, 0))
+        self._live_frames.append(frame)
+        self._frame_kinds.append(kind)
+        if self.sample_every:
+            self._calls_since_sample += 1
+            if self._calls_since_sample >= self.sample_every:
+                self._calls_since_sample = 0
+                self._record_sample()
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
+
     def _on_return(self, frame: FrameType) -> None:
         if not self._live_frames:
             return
         if self._live_frames[-1] is not frame:
             return  # return of an untracked frame
         self._live_frames.pop()
+        if self._frame_kinds:
+            if self._frame_kinds.pop() == _REGION_INNER:
+                self.suppressed_events += 1
+                return
         self._buffer.append((EV_RETURN, 0))
         if len(self._buffer) >= self._buffer_limit:
             self.flush()

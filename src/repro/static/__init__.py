@@ -11,7 +11,11 @@ Three layers, consumed independently:
   subgraph into a pre-validated gTimeStamp-0 encoding that
   :class:`~repro.core.engine.DacceEngine` accepts at construction;
 * **lint** — :func:`lint_state` verifies persisted decoding state and
-  cross-checks the dynamic graph against the static one.
+  cross-checks the dynamic graph against the static one;
+* **targeting** — :func:`compute_reachability` finds the
+  sink-reaching subgraph and :func:`build_targeted` lowers it into a
+  :class:`TargetedPlan` for selective instrumentation
+  (``DacceEngine(targeted=...)``).
 """
 
 from .graph import (
@@ -30,6 +34,7 @@ from .lint import (
     has_errors,
     lint_engine,
     lint_state,
+    lint_targets,
 )
 from .pyextract import (
     FunctionIndex,
@@ -40,7 +45,19 @@ from .pyextract import (
     summarize_file,
     summarize_source,
 )
+from .reachability import (
+    BlindSpot,
+    ProofReport,
+    ReachabilityResult,
+    SinkSpec,
+    UncoverableSink,
+    compute_reachability,
+    load_targets,
+    parse_targets,
+    resolve_sinks,
+)
 from .synthetic import extract_program, lazy_functions
+from .targeted import TargetedPlan, build_targeted
 from .warmstart import WarmStartError, WarmStartPlan, build_warmstart
 
 __all__ = [
@@ -70,4 +87,16 @@ __all__ = [
     "WarmStartError",
     "WarmStartPlan",
     "build_warmstart",
+    "lint_targets",
+    "BlindSpot",
+    "ProofReport",
+    "ReachabilityResult",
+    "SinkSpec",
+    "UncoverableSink",
+    "compute_reachability",
+    "load_targets",
+    "parse_targets",
+    "resolve_sinks",
+    "TargetedPlan",
+    "build_targeted",
 ]

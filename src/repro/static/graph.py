@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import enum
 import json
+import logging
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..core.errors import DacceError
 from ..core.events import CallKind, CallSiteId, FunctionId
+
+logger = logging.getLogger(__name__)
 
 
 class StaticAnalysisError(DacceError):
@@ -276,10 +279,16 @@ class StaticCallGraph:
                 "static graph document must be an object, got %s"
                 % type(data).__name__
             )
-        version = data.get("format")
-        if version != FORMAT_VERSION:
-            raise StaticAnalysisError(
-                "unsupported static-graph format %r" % (version,)
+        major, minor = parse_format_version(data.get("format"))
+        if minor > _FORMAT_MINOR:
+            # Same major → additive fields only; load what we know and
+            # leave a trace so silent downgrades are diagnosable.
+            logger.warning(
+                "static graph was written by a newer minor format %d.%d "
+                "(this reader knows %s); unknown fields will be ignored",
+                major,
+                minor,
+                FORMAT_VERSION,
             )
         graph = cls(root=data.get("root"))  # type: ignore[arg-type]
         try:
@@ -338,5 +347,58 @@ class StaticCallGraph:
         return cls.from_dict(data)
 
 
-#: Persisted static-graph format version.
-FORMAT_VERSION = 1
+#: Persisted static-graph format version, ``"major.minor"``.  The major
+#: number changes when existing fields are reshaped (readers must
+#: refuse); the minor number changes when fields are *added* (readers
+#: may load, ignoring what they do not know).  The original releases
+#: wrote the bare integer ``1``, which parses as ``1.0``.
+FORMAT_VERSION = "1.0"
+
+_FORMAT_MAJOR = 1
+_FORMAT_MINOR = 0
+
+
+def parse_format_version(value: object) -> Tuple[int, int]:
+    """Parse a persisted ``format`` field into ``(major, minor)``.
+
+    Accepts the current ``"major.minor"`` string scheme and the legacy
+    bare integer ``1``.  Raises :class:`StaticAnalysisError` for
+    anything unparseable (``reason="malformed-version"``) or for a
+    major version this reader does not understand
+    (``reason="unsupported-major"``).
+    """
+    if isinstance(value, bool):
+        # bool is an int subclass; a True "format" is corruption.
+        raise StaticAnalysisError(
+            "unsupported static-graph format %r" % (value,),
+            reason="malformed-version",
+        )
+    if isinstance(value, int):
+        major, minor = value, 0
+    elif isinstance(value, str):
+        head, _, tail = value.partition(".")
+        try:
+            major = int(head)
+            minor = int(tail) if tail else 0
+        except ValueError:
+            raise StaticAnalysisError(
+                "unsupported static-graph format %r" % (value,),
+                reason="malformed-version",
+            ) from None
+    else:
+        raise StaticAnalysisError(
+            "unsupported static-graph format %r" % (value,),
+            reason="malformed-version",
+        )
+    if minor < 0:
+        raise StaticAnalysisError(
+            "unsupported static-graph format %r" % (value,),
+            reason="malformed-version",
+        )
+    if major != _FORMAT_MAJOR:
+        raise StaticAnalysisError(
+            "static graph uses format %d.%d; this reader only "
+            "understands major version %d" % (major, minor, _FORMAT_MAJOR),
+            reason="unsupported-major",
+        )
+    return major, minor

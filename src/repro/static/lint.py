@@ -27,6 +27,14 @@ rule                      severity  meaning
 ``dead-encoded-edge``     info      encoded edges never invoked —
                                     expected for warm-start seeds, worth
                                     auditing for over-approximation
+``sink-uncovered``        error     a declared sink the recording's
+                                    targeted plan did not instrument —
+                                    its contexts are not in the state
+                                    (``--targets`` only)
+``dead-targeted-id``      info      a targeted function that never
+                                    appeared on a dynamic edge — paid-for
+                                    instrumentation that observed nothing
+                                    (``--targets`` only)
 ========================  ========  ====================================
 
 ``dynamic-unexplained`` only fires when a static graph is supplied, and
@@ -266,6 +274,86 @@ def _cross_check_static(
                     entry.get("invocations", 0),
                 ),
                 location=caller_fn.location,
+            )
+        )
+    return findings
+
+
+def lint_targets(
+    data: Dict[str, Any],
+    declarations: List[Any],
+    static_graph: StaticCallGraph,
+) -> List[LintFinding]:
+    """Check a targeted recording's state against a sink manifest.
+
+    ``declarations`` are sink declarations (specs, patterns, or ids —
+    see :func:`repro.static.reachability.resolve_sinks`) and
+    ``static_graph`` the graph of the recorded program, which resolves
+    the patterns to function ids.  Two rules:
+
+    * ``sink-uncovered`` (error): a declared sink the state's targeted
+      plan does not list — either the recording was not targeted at
+      all, or it was built from a different manifest.  Contexts for
+      that sink are simply absent from the state; a guard fed this
+      recording would silently miss it.
+    * ``dead-targeted-id`` (info): targeted functions that never showed
+      up on any invoked dynamic edge — instrumentation that cost id
+      space without observing anything, usually static
+      over-approximation pulling unreachable callers into the subgraph.
+    """
+    from .reachability import resolve_sinks
+
+    findings: List[LintFinding] = []
+    matched, unmatched = resolve_sinks(static_graph, declarations)
+    for spec in unmatched:
+        findings.append(
+            LintFinding(
+                rule="sink-uncovered",
+                severity=Severity.ERROR,
+                message="sink %r matches no function in the static graph"
+                % spec.pattern,
+            )
+        )
+    targeted = data.get("targeted")
+    if targeted is None:
+        findings.append(
+            LintFinding(
+                rule="sink-uncovered",
+                severity=Severity.ERROR,
+                message="state was not recorded in targeted mode; none of "
+                "the %d declared sink(s) are covered" % len(matched),
+            )
+        )
+        return findings
+    recorded_sinks = set(targeted.get("sinks", []))
+    targeted_fns = set(targeted.get("functions", []))
+    for function_id, spec in sorted(matched.items()):
+        if function_id not in recorded_sinks:
+            findings.append(
+                LintFinding(
+                    rule="sink-uncovered",
+                    severity=Severity.ERROR,
+                    message="sink %r (fn%d) is not in the recording's "
+                    "targeted plan" % (spec.pattern, function_id),
+                    location=static_graph.function(function_id).location,
+                )
+            )
+    live = set()
+    for entry in data.get("edge_stats", []):
+        if entry.get("invocations", 0) > 0:
+            live.add(entry["caller"])
+            live.add(entry["callee"])
+    dead = sorted(
+        fn for fn in targeted_fns if fn not in live and fn >= 0
+    )
+    if dead:
+        findings.append(
+            LintFinding(
+                rule="dead-targeted-id",
+                severity=Severity.INFO,
+                message="%d targeted function(s) never appeared on an "
+                "invoked edge (e.g. fn%d); their id-space cost bought "
+                "no observations" % (len(dead), dead[0]),
             )
         )
     return findings

@@ -411,9 +411,17 @@ def link_summaries(
 
     if root_function is not None:
         root_id = index.lookup(*root_function)
-        if root_id is None:
+        # The index is persistent across incremental refreshes: a
+        # function whose source file was deleted or renamed still has an
+        # id there.  The root must exist in *this* graph — a dangling
+        # root id would poison every downstream consumer (warm-start,
+        # reachability) with a node no edge can reach.
+        if root_id is None or graph.find_function(root_id) is None:
             raise StaticAnalysisError(
-                "root function %s.%s not found" % root_function
+                "root function %s.%s not found" % root_function,
+                reason="missing-root",
+                module=root_function[0],
+                qualname=root_function[1],
             )
         graph.root = root_id
 

@@ -1,0 +1,517 @@
+"""Static sink-reachability analysis for targeted context encoding.
+
+Targeted calling-context encoding (Zeng et al., arXiv 1812.04191) turns
+the paper's whole-program trade-off on its head: when only the contexts
+that reach a handful of *sink* functions matter — a vulnerable
+allocator, a privileged syscall wrapper, an audit point — the encoding
+does not need to cover the rest of the program at all.  This module
+computes, entirely offline, the part of a :class:`StaticCallGraph` that
+can reach a declared sink set:
+
+* **sink resolution** — sinks are declared by bare function name,
+  ``module:qualname`` pattern (``fnmatch``-style wildcards allowed), or
+  a ``targets.json`` manifest; every declaration that matches nothing is
+  reported, never silently dropped;
+* **backward reachability** — the set of functions from which some sink
+  is reachable over static edges, with per-node confidence propagation:
+  a node's confidence is the best chain ``min(edge, successor)`` over
+  its sink-ward out-edges, so a caller two ``HIGH`` hops from a sink is
+  ``HIGH`` while one routed through a points-to guess is ``LOW``;
+* **blind-spot reporting** — every :class:`UnresolvedSite` is a place
+  static analysis admitted defeat, and an unresolved call can reach a
+  sink invisibly.  Sites are split into ``in-subgraph`` (the containing
+  function is itself sink-reaching, so the targeted instrumentation
+  covers the caller but not this edge) and ``out-of-subgraph`` (a sink
+  could be entered from untracked code; at runtime such entries surface
+  as ``<untracked>`` boundary crossings);
+* **a static proof report** — the reaching subgraph is pushed through
+  the *same* :class:`~repro.core.encoder.Encoder` and
+  :func:`~repro.core.invariants.check_dictionary` gate the engine uses,
+  so the report's id-space bound and collision-freedom claim are
+  checked, not estimated; sinks that cannot be covered (no match, or
+  unreachable from the root) are listed with the reason.
+
+The result feeds :mod:`repro.static.targeted`, which lowers it into the
+:class:`~repro.static.targeted.TargetedPlan` the engine and tracer
+consume.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..core.events import FunctionId
+from .graph import (
+    Confidence,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+    UnresolvedSite,
+)
+
+#: Manifest format version for ``targets.json`` sink declarations.
+TARGETS_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """One declared sink.
+
+    ``pattern`` is either a bare function name (matched against the
+    final qualname component of every function) or ``module:qualname``
+    with ``fnmatch`` wildcards in both halves.  ``label`` is a free-form
+    tag carried through to guard policies and reports.
+    """
+
+    pattern: str
+    label: str = ""
+
+    def matches(self, function: StaticFunction) -> bool:
+        if ":" in self.pattern:
+            module_pat, _, qual_pat = self.pattern.partition(":")
+            return fnmatch.fnmatchcase(
+                function.module, module_pat
+            ) and fnmatch.fnmatchcase(function.qualname, qual_pat)
+        tail = function.qualname.rsplit(".", 1)[-1]
+        return fnmatch.fnmatchcase(
+            tail, self.pattern
+        ) or fnmatch.fnmatchcase(function.qualname, self.pattern)
+
+
+def parse_targets(data: object) -> List[SinkSpec]:
+    """Parse a ``targets.json`` manifest document into sink specs.
+
+    Accepted shapes::
+
+        {"format": 1, "sinks": ["free", {"pattern": "db:*.execute",
+                                         "label": "sql"}]}
+        ["free", "app:handle_*"]          # bare list shorthand
+
+    Malformed documents raise :class:`StaticAnalysisError` with a
+    structured message — the CLI turns that into a ``FAULT:`` exit.
+    """
+    if isinstance(data, dict):
+        version = data.get("format", TARGETS_FORMAT_VERSION)
+        if version != TARGETS_FORMAT_VERSION:
+            raise StaticAnalysisError(
+                "unsupported targets-manifest format %r" % (version,)
+            )
+        entries = data.get("sinks")
+    else:
+        entries = data
+    if not isinstance(entries, list) or not entries:
+        raise StaticAnalysisError(
+            "targets manifest must declare a non-empty 'sinks' list"
+        )
+    specs: List[SinkSpec] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            if not entry:
+                raise StaticAnalysisError("empty sink pattern in manifest")
+            specs.append(SinkSpec(pattern=entry))
+        elif isinstance(entry, dict):
+            pattern = entry.get("pattern")
+            if not isinstance(pattern, str) or not pattern:
+                raise StaticAnalysisError(
+                    "sink entry %r has no 'pattern'" % (entry,)
+                )
+            specs.append(
+                SinkSpec(pattern=pattern, label=str(entry.get("label", "")))
+            )
+        else:
+            raise StaticAnalysisError(
+                "sink entry must be a string or object, got %r" % (entry,)
+            )
+    return specs
+
+
+def load_targets(path: str) -> List[SinkSpec]:
+    """Load and parse a ``targets.json`` manifest file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise StaticAnalysisError(
+                "not a targets manifest: %s" % error
+            ) from error
+    return parse_targets(data)
+
+
+#: Sink declarations accepted by :func:`compute_reachability`: specs,
+#: bare pattern strings, or resolved static function ids.
+SinkDeclaration = Union[SinkSpec, str, int]
+
+
+@dataclass(frozen=True)
+class BlindSpot:
+    """An unresolved call site that could reach a sink invisibly."""
+
+    site: UnresolvedSite
+    #: ``in-subgraph`` — the containing function is sink-reaching, so
+    #: one of its calls escapes the targeted encoding; or
+    #: ``out-of-subgraph`` — untracked code that may enter a sink.
+    scope: str
+
+    def render(self) -> str:
+        return "%s blind spot at %s (%s)" % (
+            self.scope,
+            self.site.location,
+            self.site.reason,
+        )
+
+
+@dataclass(frozen=True)
+class UncoverableSink:
+    """A declared sink the targeted encoding cannot prove coverage of."""
+
+    pattern: str
+    reason: str  # ``no-match`` | ``unreachable-from-root``
+    function: Optional[FunctionId] = None
+
+    def render(self) -> str:
+        if self.function is not None:
+            return "sink %r (function %d): %s" % (
+                self.pattern,
+                self.function,
+                self.reason,
+            )
+        return "sink %r: %s" % (self.pattern, self.reason)
+
+
+@dataclass
+class ProofReport:
+    """The checked static claim about the targeted id space.
+
+    Produced by encoding the reaching subgraph with the engine's own
+    :class:`~repro.core.encoder.Encoder` and running the full
+    :func:`~repro.core.invariants.check_dictionary` suite — the bound is
+    a measurement of a real dictionary, not a combinatorial estimate.
+    """
+
+    functions: int
+    edges: int
+    max_id: int
+    #: Bits an id register needs so the flag range ``[0, 2*maxID+1]``
+    #: (the ``maxID + 1`` sub-path mark included) cannot overflow.
+    id_bits_required: int
+    collision_free: bool
+    violations: List[str] = field(default_factory=list)
+    uncoverable: List[UncoverableSink] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "functions": self.functions,
+            "edges": self.edges,
+            "max_id": self.max_id,
+            "id_bits_required": self.id_bits_required,
+            "collision_free": self.collision_free,
+            "violations": list(self.violations),
+            "uncoverable_sinks": [
+                {
+                    "pattern": sink.pattern,
+                    "reason": sink.reason,
+                    "function": sink.function,
+                }
+                for sink in self.uncoverable
+            ],
+        }
+
+
+@dataclass
+class ReachabilityResult:
+    """The sink-reaching subgraph plus everything honesty requires."""
+
+    graph: StaticCallGraph
+    root: FunctionId
+    #: Resolved sink function ids, and the spec each one matched.
+    sinks: Dict[FunctionId, SinkSpec]
+    #: Per-node confidence of the best sink-reaching chain.
+    node_confidence: Dict[FunctionId, Confidence]
+    #: Edges on some sink-reaching path (caller and callee both reach).
+    edges: List[StaticEdge]
+    blind_spots: List[BlindSpot]
+    unmatched: List[SinkSpec]
+    proof: ProofReport
+
+    @property
+    def functions(self) -> Set[FunctionId]:
+        return set(self.node_confidence)
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Reaching functions as a fraction of the whole graph."""
+        total = self.graph.num_functions
+        if not total:
+            return 0.0
+        return len(self.node_confidence) / total
+
+    def subgraph(self) -> StaticCallGraph:
+        """The reaching subgraph as a standalone static call graph."""
+        sub = StaticCallGraph(root=self.root)
+        for function_id in self.node_confidence:
+            sub.add_function(self.graph.function(function_id))
+        root_fn = self.graph.find_function(self.root)
+        if root_fn is not None and self.root not in self.node_confidence:
+            sub.add_function(root_fn)
+        for edge in self.edges:
+            sub.add_edge(edge)
+        for spot in self.blind_spots:
+            if spot.scope == "in-subgraph":
+                sub.flag_unresolved(spot.site)
+        return sub
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "root": self.root,
+            "sinks": sorted(self.sinks),
+            "functions": len(self.node_confidence),
+            "total_functions": self.graph.num_functions,
+            "coverage_fraction": round(self.coverage_fraction, 4),
+            "edges": len(self.edges),
+            "blind_spots": {
+                "in_subgraph": sum(
+                    1 for s in self.blind_spots if s.scope == "in-subgraph"
+                ),
+                "out_of_subgraph": sum(
+                    1
+                    for s in self.blind_spots
+                    if s.scope == "out-of-subgraph"
+                ),
+            },
+            "unmatched_sinks": [spec.pattern for spec in self.unmatched],
+            "proof": self.proof.to_dict(),
+        }
+
+
+def resolve_sinks(
+    graph: StaticCallGraph, declarations: Sequence[SinkDeclaration]
+) -> Tuple[Dict[FunctionId, SinkSpec], List[SinkSpec]]:
+    """Match sink declarations against the graph's function set.
+
+    Returns ``(matched, unmatched)``: every matched function id with the
+    spec that claimed it, plus the specs that matched nothing (reported,
+    never dropped).  Integer declarations must name existing functions.
+    """
+    specs: List[SinkSpec] = []
+    matched: Dict[FunctionId, SinkSpec] = {}
+    for declaration in declarations:
+        if isinstance(declaration, SinkSpec):
+            specs.append(declaration)
+        elif isinstance(declaration, str):
+            specs.append(SinkSpec(pattern=declaration))
+        elif isinstance(declaration, bool):
+            raise StaticAnalysisError(
+                "sink declaration %r is not a function id" % (declaration,)
+            )
+        elif isinstance(declaration, int):
+            function = graph.function(declaration)  # raises when unknown
+            matched[function.id] = SinkSpec(
+                pattern="%s:%s" % (function.module, function.qualname)
+            )
+        else:
+            raise StaticAnalysisError(
+                "unsupported sink declaration %r" % (declaration,)
+            )
+    if not specs and not matched:
+        raise StaticAnalysisError("no sinks declared")
+    unmatched: List[SinkSpec] = []
+    functions = list(graph.functions())
+    for spec in specs:
+        hit = False
+        for function in functions:
+            if spec.matches(function):
+                matched.setdefault(function.id, spec)
+                hit = True
+        if not hit:
+            unmatched.append(spec)
+    return matched, unmatched
+
+
+def _confidence_fixpoint(
+    sinks: Iterable[FunctionId],
+    in_edges: Dict[FunctionId, List[StaticEdge]],
+) -> Dict[FunctionId, Confidence]:
+    """Backward reachability with max-min confidence propagation.
+
+    A sink is ``HIGH`` by definition (it *is* the target).  For any
+    other node the confidence of one chain is the weakest link —
+    ``min(edge, successor)`` — and the node takes its best chain.  The
+    lattice is finite (three ranks) and updates are monotone, so the
+    worklist pass terminates.
+    """
+    by_rank = sorted(Confidence, key=lambda c: c.rank)
+    confidence: Dict[FunctionId, Confidence] = {}
+    worklist: List[FunctionId] = []
+    for sink in sinks:
+        confidence[sink] = Confidence.HIGH
+        worklist.append(sink)
+    while worklist:
+        node = worklist.pop()
+        node_conf = confidence[node]
+        for edge in in_edges.get(node, ()):
+            chain = by_rank[
+                min(edge.confidence.rank, node_conf.rank)
+            ]
+            current = confidence.get(edge.caller)
+            if current is None or chain.rank > current.rank:
+                confidence[edge.caller] = chain
+                worklist.append(edge.caller)
+    return confidence
+
+
+def compute_reachability(
+    graph: StaticCallGraph,
+    sinks: Sequence[SinkDeclaration],
+    root: Optional[FunctionId] = None,
+    min_confidence: Confidence = Confidence.LOW,
+    id_bits: int = 64,
+) -> ReachabilityResult:
+    """The backward sink-reaching subgraph of ``graph``, with its proof.
+
+    ``min_confidence`` gates which static edges may carry reachability:
+    the default (``LOW``) keeps every edge the extractor emitted, which
+    maximises coverage at the price of speculative points-to edges
+    pulling extra functions into the subgraph.  ``root`` defaults to the
+    graph's root; sinks the root cannot reach are reported as
+    uncoverable (their ids still count as sinks — a guard may care about
+    a sink only some other entry point reaches).
+    """
+    if root is None:
+        root = graph.root
+    if root is None:
+        raise StaticAnalysisError(
+            "static graph has no root; pass one explicitly"
+        )
+    matched, unmatched = resolve_sinks(graph, sinks)
+    if not matched:
+        raise StaticAnalysisError(
+            "no declared sink matched any function: %s"
+            % ", ".join(sorted(spec.pattern for spec in unmatched))
+        )
+
+    considered = [
+        edge
+        for edge in graph.edges()
+        if edge.confidence.at_least(min_confidence)
+    ]
+    in_edges: Dict[FunctionId, List[StaticEdge]] = {}
+    for edge in considered:
+        in_edges.setdefault(edge.callee, []).append(edge)
+
+    node_confidence = _confidence_fixpoint(matched, in_edges)
+    reaching = set(node_confidence)
+    kept = [
+        edge
+        for edge in considered
+        if edge.caller in reaching and edge.callee in reaching
+    ]
+
+    blind_spots: List[BlindSpot] = []
+    for site in graph.unresolved:
+        scope = (
+            "in-subgraph"
+            if site.function is not None and site.function in reaching
+            else "out-of-subgraph"
+        )
+        blind_spots.append(BlindSpot(site=site, scope=scope))
+
+    uncoverable: List[UncoverableSink] = [
+        UncoverableSink(pattern=spec.pattern, reason="no-match")
+        for spec in unmatched
+    ]
+    root_reaches = root in reaching
+    for function_id, spec in sorted(matched.items()):
+        if not root_reaches or not _root_reaches_sink(
+            root, function_id, kept
+        ):
+            uncoverable.append(
+                UncoverableSink(
+                    pattern=spec.pattern,
+                    reason="unreachable-from-root",
+                    function=function_id,
+                )
+            )
+
+    result = ReachabilityResult(
+        graph=graph,
+        root=root,
+        sinks=matched,
+        node_confidence=node_confidence,
+        edges=sorted(kept, key=lambda e: (e.callsite, e.callee)),
+        blind_spots=blind_spots,
+        unmatched=unmatched,
+        proof=ProofReport(
+            functions=0,
+            edges=0,
+            max_id=0,
+            id_bits_required=0,
+            collision_free=False,
+        ),
+    )
+    result.proof = _prove(result, id_bits=id_bits, uncoverable=uncoverable)
+    return result
+
+
+def _root_reaches_sink(
+    root: FunctionId, sink: FunctionId, edges: Sequence[StaticEdge]
+) -> bool:
+    """Forward check: does a kept-edge path lead from root to sink?"""
+    if root == sink:
+        return True
+    out: Dict[FunctionId, List[FunctionId]] = {}
+    for edge in edges:
+        out.setdefault(edge.caller, []).append(edge.callee)
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for callee in out.get(node, ()):
+            if callee == sink:
+                return True
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return False
+
+
+def _prove(
+    result: ReachabilityResult,
+    id_bits: int,
+    uncoverable: List[UncoverableSink],
+) -> ProofReport:
+    """Encode the subgraph for real and measure the id space it needs."""
+    from .warmstart import WarmStartError, build_warmstart
+
+    subgraph = result.subgraph()
+    try:
+        plan = build_warmstart(
+            subgraph,
+            root=result.root,
+            min_confidence=Confidence.LOW,
+            id_bits=id_bits,
+        )
+    except WarmStartError as error:
+        return ProofReport(
+            functions=subgraph.num_functions,
+            edges=subgraph.num_edges,
+            max_id=0,
+            id_bits_required=0,
+            collision_free=False,
+            violations=list(getattr(error, "violations", []) or [str(error)]),
+            uncoverable=uncoverable,
+        )
+    max_id = plan.dictionary.max_id
+    return ProofReport(
+        functions=subgraph.num_functions,
+        edges=subgraph.num_edges,
+        max_id=max_id,
+        # The runtime uses ids up to 2*maxID + 1: a discovery push marks
+        # the live id with ``maxID + 1`` on top of a value <= maxID.
+        id_bits_required=max(1, (2 * max_id + 1).bit_length()),
+        collision_free=True,
+        uncoverable=uncoverable,
+    )

@@ -1,0 +1,104 @@
+"""Lower a sink-reachability result into a runtime ``TargetedPlan``.
+
+:mod:`repro.static.reachability` answers the offline question — *which
+functions can reach a sink, and what would encoding only those cost?* —
+and this module packages the answer for the two runtime consumers:
+
+* :class:`~repro.core.engine.DacceEngine` accepts ``targeted=plan`` and
+  restricts encoding to the plan's function set.  Calls that leave the
+  set take a cheap uninstrumented path (a shadow frame, no ccStack or
+  id-register work); the tracked→untracked and untracked→tracked
+  boundary crossings are recorded as ``<untracked>`` pseudo-entries so
+  weight conservation and Algorithm 1 decoding still hold.
+* :class:`~repro.pytrace.tracer.PythonDacceTracer` skips per-code-object
+  callback work entirely for functions outside the plan and emits only
+  boundary-crossing events.
+
+The plan embeds a :class:`~repro.static.warmstart.WarmStartPlan` built
+over the *whole* targeted subgraph at ``min_confidence=LOW``: every edge
+that survived reachability is seeded at gTimeStamp 0, so within the
+targeted region no dynamic discovery runs at all — the id space the
+proof report promised is exactly the id space the engine starts with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..core.events import FunctionId
+from .graph import Confidence, StaticCallGraph
+from .reachability import (
+    ReachabilityResult,
+    SinkDeclaration,
+    compute_reachability,
+)
+from .warmstart import WarmStartPlan, build_warmstart
+
+
+@dataclass
+class TargetedPlan:
+    """Everything the engine and tracer need for targeted encoding."""
+
+    #: Functions inside the targeted (sink-reaching) subgraph.  The
+    #: engine additionally force-tracks its root and thread entries.
+    functions: FrozenSet[FunctionId]
+    #: Resolved sink function ids.
+    sinks: FrozenSet[FunctionId]
+    #: Seed encoding covering every targeted edge at gTimeStamp 0.
+    warm_start: WarmStartPlan
+    #: The reaching subgraph the plan was lowered from.
+    static_graph: StaticCallGraph
+    #: The full reachability result (blind spots, proof report, ...).
+    report: ReachabilityResult
+
+    @property
+    def instrumented_fraction(self) -> float:
+        """Targeted functions over all functions the analysis saw."""
+        return self.report.coverage_fraction
+
+    def summary(self) -> Dict[str, object]:
+        data = self.report.summary()
+        data["seeded_edges"] = self.warm_start.seeded_edges
+        return data
+
+
+def build_targeted(
+    graph: StaticCallGraph,
+    sinks: Sequence[SinkDeclaration],
+    *,
+    min_confidence: Confidence = Confidence.LOW,
+    id_bits: int = 64,
+    root: Optional[FunctionId] = None,
+) -> TargetedPlan:
+    """Compute reachability over ``graph`` and lower it into a plan.
+
+    ``root`` overrides the static graph's root — the tracer passes its
+    synthetic root id 0, which has no static definition; runtime calls
+    out of the root are boundary crossings or (for targeted entry
+    functions) dynamically discovered root edges.
+    """
+    result = compute_reachability(
+        graph,
+        sinks,
+        root=root,
+        min_confidence=min_confidence,
+        id_bits=id_bits,
+    )
+    subgraph = result.subgraph()
+    warm = build_warmstart(
+        subgraph,
+        root=result.root,
+        # The reachability pass already applied its confidence gate;
+        # seed everything it kept so the targeted region never pays
+        # dynamic discovery.
+        min_confidence=Confidence.LOW,
+        id_bits=id_bits,
+    )
+    return TargetedPlan(
+        functions=frozenset(result.functions),
+        sinks=frozenset(result.sinks),
+        warm_start=warm,
+        static_graph=subgraph,
+        report=result,
+    )

@@ -1,0 +1,230 @@
+"""Guard subsystem units: logs, policies, verification, anomaly."""
+
+import pytest
+
+from repro.core.ccstack import UNTRACKED_FUNCTION
+from repro.core.context import CollectedSample
+from repro.core.engine import DacceEngine
+from repro.core.events import CallEvent, ReturnEvent
+from repro.guard import (
+    GuardError,
+    GuardHit,
+    GuardPolicy,
+    GuardRecorder,
+    PolicyRule,
+    anomaly_scores,
+    evaluate_policy,
+    guard_to_dict,
+    load_guard,
+    parse_guard,
+    parse_policy,
+    render_path,
+    verify_hits,
+    write_guard,
+)
+
+
+def _sample(function, context_id=1, timestamp=0):
+    return CollectedSample(
+        timestamp=timestamp, context_id=context_id, function=function
+    )
+
+
+def _hit(path, count=1):
+    return GuardHit(sample=_sample(path[-1]), path=tuple(path), count=count)
+
+
+# ----------------------------------------------------------------------
+# hit log round trip
+# ----------------------------------------------------------------------
+def test_guard_log_round_trip(tmp_path):
+    hits = [_hit([0, 1, 7], count=3), _hit([0, 7], count=1)]
+    path = str(tmp_path / "run.guard.json")
+    write_guard(hits, sinks=[7], path=path, names={7: "sink", 0: "main"})
+    log = load_guard(path)
+    assert log.sinks == [7]
+    assert log.total == 4
+    assert [h.path for h in log.hits] == [(0, 1, 7), (0, 7)]
+    assert [h.count for h in log.hits] == [3, 1]
+    assert log.names == {7: "sink", 0: "main"}
+    assert log.hits[0].sample == hits[0].sample
+
+
+def test_parse_guard_rejects_bad_documents():
+    with pytest.raises(GuardError):
+        parse_guard([])
+    with pytest.raises(GuardError):
+        parse_guard({"format": 99, "hits": []})
+    good = guard_to_dict([_hit([0, 7])], sinks=[7])
+    bad = dict(good)
+    bad["hits"] = [{"path": [0, 7]}]  # sample fields missing
+    with pytest.raises(GuardError):
+        parse_guard(bad)
+
+
+def test_load_guard_rejects_non_json(tmp_path):
+    path = tmp_path / "broken.guard.json"
+    path.write_text("{nope")
+    with pytest.raises(GuardError):
+        load_guard(str(path))
+
+
+def test_recorder_aggregates_counts_per_context():
+    engine = DacceEngine(root=0)
+    recorder = GuardRecorder(engine, sinks=[2])
+    for _ in range(3):
+        event = CallEvent(thread=0, callsite=1, caller=0, callee=2)
+        engine.on_event(event)
+        recorder.observe(event)
+        engine.on_event(CallEvent(thread=0, callsite=2, caller=2, callee=3))
+        for _ in range(2):
+            engine.on_event(ReturnEvent(thread=0))
+    hits = recorder.finish()
+    assert len(hits) == 1
+    assert hits[0].count == 3
+    assert hits[0].path == (0, 2)
+
+
+# ----------------------------------------------------------------------
+# policy parsing and resolution
+# ----------------------------------------------------------------------
+def test_parse_policy_shapes():
+    policy = parse_policy(
+        {
+            "default": "deny",
+            "rules": [
+                {"action": "allow", "suffix": [3, 7], "label": "blessed"},
+                {"action": "rate-limit", "sink": 7, "limit": 100},
+            ],
+        }
+    )
+    assert policy.default == "deny"
+    assert policy.rules[0].suffix == (3, 7)
+    assert policy.rules[0].label == "blessed"
+    assert policy.rules[1].limit == 100
+
+
+@pytest.mark.parametrize(
+    "document",
+    [
+        "not-an-object",
+        {"default": "maybe"},
+        {"rules": [{"action": "explode"}]},
+        {"rules": ["not-an-object"]},
+        {"rules": [{"action": "allow", "suffix": "abc"}]},
+        {"rules": [{"action": "rate-limit", "limit": True}]},
+        {"rules": [{"action": "rate-limit", "limit": -1}]},
+        {"rules": [{"action": "rate-limit", "limit": "10"}]},
+    ],
+)
+def test_parse_policy_rejects_malformed(document):
+    with pytest.raises(GuardError):
+        parse_policy(document)
+
+
+def test_resolve_maps_names_and_rejects_unknowns():
+    policy = GuardPolicy(
+        default="allow",
+        rules=(PolicyRule(action="deny", sink="sink", suffix=("main", 7)),),
+    )
+    resolved = policy.resolve({0: "main", 7: "sink"})
+    assert resolved.rules[0].sink == 7
+    assert resolved.rules[0].suffix == (0, 7)
+    with pytest.raises(GuardError):
+        policy.resolve({0: "main"})  # "sink" unresolvable
+    bool_policy = GuardPolicy(rules=(PolicyRule(action="deny", sink=True),))
+    with pytest.raises(GuardError):
+        bool_policy.resolve({0: "main"})
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def test_first_matching_rule_wins():
+    policy = GuardPolicy(
+        default="deny",
+        rules=(
+            PolicyRule(action="allow", suffix=(1, 7)),
+            PolicyRule(action="deny", sink=7, label="catchall"),
+        ),
+    )
+    allowed = _hit([0, 1, 7], count=5)
+    denied = _hit([0, 2, 7], count=1)
+    violations = evaluate_policy([allowed, denied], policy)
+    assert len(violations) == 1
+    assert violations[0].kind == "denied"
+    assert violations[0].path == (0, 2, 7)
+    assert "catchall" in violations[0].message
+
+
+def test_policy_default_denies_unmatched():
+    violations = evaluate_policy([_hit([0, 9])], GuardPolicy(default="deny"))
+    assert len(violations) == 1
+    assert "policy default" in violations[0].message
+
+
+def test_rate_limit_accumulates_across_hits():
+    policy = GuardPolicy(
+        rules=(PolicyRule(action="rate-limit", sink=7, limit=5),)
+    )
+    under = evaluate_policy(
+        [_hit([0, 1, 7], count=3), _hit([0, 2, 7], count=2)], policy
+    )
+    assert under == []
+    over = evaluate_policy(
+        [_hit([0, 1, 7], count=3), _hit([0, 2, 7], count=3)], policy
+    )
+    assert len(over) == 1
+    assert over[0].kind == "rate-limit"
+    assert over[0].count == 6
+
+
+def test_suffix_must_match_tail_not_middle():
+    rule = PolicyRule(action="deny", suffix=(1, 7))
+    assert rule.matches(_hit([0, 1, 7]))
+    assert not rule.matches(_hit([0, 1, 7, 9]))
+    assert not rule.matches(_hit([1, 7, 0]))
+
+
+# ----------------------------------------------------------------------
+# verification and anomaly
+# ----------------------------------------------------------------------
+def test_verify_hits_flags_tampered_paths():
+    engine = DacceEngine(root=0)
+    recorder = GuardRecorder(engine, sinks=[2])
+    event = CallEvent(thread=0, callsite=1, caller=0, callee=2)
+    engine.on_event(event)
+    recorder.observe(event)
+    hits = recorder.finish()
+    decoder = engine.decoder()
+    assert verify_hits(decoder, hits) == []
+    forged = [
+        GuardHit(sample=hits[0].sample, path=(0, 99, 2), count=1)
+    ]
+    violations = verify_hits(decoder, forged)
+    assert len(violations) == 1
+    assert violations[0].kind == "decode-mismatch"
+
+
+def test_anomaly_scores_unseen_and_stable_paths():
+    baseline = [_hit([0, 1, 7], count=8), _hit([0, 2, 7], count=2)]
+    current = [
+        _hit([0, 1, 7], count=4),   # same 80% share
+        _hit([0, 2, 7], count=1),   # same 20% share
+    ]
+    scores = anomaly_scores(current, baseline)
+    assert scores[(0, 1, 7)] == pytest.approx(0.0)
+    assert scores[(0, 2, 7)] == pytest.approx(0.0)
+    shifted = anomaly_scores([_hit([0, 9, 7], count=1)], baseline)
+    assert shifted[(0, 9, 7)] == 1.0
+    drift = anomaly_scores(
+        [_hit([0, 1, 7], count=2), _hit([0, 2, 7], count=8)], baseline
+    )
+    assert drift[(0, 1, 7)] == pytest.approx(1 - (2 / 10) / (8 / 10))
+
+
+def test_render_path_names_sentinel_and_fallback():
+    rendered = render_path(
+        [0, UNTRACKED_FUNCTION, 7], names={0: "main"}
+    )
+    assert rendered == "main -> <untracked> -> fn7"

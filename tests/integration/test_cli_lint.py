@@ -151,3 +151,80 @@ def test_doctor_catches_invariant_violation_behind_valid_checksum(
     out = capsys.readouterr().out
     assert "invariant" in out
     assert "ts=%s" % ts in out
+
+
+# ----------------------------------------------------------------------
+# FAULT regressions: bad inputs must fail loud, not half-succeed
+# ----------------------------------------------------------------------
+def test_static_source_must_be_a_directory(tmp_path, capsys):
+    not_a_dir = tmp_path / "file.py"
+    not_a_dir.write_text("x = 1\n")
+    code = main(
+        ["static", "--source", str(not_a_dir),
+         "--output", str(tmp_path / "graph.json")]
+    )
+    assert code == 1
+    assert "FAULT: source tree unreadable" in capsys.readouterr().out
+
+
+def test_static_unwritable_output_faults(tmp_path, capsys):
+    missing_dir = tmp_path / "no" / "such" / "dir" / "graph.json"
+    code = main(
+        ["static", "--record-seed", "1", "--output", str(missing_dir)]
+    )
+    assert code == 1
+    assert "FAULT: static graph unwritable" in capsys.readouterr().out
+
+
+def test_lint_missing_state_file_faults(tmp_path, capsys):
+    assert main(["lint", "--state", str(tmp_path / "absent.json")]) == 1
+    assert "FAULT: state file unreadable" in capsys.readouterr().out
+
+
+def test_lint_targets_requires_static(recorded, tmp_path, capsys):
+    targets = tmp_path / "targets.json"
+    targets.write_text(json.dumps({"format": 1, "sinks": ["fn_005"]}))
+    assert main(
+        ["lint", "--state", recorded, "--targets", str(targets)]
+    ) == 1
+    assert "--targets needs --static" in capsys.readouterr().out
+
+
+def test_lint_targets_manifest_faults(recorded, tmp_path, capsys):
+    static_path = str(tmp_path / "static.json")
+    assert main(
+        ["static", "--record-seed", "1", "--output", static_path]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(
+        ["lint", "--state", recorded, "--static", static_path,
+         "--targets", str(tmp_path / "absent.json")]
+    ) == 1
+    assert "FAULT: targets manifest unreadable" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": 1, "sinks": []}))
+    assert main(
+        ["lint", "--state", recorded, "--static", static_path,
+         "--targets", str(bad)]
+    ) == 1
+    assert "FAULT: targets manifest invalid" in capsys.readouterr().out
+
+
+def test_lint_targets_flags_untargeted_recording(recorded, tmp_path, capsys):
+    # A full (untargeted) recording cannot prove sink coverage: the
+    # state carries no plan, so `lint --targets` must error.
+    static_path = str(tmp_path / "static.json")
+    assert main(
+        ["static", "--record-seed", "1", "--output", static_path]
+    ) == 0
+    targets = tmp_path / "targets.json"
+    targets.write_text(json.dumps({"format": 1, "sinks": ["fn_005"]}))
+    capsys.readouterr()
+    assert main(
+        ["lint", "--state", recorded, "--static", static_path,
+         "--targets", str(targets)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "error(s)" in out

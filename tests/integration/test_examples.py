@@ -72,6 +72,16 @@ def test_every_example_has_a_smoke_test():
     )
 
 
+def test_targeted_guard():
+    result = run_example("targeted_guard.py")
+    assert result.returncode == 0, result.stderr
+    assert "sink reachability:" in result.stdout
+    assert "collision-free=True" in result.stdout
+    assert "[denied]" in result.stdout
+    assert "[rate-limit]" in result.stdout
+    assert "guard verified: every declared sink is covered" in result.stdout
+
+
 def test_telemetry_dashboard():
     result = run_example("telemetry_dashboard.py")
     assert result.returncode == 0, result.stderr

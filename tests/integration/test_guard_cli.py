@@ -1,0 +1,238 @@
+"""CLI: ``dacce guard`` record/check, FAULT paths, acceptance differential."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.ccstack import UNTRACKED_FUNCTION
+
+MANIFEST = {
+    "format": 1,
+    "sinks": ["fn_005", "fn_013", {"pattern": "fn_029", "label": "audit"}],
+}
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    path = tmp_path / "targets.json"
+    path.write_text(json.dumps(MANIFEST))
+    return str(path)
+
+
+@pytest.fixture
+def recording(tmp_path, manifest, capsys):
+    prefix = str(tmp_path / "guardrun")
+    assert main(
+        ["guard", "record", "--targets", manifest,
+         "--prefix", prefix, "--calls", "6000"]
+    ) == 0
+    capsys.readouterr()
+    return prefix
+
+
+def test_guard_record_reports_plan_and_hits(tmp_path, manifest, capsys):
+    prefix = str(tmp_path / "run")
+    assert main(
+        ["guard", "record", "--targets", manifest,
+         "--prefix", prefix, "--calls", "6000"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "targeted " in out and "collision-free" in out
+    assert "captured" in out and "distinct context(s)" in out
+    state = json.loads(open(prefix + ".state.json").read())
+    assert "targeted" in state
+    guard = json.loads(open(prefix + ".guard.json").read())
+    assert guard["sinks"] and guard["hits"]
+
+
+def test_guard_check_allow_policy_passes(tmp_path, recording, capsys):
+    policy = tmp_path / "allow.json"
+    policy.write_text(json.dumps({"default": "allow"}))
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", recording + ".guard.json", "--policy", str(policy)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "0 violation(s)" in out
+
+
+def test_guard_check_deny_and_rate_limit_fail(tmp_path, recording, capsys):
+    policy = tmp_path / "deny.json"
+    policy.write_text(json.dumps({
+        "default": "allow",
+        "rules": [
+            {"action": "deny", "sink": "fn_029", "label": "audited"},
+            {"action": "rate-limit", "sink": "fn_013", "limit": 0},
+        ],
+    }))
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", recording + ".guard.json", "--policy", str(policy)]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "guard violation [denied]" in out
+    assert "guard violation [rate-limit]" in out
+
+
+def test_guard_check_self_baseline_is_drift_free(tmp_path, recording, capsys):
+    policy = tmp_path / "allow.json"
+    policy.write_text(json.dumps({"default": "allow"}))
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", recording + ".guard.json", "--policy", str(policy),
+         "--baseline", recording + ".guard.json", "--max-anomaly", "0.0"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "worst score 0.000" in out
+
+
+def test_guard_check_tampered_log_is_a_violation(tmp_path, recording, capsys):
+    guard_path = recording + ".guard.json"
+    data = json.loads(open(guard_path).read())
+    data["hits"][0]["path"][0] = 99_999
+    forged = tmp_path / "forged.guard.json"
+    forged.write_text(json.dumps(data))
+    policy = tmp_path / "allow.json"
+    policy.write_text(json.dumps({"default": "allow"}))
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", str(forged), "--policy", str(policy)]
+    ) == 1
+    assert "decode-mismatch" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# FAULT paths
+# ----------------------------------------------------------------------
+def test_guard_record_missing_manifest_faults(tmp_path, capsys):
+    code = main(
+        ["guard", "record", "--targets", str(tmp_path / "absent.json"),
+         "--prefix", str(tmp_path / "x"), "--calls", "1000"]
+    )
+    assert code == 1
+    assert "FAULT: targets manifest unreadable" in capsys.readouterr().out
+
+
+def test_guard_record_invalid_manifest_faults(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format": 1, "sinks": []}))
+    code = main(
+        ["guard", "record", "--targets", str(bad),
+         "--prefix", str(tmp_path / "x"), "--calls", "1000"]
+    )
+    assert code == 1
+    assert "FAULT: targets manifest invalid" in capsys.readouterr().out
+
+
+def test_guard_record_unmatched_sinks_fault(tmp_path, capsys):
+    ghost = tmp_path / "ghost.json"
+    ghost.write_text(json.dumps({"format": 1, "sinks": ["no_such_fn_*"]}))
+    code = main(
+        ["guard", "record", "--targets", str(ghost),
+         "--prefix", str(tmp_path / "x"), "--calls", "1000"]
+    )
+    assert code == 1
+    assert "FAULT: targeted plan failed" in capsys.readouterr().out
+
+
+def test_guard_check_missing_inputs_fault(tmp_path, recording, capsys):
+    policy = tmp_path / "allow.json"
+    policy.write_text(json.dumps({"default": "allow"}))
+    absent = str(tmp_path / "absent.json")
+
+    assert main(
+        ["guard", "check", "--state", absent,
+         "--guard", recording + ".guard.json", "--policy", str(policy)]
+    ) == 1
+    assert "FAULT: state file unreadable" in capsys.readouterr().out
+
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", absent, "--policy", str(policy)]
+    ) == 1
+    assert "FAULT: guard log unreadable" in capsys.readouterr().out
+
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", recording + ".guard.json", "--policy", absent]
+    ) == 1
+    assert "FAULT: policy unreadable" in capsys.readouterr().out
+
+    bad_policy = tmp_path / "bad_policy.json"
+    bad_policy.write_text(json.dumps({"default": "maybe"}))
+    assert main(
+        ["guard", "check", "--state", recording + ".state.json",
+         "--guard", recording + ".guard.json", "--policy", str(bad_policy)]
+    ) == 1
+    assert "FAULT: policy invalid" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# acceptance differential: targeted vs full over the record program
+# ----------------------------------------------------------------------
+def test_targeted_recording_matches_full_on_sink_contexts():
+    """The issue's acceptance gate, as a regression test.
+
+    With the canonical 3-sink manifest over the ``dacce record``
+    program: at most 40% of functions instrumented, a strictly smaller
+    id space than full encoding, and — per sink-reaching context —
+    identical decoded paths (full paths projected onto the plan) with
+    identical counts.
+    """
+    from repro.core.engine import DacceEngine
+    from repro.guard import GuardRecorder
+    from repro.program.generator import GeneratorConfig, generate_program
+    from repro.program.trace import ThreadSpec, TraceExecutor, WorkloadSpec
+    from repro.static import extract_program
+    from repro.static.targeted import build_targeted
+
+    calls, seed = 6000, 1
+    program = generate_program(
+        GeneratorConfig(seed=seed, recursive_sites=3, indirect_fraction=0.1,
+                        library_functions=6)
+    )
+    static = extract_program(program)
+    plan = build_targeted(static, ["fn_005", "fn_013", "fn_029"])
+    assert plan.instrumented_fraction <= 0.40
+
+    spec = WorkloadSpec(
+        calls=calls, seed=seed + 1, sample_period=max(10, calls // 500),
+        recursion_affinity=0.4,
+        threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=calls // 10)],
+    )
+    full = DacceEngine(root=program.main)
+    targeted = DacceEngine(targeted=plan)
+    rec_full = GuardRecorder(full, plan.sinks)
+    rec_targeted = GuardRecorder(targeted, plan.sinks)
+    for event in TraceExecutor(program, spec).events():
+        full.on_event(event)
+        rec_full.observe(event)
+        targeted.on_event(event)
+        rec_targeted.observe(event)
+
+    assert targeted.max_id < full.max_id
+
+    tracked = set(plan.functions) | {program.main}
+    tracked.update(t.entry for t in spec.threads)
+
+    def collapse(path):
+        out = []
+        for function in path:
+            if function in tracked:
+                out.append(function)
+            elif not out or out[-1] != UNTRACKED_FUNCTION:
+                out.append(UNTRACKED_FUNCTION)
+        return tuple(out)
+
+    def contexts(hits, project):
+        counted = {}
+        for hit in hits:
+            key = project(hit.path)
+            counted[key] = counted.get(key, 0) + hit.count
+        return counted
+
+    projected = contexts(rec_full.finish(), collapse)
+    observed = contexts(rec_targeted.finish(), tuple)
+    assert projected == observed
+    assert sum(observed.values()) > 0

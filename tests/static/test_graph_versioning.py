@@ -1,0 +1,84 @@
+"""Persisted static-graph format: round-trip and version skew."""
+
+import logging
+
+import pytest
+
+from repro.static.graph import (
+    FORMAT_VERSION,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+    UnresolvedSite,
+    parse_format_version,
+)
+
+
+def _graph():
+    graph = StaticCallGraph(root=0)
+    graph.add_function(StaticFunction(id=0, qualname="main", module="m",
+                                      lineno=1, firstlineno=1))
+    graph.add_function(StaticFunction(id=1, qualname="f", module="m",
+                                      lineno=5, firstlineno=4))
+    graph.add_edge(StaticEdge(caller=0, callee=1, callsite=1, lineno=2))
+    graph.flag_unresolved(
+        UnresolvedSite(module="m", function=0, lineno=3,
+                       reason="dynamic-call")
+    )
+    return graph
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    path = str(tmp_path / "graph.json")
+    _graph().save(path)
+    loaded = StaticCallGraph.load(path)
+    assert loaded.root == 0
+    assert {fn.qualname for fn in loaded.functions()} == {"main", "f"}
+    assert loaded.num_edges == 1
+    assert loaded.unresolved[0].reason == "dynamic-call"
+    assert loaded.to_dict() == _graph().to_dict()
+
+
+def test_written_format_is_major_minor_string():
+    assert _graph().to_dict()["format"] == FORMAT_VERSION
+    assert isinstance(FORMAT_VERSION, str)
+    assert parse_format_version(FORMAT_VERSION) == (1, 0)
+
+
+def test_legacy_integer_format_still_loads():
+    data = _graph().to_dict()
+    data["format"] = 1
+    loaded = StaticCallGraph.from_dict(data)
+    assert loaded.num_functions == 2
+
+
+def test_future_minor_loads_with_warning(caplog):
+    data = _graph().to_dict()
+    data["format"] = "1.9"
+    data["some_future_field"] = {"ignored": True}
+    with caplog.at_level(logging.WARNING, logger="repro.static.graph"):
+        loaded = StaticCallGraph.from_dict(data)
+    assert loaded.num_edges == 1
+    assert any("newer minor format" in r.getMessage()
+               and "1.9" in r.getMessage() for r in caplog.records)
+
+
+def test_future_major_raises_structured_error():
+    data = _graph().to_dict()
+    for bad in ("2.0", 2, "0.9"):
+        data["format"] = bad
+        with pytest.raises(StaticAnalysisError) as excinfo:
+            StaticCallGraph.from_dict(data)
+        assert excinfo.value.reason == "unsupported-major"
+
+
+@pytest.mark.parametrize(
+    "value", [None, True, "x.y", "1.x", "", "1.-1", [1, 0]]
+)
+def test_malformed_version_raises(value):
+    data = _graph().to_dict()
+    data["format"] = value
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        StaticCallGraph.from_dict(data)
+    assert excinfo.value.reason == "malformed-version"

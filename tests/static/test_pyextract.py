@@ -1,8 +1,10 @@
 """AST extractor: resolution rules, honesty flags, incremental reuse."""
 
+import pathlib
 import textwrap
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.static.graph import Confidence, StaticAnalysisError
 from repro.static.incremental import IncrementalAnalyzer
@@ -317,3 +319,95 @@ def test_extract_package_matches_incremental(tmp_path):
         fn.qualname for fn in incremental.functions()
     }
     assert module_name_for(str(tmp_path / "sub/b.py"), str(tmp_path)) == "sub.b"
+
+
+def test_refresh_after_root_module_deleted_raises_missing_root(tmp_path):
+    app = _write(tmp_path, "app.py", "def main():\n    pass\n")
+    _write(tmp_path, "util.py", "def work():\n    pass\n")
+    analyzer = IncrementalAnalyzer(
+        root=str(tmp_path), root_function=("app", "main")
+    )
+    graph, _ = analyzer.refresh()
+    assert graph.root is not None
+
+    # The persistent FunctionIndex still remembers app.main's id, but
+    # the function is gone from the graph — refresh must fail loudly,
+    # not hand out a graph whose root dangles.
+    app.unlink()
+    with pytest.raises(StaticAnalysisError) as excinfo:
+        analyzer.refresh()
+    assert excinfo.value.reason == "missing-root"
+
+    # Renaming it back into existence recovers.
+    _write(tmp_path, "app.py", "def main():\n    pass\n")
+    graph, _ = analyzer.refresh()
+    assert graph.function(graph.root).qualname == "main"
+
+
+def _structure(graph):
+    """Name-level view of a graph: ids differ between a long-lived
+    analyzer (persistent index) and a fresh extraction, structure must
+    not."""
+    names = {fn.id: (fn.module, fn.qualname) for fn in graph.functions()}
+    return (
+        set(names.values()),
+        {(names[e.caller], names[e.callee]) for e in graph.edges()},
+        {(s.module, s.reason) for s in graph.unresolved},
+    )
+
+
+_MODULE_SOURCES = [
+    "def f():\n    pass\n",
+    "def g():\n    f()\n\ndef f():\n    pass\n",
+    "from mod0 import f\n\ndef h():\n    f()\n",
+    "def k():\n    unknown_dynamic()\n",
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_refresh_after_delete_rename_equals_fresh_extraction(data):
+    """Property: arbitrary delete/rename churn, then refresh, yields the
+    same name-level graph as extracting the surviving tree from
+    scratch."""
+    import shutil
+    import tempfile
+
+    tmp = tempfile.mkdtemp()
+    try:
+        tmp_path = pathlib.Path(tmp)
+        count = data.draw(st.integers(min_value=2, max_value=4), label="modules")
+        for i in range(count):
+            _write(tmp_path, "mod%d.py" % i, _MODULE_SOURCES[i])
+        analyzer = IncrementalAnalyzer(root=str(tmp_path))
+        analyzer.refresh()
+
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["delete", "rename"]),
+                    st.integers(min_value=0, max_value=count - 1),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            label="ops",
+        )
+        for op, i in ops:
+            path = tmp_path / ("mod%d.py" % i)
+            if not path.exists():
+                continue
+            if op == "delete":
+                path.unlink()
+            else:
+                path.rename(tmp_path / ("renamed%d.py" % i))
+
+        surviving = sorted(p.name for p in tmp_path.glob("*.py"))
+        if not surviving:
+            tmp_path.joinpath("keep.py").write_text("def keep():\n    pass\n")
+
+        refreshed, _ = analyzer.refresh()
+        fresh = extract_package(str(tmp_path))
+        assert _structure(refreshed) == _structure(fresh)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,207 @@
+"""Sink-reachability analysis: resolution, propagation, proof honesty."""
+
+import pytest
+
+from repro.static.graph import (
+    Confidence,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+    UnresolvedSite,
+)
+from repro.static.reachability import (
+    SinkSpec,
+    compute_reachability,
+    load_targets,
+    parse_targets,
+    resolve_sinks,
+)
+
+
+def _graph(root=0):
+    """main -> a -> sink_db ; main -> b -> c (noise) ; lib isolated.
+
+    The a->sink edge is HIGH; a LOW points-to edge d -> sink_db pulls a
+    speculative caller in only when the confidence gate allows it.
+    """
+    graph = StaticCallGraph(root=root)
+    functions = {
+        0: ("main", "app"),
+        1: ("a", "app"),
+        2: ("db.execute", "db"),
+        3: ("b", "app"),
+        4: ("c", "app"),
+        5: ("d", "plugins"),
+        6: ("lib_helper", "lib"),
+    }
+    for fid, (qualname, module) in functions.items():
+        graph.add_function(
+            StaticFunction(id=fid, qualname=qualname, module=module)
+        )
+    graph.add_edge(StaticEdge(caller=0, callee=1, callsite=1))
+    graph.add_edge(StaticEdge(caller=1, callee=2, callsite=2))
+    graph.add_edge(StaticEdge(caller=0, callee=3, callsite=3))
+    graph.add_edge(StaticEdge(caller=3, callee=4, callsite=4))
+    graph.add_edge(
+        StaticEdge(
+            caller=5, callee=2, callsite=5,
+            confidence=Confidence.LOW, reason="points-to",
+        )
+    )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# manifests and resolution
+# ----------------------------------------------------------------------
+def test_parse_targets_accepts_both_shapes():
+    specs = parse_targets(
+        {"format": 1, "sinks": ["free", {"pattern": "db:*", "label": "sql"}]}
+    )
+    assert [s.pattern for s in specs] == ["free", "db:*"]
+    assert specs[1].label == "sql"
+    assert [s.pattern for s in parse_targets(["x", "y"])] == ["x", "y"]
+
+
+@pytest.mark.parametrize(
+    "document",
+    [
+        {"format": 2, "sinks": ["x"]},   # unknown version
+        {"format": 1, "sinks": []},      # empty
+        {"format": 1},                   # missing
+        {"format": 1, "sinks": ["x", 3.5]},
+        {"format": 1, "sinks": [{"label": "no pattern"}]},
+        {"format": 1, "sinks": [""]},
+        "not-a-list",
+    ],
+)
+def test_parse_targets_rejects_malformed(document):
+    with pytest.raises(StaticAnalysisError):
+        parse_targets(document)
+
+
+def test_load_targets_rejects_non_json(tmp_path):
+    path = tmp_path / "targets.json"
+    path.write_text("{not json")
+    with pytest.raises(StaticAnalysisError):
+        load_targets(str(path))
+
+
+def test_resolve_sinks_patterns_and_ids():
+    graph = _graph()
+    matched, unmatched = resolve_sinks(
+        graph, ["execute", SinkSpec(pattern="app:a"), 4, "nomatch_*"]
+    )
+    assert set(matched) == {2, 1, 4}
+    assert matched[2].pattern == "execute"     # tail-component match
+    assert [s.pattern for s in unmatched] == ["nomatch_*"]
+
+
+def test_resolve_sinks_rejects_bool_and_unknown_id():
+    graph = _graph()
+    with pytest.raises(StaticAnalysisError):
+        resolve_sinks(graph, [True])
+    with pytest.raises(StaticAnalysisError):
+        resolve_sinks(graph, [99])
+    with pytest.raises(StaticAnalysisError):
+        resolve_sinks(graph, [])
+
+
+# ----------------------------------------------------------------------
+# reachability + confidence propagation
+# ----------------------------------------------------------------------
+def test_backward_reachability_excludes_noise_branch():
+    result = compute_reachability(_graph(), ["execute"])
+    assert result.functions == {0, 1, 2, 5}
+    assert {e.caller for e in result.edges} <= result.functions
+    assert 3 not in result.functions and 4 not in result.functions
+    assert 0 < result.coverage_fraction < 1
+
+
+def test_confidence_is_min_along_chain_max_over_chains():
+    result = compute_reachability(_graph(), ["execute"])
+    # The sink itself is HIGH; a reaches over a HIGH chain; d only over
+    # its own LOW points-to edge.
+    assert result.node_confidence[2] is Confidence.HIGH
+    assert result.node_confidence[1] is Confidence.HIGH
+    assert result.node_confidence[5] is Confidence.LOW
+
+
+def test_min_confidence_gate_drops_speculative_callers():
+    result = compute_reachability(
+        _graph(), ["execute"], min_confidence=Confidence.HIGH
+    )
+    assert 5 not in result.functions
+    assert result.functions == {0, 1, 2}
+
+
+def test_blind_spots_are_scoped():
+    graph = _graph()
+    graph.flag_unresolved(
+        UnresolvedSite(module="app", function=1, lineno=10,
+                       reason="dynamic-call")
+    )
+    graph.flag_unresolved(
+        UnresolvedSite(module="app", function=4, lineno=20,
+                       reason="dynamic-call")
+    )
+    result = compute_reachability(graph, ["execute"])
+    scopes = {spot.site.function: spot.scope for spot in result.blind_spots}
+    assert scopes == {1: "in-subgraph", 4: "out-of-subgraph"}
+    # in-subgraph spots survive into the standalone subgraph.
+    assert len(result.subgraph().unresolved) == 1
+
+
+def test_uncoverable_sinks_report_reasons():
+    result = compute_reachability(_graph(), ["execute", "d", "ghost_*"])
+    reasons = {
+        (sink.pattern, sink.reason) for sink in result.proof.uncoverable
+    }
+    # d is a sink nothing routes to from main; ghost matches nothing.
+    assert ("ghost_*", "no-match") in reasons
+    assert ("d", "unreachable-from-root") in reasons
+    assert ("execute", "unreachable-from-root") not in {
+        (s.pattern, s.reason) for s in result.proof.uncoverable
+    }
+
+
+def test_no_match_at_all_is_an_error():
+    with pytest.raises(StaticAnalysisError):
+        compute_reachability(_graph(), ["ghost_*"])
+
+
+def test_missing_root_is_an_error():
+    graph = _graph(root=None)
+    with pytest.raises(StaticAnalysisError):
+        compute_reachability(graph, ["execute"])
+    # ... but an explicit root override works.
+    result = compute_reachability(graph, ["execute"], root=0)
+    assert result.root == 0
+
+
+# ----------------------------------------------------------------------
+# proof report
+# ----------------------------------------------------------------------
+def test_proof_measures_a_real_encoding():
+    result = compute_reachability(_graph(), ["execute"])
+    proof = result.proof
+    assert proof.collision_free
+    assert proof.functions == result.subgraph().num_functions
+    assert proof.edges == len(result.edges)
+    assert proof.max_id >= 1
+    assert proof.id_bits_required == (2 * proof.max_id + 1).bit_length()
+    assert proof.violations == []
+    summary = result.summary()
+    assert summary["proof"]["max_id"] == proof.max_id
+
+
+def test_subgraph_keeps_unreaching_root_for_warmstart():
+    graph = _graph()
+    # Sink only d reaches; root cannot — subgraph must still carry the
+    # root function so the seed encoding has an anchor.
+    result = compute_reachability(graph, ["d"])
+    assert 0 not in result.functions
+    sub = result.subgraph()
+    assert sub.find_function(0) is not None
+    assert sub.root == 0

@@ -1,0 +1,77 @@
+"""TargetedPlan lowering: seeded subgraph, fractions, root override."""
+
+import pytest
+
+from repro.core.engine import DacceEngine
+from repro.static.graph import (
+    Confidence,
+    StaticAnalysisError,
+    StaticCallGraph,
+    StaticEdge,
+    StaticFunction,
+)
+from repro.static.targeted import build_targeted
+
+
+def _graph():
+    graph = StaticCallGraph(root=0)
+    for fid, name in enumerate(["main", "a", "sink", "noise", "leaf"]):
+        graph.add_function(StaticFunction(id=fid, qualname=name, module="m"))
+    graph.add_edge(StaticEdge(caller=0, callee=1, callsite=1))
+    graph.add_edge(StaticEdge(caller=1, callee=2, callsite=2))
+    graph.add_edge(StaticEdge(caller=0, callee=3, callsite=3))
+    graph.add_edge(StaticEdge(caller=3, callee=4, callsite=4))
+    return graph
+
+
+def test_plan_contents_and_fraction():
+    plan = build_targeted(_graph(), ["sink"])
+    assert plan.functions == frozenset({0, 1, 2})
+    assert plan.sinks == frozenset({2})
+    assert plan.instrumented_fraction == pytest.approx(3 / 5)
+    assert plan.summary()["seeded_edges"] == plan.warm_start.seeded_edges
+    assert plan.warm_start.seeded_edges == 2
+
+
+def test_plan_seeds_every_kept_edge_even_low_confidence():
+    graph = _graph()
+    graph.add_function(StaticFunction(id=5, qualname="plugin", module="m"))
+    graph.add_edge(
+        StaticEdge(caller=5, callee=2, callsite=5,
+                   confidence=Confidence.LOW, reason="points-to")
+    )
+    plan = build_targeted(graph, ["sink"])
+    # The LOW edge survives reachability and must be seeded too: the
+    # targeted region never pays dynamic discovery.
+    assert 5 in plan.functions
+    assert plan.warm_start.seeded_edges == 3
+
+
+def test_engine_accepts_plan_and_starts_seeded():
+    plan = build_targeted(_graph(), ["sink"])
+    engine = DacceEngine(targeted=plan)
+    assert engine.stats.static_seeded_edges == plan.warm_start.seeded_edges
+    assert engine.max_id == plan.report.proof.max_id
+
+
+def test_root_override_for_tracer_pseudo_root():
+    graph = _graph()
+    graph.root = None
+    plan = build_targeted(graph, ["sink"], root=0)
+    assert plan.report.root == 0
+    # A root with no static definition (the tracer's id 0 when the
+    # extractor allocates from first_id=1) still builds.
+    shifted = StaticCallGraph(root=None)
+    for fid, name in [(1, "main"), (2, "sink")]:
+        shifted.add_function(
+            StaticFunction(id=fid, qualname=name, module="m")
+        )
+    shifted.add_edge(StaticEdge(caller=1, callee=2, callsite=1))
+    plan = build_targeted(shifted, ["sink"], root=0)
+    assert plan.report.root == 0
+    DacceEngine(targeted=plan)  # must construct
+
+
+def test_unmatched_everything_raises():
+    with pytest.raises(StaticAnalysisError):
+        build_targeted(_graph(), ["ghost"])
