@@ -58,6 +58,29 @@ def test_bench_dacce_batch_throughput(benchmark, event_stream):
     assert engine.fastpath.hits > 0
 
 
+def test_bench_dacce_columnar_throughput(benchmark, event_stream):
+    """Same stream again through the columnar struct-of-arrays path and
+    the code-generated dispatch kernel (``process_columns``)."""
+    from repro.core.columnar import EventColumns
+    from repro.core.engine import DacceEngine
+    from repro.core.events import compact
+
+    program, events = event_stream
+    columns = EventColumns.from_compact(
+        [compact(event) for event in events]
+    )
+
+    def run():
+        engine = DacceEngine(root=program.main)
+        engine.process_columns(columns)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.stats.calls == 6_000
+    assert engine.fastpath.hits > 0
+    assert engine.fastpath.compiles >= 1
+
+
 def test_bench_stackwalk_event_throughput(benchmark, event_stream):
     from repro.baselines.stackwalk import StackWalkEngine
 

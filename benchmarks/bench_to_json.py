@@ -5,7 +5,9 @@ on and writes them to ``BENCH_CORE.json`` at the repo root (plus a
 rendered copy under ``benchmarks/results/``):
 
 * **encode** — ns/event for per-event ``on_event`` dispatch vs batched
-  ``process_batch`` over compact records, on a steady-state workload
+  ``process_batch`` over compact records vs columnar
+  ``process_columns`` over struct-of-arrays batches through the
+  code-generated dispatch kernel (PR 9), on a steady-state workload
   (every edge already discovered and encoded), with the fast-path hit
   rate achieved;
 * **decode** — wall-clock throughput for sequential ``decode_log`` vs
@@ -20,9 +22,19 @@ comes from the per-worker :class:`~repro.core.decoder.DecodeCache`
 ``cpu_count`` and per-stage cache statistics so the provenance of the
 number is auditable.
 
+Sections written by sibling benchmarks (``profile_overhead``,
+``ingest_overhead``, ``targeted``) are preserved: the output file is
+read-modify-written, never clobbered wholesale.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_to_json.py [--quick]
+    PYTHONPATH=src python benchmarks/bench_to_json.py --quick \
+        --output /tmp/new.json --compare BENCH_CORE.json
+
+``--compare OLD.json`` prints per-section deltas against a previous
+report and exits non-zero when ``encode`` ns/event regressed by more
+than 25% — CI runs this informationally (warning, not failure).
 
 Not a pytest module (no ``test_``/``bench_`` prefix functions): CI runs
 it as an informational step after the perf-smoke gate.
@@ -95,14 +107,27 @@ def bench_encode(calls, repeats):
         repeats, lambda: batched_engine.process_batch(records)
     )
 
+    from repro.core.columnar import EventColumns
+
+    columnar_engine = warmed_engine()
+    columnar_engine.fastpath.hits = columnar_engine.fastpath.misses = 0
+    columns = EventColumns.from_compact(records)
+    columnar_s = _best_of(
+        repeats, lambda: columnar_engine.process_columns(columns)
+    )
+
     return {
         "events": len(records),
         "calls": calls,
         "per_event_ns_per_event": round(per_event_s / len(records) * 1e9, 1),
         "batched_ns_per_event": round(batched_s / len(records) * 1e9, 1),
+        "columnar_ns_per_event": round(columnar_s / len(records) * 1e9, 1),
         "speedup": round(per_event_s / batched_s, 2),
+        "columnar_speedup": round(per_event_s / columnar_s, 2),
         "fastpath_hit_rate": round(batched_engine.fastpath.hit_rate, 4),
+        "columnar_hit_rate": round(columnar_engine.fastpath.hit_rate, 4),
         "fastpath": batched_engine.fastpath_stats(),
+        "columnar_fastpath": columnar_engine.fastpath_stats(),
     }
 
 
@@ -152,6 +177,7 @@ def bench_decode(target_samples, jobs, repeats):
         "distinct_samples": len(base),
         "tiles": tiles,
         "jobs": jobs,
+        "effective_jobs": stats.get("effective_jobs", jobs),
         "sequential_s": round(sequential_s, 3),
         "parallel_s": round(parallel_s, 3),
         "speedup": round(sequential_s / parallel_s, 2),
@@ -166,16 +192,24 @@ def render(report):
     encode = report["encode"]
     decode = report["decode"]
     lines = [
-        "core-ops benchmark (PR 4 hot-path fast lane)",
+        "core-ops benchmark (PR 4 fast lane + PR 9 columnar dispatch)",
         "",
         "encode (steady state, %d events):" % encode["events"],
         "  per-event dispatch : %8.1f ns/event" % encode["per_event_ns_per_event"],
-        "  process_batch      : %8.1f ns/event" % encode["batched_ns_per_event"],
-        "  speedup            : %8.2fx" % encode["speedup"],
-        "  fast-path hit rate : %8.1f%%" % (100 * encode["fastpath_hit_rate"]),
+        "  process_batch      : %8.1f ns/event  (%.2fx)"
+        % (encode["batched_ns_per_event"], encode["speedup"]),
+        "  process_columns    : %8.1f ns/event  (%.2fx, codegen kernel)"
+        % (encode["columnar_ns_per_event"], encode["columnar_speedup"]),
+        "  hit rate           : %8.1f%% batched / %.1f%% columnar"
+        % (100 * encode["fastpath_hit_rate"], 100 * encode["columnar_hit_rate"]),
         "",
-        "decode (%d samples, %d distinct, jobs=%d):"
-        % (decode["samples"], decode["distinct_samples"], decode["jobs"]),
+        "decode (%d samples, %d distinct, jobs=%d requested, %d effective):"
+        % (
+            decode["samples"],
+            decode["distinct_samples"],
+            decode["jobs"],
+            decode["effective_jobs"],
+        ),
         "  sequential decode_log       : %8.3f s (%d samples/s)"
         % (decode["sequential_s"], decode["sequential_samples_per_s"]),
         "  decode_log_parallel         : %8.3f s (%d samples/s)"
@@ -184,11 +218,53 @@ def render(report):
         "  worker cache                : %d hits / %d misses"
         % (decode["cache_hits"], decode["cache_misses"]),
         "",
-        "cpu_count=%d  (on a single core the decode speedup is"
+        "cpu_count=%d  (on a single core decode_log_parallel falls back"
         % report["environment"]["cpu_count"],
-        "memoization, not parallelism -- see docs/PERFORMANCE.md)",
+        "to in-process decode: the speedup is memoization, not",
+        "parallelism -- see docs/PERFORMANCE.md)",
     ]
     return "\n".join(lines)
+
+
+#: ``--compare`` regression gate: these encode keys may not grow by
+#: more than this factor relative to the old report.
+_REGRESSION_KEYS = ("batched_ns_per_event", "columnar_ns_per_event")
+_REGRESSION_LIMIT = 1.25
+
+
+def compare_reports(old, new):
+    """Print per-section deltas; return the list of regressed keys."""
+    regressions = []
+    for section in sorted(set(old) & set(new)):
+        old_section, new_section = old[section], new[section]
+        if not (
+            isinstance(old_section, dict) and isinstance(new_section, dict)
+        ):
+            continue
+        shown_header = False
+        for key in sorted(set(old_section) & set(new_section)):
+            before, after = old_section[key], new_section[key]
+            if not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in (before, after)
+            ):
+                continue
+            delta = ((after - before) / before * 100) if before else 0.0
+            if not shown_header:
+                print("%s:" % section)
+                shown_header = True
+            print(
+                "  %-28s %12.4g -> %12.4g  (%+.1f%%)"
+                % (key, before, after, delta)
+            )
+            if (
+                section == "encode"
+                and key in _REGRESSION_KEYS
+                and before
+                and after > before * _REGRESSION_LIMIT
+            ):
+                regressions.append(key)
+    return regressions
 
 
 def main(argv=None):
@@ -197,6 +273,11 @@ def main(argv=None):
                         help="smaller workloads, single repeat (CI)")
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_CORE.json"))
     parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument(
+        "--compare", metavar="OLD.json", default=None,
+        help="print deltas against a previous report; exit non-zero on "
+        ">25%% regression of encode ns/event",
+    )
     args = parser.parse_args(argv)
 
     calls = 10_000 if args.quick else 40_000
@@ -215,6 +296,17 @@ def main(argv=None):
         "decode": bench_decode(target_samples, args.jobs, repeats),
     }
 
+    # Preserve sections merged in by sibling benchmarks
+    # (profile_overhead, ingest_overhead, targeted): read-modify-write.
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = {}
+        for key, value in previous.items():
+            report.setdefault(key, value)
+
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -224,6 +316,18 @@ def main(argv=None):
         handle.write(text + "\n")
     print(text)
     print("\nwrote %s" % args.output)
+
+    if args.compare:
+        with open(args.compare) as handle:
+            old = json.load(handle)
+        print("\ndeltas vs %s:" % args.compare)
+        regressions = compare_reports(old, report)
+        if regressions:
+            print(
+                "REGRESSION: %s grew by more than %d%%"
+                % (", ".join(regressions), round((_REGRESSION_LIMIT - 1) * 100))
+            )
+            return 1
     return 0
 
 

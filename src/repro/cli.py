@@ -195,7 +195,6 @@ def cmd_record(args) -> int:
     only a few words per context, decoding happens later and elsewhere
     (see ``dacce decode``).
     """
-    from .core.events import SampleEvent
     from .core.samplelog import SampleLog
     from .core.serialize import export_decoding_state
 
@@ -208,13 +207,14 @@ def cmd_record(args) -> int:
         threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
     )
     engine = DacceEngine(root=program.main)
-    log = SampleLog()
-    from .program.trace import TraceExecutor as _Executor
+    from .program.trace import run_workload_columnar
 
-    for event in _Executor(program, spec).events():
-        engine.on_event(event)
-        if isinstance(event, SampleEvent):
-            log.append(engine.samples[-1])
+    # Drive the engine through the columnar batch path; the collected
+    # samples are then bulk-serialised in one pass instead of one
+    # append per sample callback.
+    run_workload_columnar(program, spec, engine)
+    log = SampleLog()
+    log.extend_packed(engine.samples)
 
     log_path = args.prefix + ".log"
     state_path = args.prefix + ".state.json"

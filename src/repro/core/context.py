@@ -9,8 +9,8 @@ timestamp) which the decoder later expands into a :class:`CallingContext`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple, Optional, Sequence, Tuple
 
 from .events import CallSiteId, FunctionId, ThreadId
 
@@ -63,12 +63,16 @@ class CallingContext:
         return CallingContext(tuple(ContextStep(f) for f in path))
 
 
-@dataclass(frozen=True)
-class CcStackEntry:
+class CcStackEntry(NamedTuple):
     """One saved sub-path on the ccStack: ``<id, callsite, target, count>``.
 
     ``count`` is only meaningful for recursion-compressed entries; it is
     zero for plain unencoded-edge saves (Figure 2(b) vs Figure 5(e)).
+
+    A ``NamedTuple`` (not a frozen dataclass): entries are created on
+    the runtime hot path (every unencoded-edge save), and tuple
+    construction is a single C call where the frozen-dataclass
+    ``__init__`` pays one ``object.__setattr__`` per field.
     """
 
     id: int
@@ -77,8 +81,7 @@ class CcStackEntry:
     count: int = 0
 
 
-@dataclass(frozen=True)
-class CollectedSample:
+class CollectedSample(NamedTuple):
     """What the sampler records at a sample point (Figure 6).
 
     This is the *compact* runtime representation of a context:
@@ -91,12 +94,17 @@ class CollectedSample:
     * ``ccstack`` — snapshot of the per-thread ccStack, bottom first.
     * ``thread`` — the sampled thread, used to stitch thread-creation
       contexts back on during decoding.
+
+    A ``NamedTuple`` for the same hot-path reason as
+    :class:`CcStackEntry`: one is materialised per profile-hook fire,
+    and the constructor cost is the bulk of the hook's marginal
+    overhead (see ``benchmarks/bench_profile_overhead.py``).
     """
 
     timestamp: int
     context_id: int
     function: FunctionId
-    ccstack: Tuple[CcStackEntry, ...] = field(default_factory=tuple)
+    ccstack: Tuple[CcStackEntry, ...] = ()
     thread: ThreadId = 0
 
     def ccstack_depth(self) -> int:

@@ -87,8 +87,18 @@ from .events import (
     ThreadStartEvent,
     inflate,
 )
+from .columnar import EventColumns
 from .faults import FaultKind, FaultLog, FaultPolicy, FaultRecord, RecoveryAction
-from .fastpath import FastPathStats, FastPathTable, compile_table
+from .fastpath import (
+    KERNEL_DEOPT,
+    KERNEL_DONE,
+    KERNEL_SAMPLE,
+    ColumnarKernel,
+    FastPathStats,
+    FastPathTable,
+    compile_columnar_kernel,
+    compile_table,
+)
 from .indirect import DEFAULT_HASH_THRESHOLD, IndirectDispatchTable
 from .invariants import check_dictionary
 
@@ -251,7 +261,7 @@ class DacceStats:
 SampleCallback = Callable[[CollectedSample, float], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class SampleHook:
     """The engine's continuous-profiling sampling hook.
 
@@ -263,9 +273,11 @@ class SampleHook:
     calls regardless of the sampling rate.
 
     The disabled cost is a single ``is None`` test per call on both the
-    general and the batched fast path; the enabled steady-state cost is
-    one integer decrement per call (``benchmarks/
-    bench_profile_overhead.py`` measures both).
+    general and the batched fast path; the enabled steady-state cost on
+    the batched paths is one *local* integer decrement per call — the
+    countdown is mirrored into a loop register and written back at
+    flush boundaries, so the hot loop never touches this object
+    (``benchmarks/bench_profile_overhead.py`` measures both).
     """
 
     every: int
@@ -395,6 +407,14 @@ class DacceEngine:
         # per-event dispatch — behaviour first, speed second.
         self._fastpath: Optional[FastPathTable] = None
         self.fastpath = FastPathStats()
+        # Code-generated columnar dispatch kernel (process_columns):
+        # pinned to a table *and* an engine shape — warm-start seeding,
+        # sampling hook presence and the adaptive check interval are
+        # compiled into the generated source, so any of them changing
+        # forces a re-``exec``.
+        self._columnar_kernel: Optional[ColumnarKernel] = None
+        self._columnar_kernel_table: Optional[FastPathTable] = None
+        self._columnar_kernel_shape: Optional[Tuple[bool, bool, int]] = None
         cls = type(self)
         self._fastpath_enabled = (
             cls.on_call is DacceEngine.on_call
@@ -651,6 +671,11 @@ class DacceEngine:
         action_id = _Action.ID
         action_none = _Action.NONE
         prof = self._prof
+        # The sampling countdown runs in a loop register; the hook
+        # attribute is only synchronised at flush boundaries (fire,
+        # deopt, trigger, batch end) so the hot loop stays free of
+        # attribute writes.
+        pcount = prof.countdown if prof is not None else 0
         self.fastpath.batches += 1
 
         # Folded per-batch counters; flushed through ``flush`` below.
@@ -727,16 +752,18 @@ class DacceEngine:
                                 pending_calls += 1
                                 hits += 1
                                 if prof is not None:
-                                    prof.countdown -= 1
-                                    if prof.countdown <= 0:
+                                    pcount -= 1
+                                    if pcount <= 0:
                                         # Flush first: the callback may
                                         # read engine statistics, which
                                         # must match per-event state.
-                                        prof.countdown = prof.every
+                                        pcount = prof.every
+                                        prof.countdown = pcount
                                         flush()
                                         self._fire_profile_sample(
                                             prof, record[1]
                                         )
+                                        pcount = prof.countdown
                                 continue
                 elif op == EV_RETURN:
                     state = threads.get(record[1])
@@ -760,7 +787,11 @@ class DacceEngine:
                                 # the same event positions.
                                 if self._window.calls + pending_calls >= interval:
                                     flush()
+                                    if prof is not None:
+                                        prof.countdown = pcount
                                     self._maybe_check_triggers()
+                                    if prof is not None:
+                                        pcount = prof.countdown
                                     if not table.valid_for(
                                         self._current,
                                         len(self._tail_calling_functions),
@@ -774,7 +805,13 @@ class DacceEngine:
                 # re-encoded, discovered a tail caller, or rolled back).
                 misses += 1
                 flush()
+                if prof is not None:
+                    # The general path decrements the hook's own
+                    # countdown; keep the register coherent across it.
+                    prof.countdown = pcount
                 self.on_event(inflate(record))
+                if prof is not None:
+                    pcount = prof.countdown
                 if not table.valid_for(
                     self._current, len(self._tail_calling_functions)
                 ):
@@ -782,6 +819,8 @@ class DacceEngine:
                     entries = table.entries
         finally:
             flush()
+            if prof is not None:
+                prof.countdown = pcount
             self.fastpath.hits += hits
             self.fastpath.misses += misses
 
@@ -797,6 +836,171 @@ class DacceEngine:
             self._fastpath = table
             self.fastpath.compiles += 1
         return table
+
+    # ------------------------------------------------------------------
+    # columnar fast-path processing (code-generated dispatch)
+    # ------------------------------------------------------------------
+    def process_columns(self, cols: EventColumns) -> None:
+        """Process a struct-of-arrays batch through a generated kernel.
+
+        Equivalent to :meth:`process_batch` over ``cols.to_compact()``
+        — same statistics, cost charges, sample positions, adaptive
+        trigger points and fault behaviour (the differential property
+        suite pins byte-identical end states) — but the steady state
+        runs inside a dispatch function ``exec``-ed per encoding epoch
+        (:func:`repro.core.fastpath.compile_columnar_kernel`), whose
+        inner loop iterates raw integer columns with one dict probe and
+        one integer add per hot event.  Any event the kernel cannot
+        prove cheap exits the kernel, materialises that single compact
+        tuple (``cols.record(i)``) and takes the existing general path;
+        processing then re-enters the kernel at the next index.
+
+        Deopt storms (cold-start discovery, adversarial streams) would
+        pay a kernel re-entry — view slicing, prologue, counter flush —
+        per miss.  When a deopt arrives after a short hit run the
+        driver assumes it is in such a storm and routes a fixed window
+        of events through :meth:`process_batch` (whose inline probe
+        costs a fraction of a kernel re-entry per event) before
+        re-arming the kernel; ``process_batch`` is itself proven
+        equivalent to per-event dispatch, so the end state is
+        unchanged (only batch/hit telemetry differs, which the
+        differential suite explicitly excludes).
+        """
+        if not self._fastpath_enabled:
+            # Subclass overrides a bypassed handler: per-event dispatch.
+            on_event = self.on_event
+            for record in cols.iter_compact():
+                on_event(inflate(record))
+            return
+        n = len(cols)
+        if not n:
+            return
+        fp = self.fastpath
+        fp.batches += 1
+        kernel = self._ensure_columnar_kernel()
+        views = cols.views()
+        start = 0
+        # Storm heuristic: a deopt after fewer than STORM_RUN fast-path
+        # events triggers STORM_WINDOW general-path events.
+        storm_run = 8
+        storm_window = 64
+        try:
+            while start < n:
+                entered_at = start
+                prof = self._prof
+                (
+                    start,
+                    reason,
+                    thread,
+                    calls,
+                    returns,
+                    id_updates,
+                    tcstack,
+                    hits,
+                    pcount,
+                ) = kernel(
+                    views,
+                    start,
+                    self._threads,
+                    prof.countdown if prof is not None else 0,
+                    self._window.calls,
+                )
+                # Flush the folded counters before any general-path
+                # work, exactly as ``process_batch`` does: everything
+                # the general path (or a sample callback) observes must
+                # match per-event state.
+                fp.hits += hits
+                self._flush_fastpath_counters(
+                    calls, returns, id_updates, tcstack
+                )
+                if prof is not None:
+                    prof.countdown = pcount
+                if reason == KERNEL_DONE:
+                    break
+                if reason == KERNEL_SAMPLE:
+                    if prof is not None:
+                        prof.countdown = prof.every
+                        self._fire_profile_sample(prof, thread)
+                elif reason == KERNEL_DEOPT:
+                    fp.misses += 1
+                    self.on_event(inflate(cols.record(start)))
+                    start += 1
+                    if start - entered_at <= storm_run:
+                        stop = min(n, start + storm_window)
+                        record = cols.record
+                        self.process_batch(
+                            [record(i) for i in range(start, stop)]
+                        )
+                        start = stop
+                    kernel = self._ensure_columnar_kernel()
+                else:  # KERNEL_TRIGGER: adaptive window filled
+                    self._maybe_check_triggers()
+                    kernel = self._ensure_columnar_kernel()
+        finally:
+            for view in views:
+                view.release()
+
+    def _flush_fastpath_counters(
+        self, calls: int, returns: int, id_updates: int, tcstack: int
+    ) -> None:
+        """Fold per-run kernel counters into engine state.
+
+        Mirrors ``process_batch``'s ``flush`` closure; the charges are
+        exact under folding because the cost parameters involved are
+        dyadic rationals (``n`` float adds ≡ one ``n *`` multiply).
+        """
+        obs = self._obs
+        if calls:
+            self.stats.calls += calls
+            self._window.calls += calls
+            self.cost.charge_call_baseline(calls)
+            if obs:
+                self._m_calls[CallKind.NORMAL].inc(calls)
+        if returns:
+            self.stats.returns += returns
+            if obs:
+                self._m_returns.inc(returns)
+        if id_updates:
+            self.cost.charge_id_update(id_updates)
+        if tcstack:
+            self.cost.charge_tcstack(tcstack)
+
+    def _ensure_columnar_kernel(self) -> ColumnarKernel:
+        """The generated dispatch kernel for the current engine epoch.
+
+        Recompiled whenever the fast-path table goes stale (re-encoding
+        commit or rollback, tail-set growth) *or* the compiled-in shape
+        changes: warm-start accounting and the sampling countdown exist
+        in the generated source only while those features are live, and
+        the adaptive check interval is inlined as a literal.
+        """
+        table = self._ensure_fastpath()
+        shape = (
+            bool(self._warm),
+            self._prof is not None,
+            self.config.adaptive.check_interval,
+        )
+        kernel = self._columnar_kernel
+        if (
+            kernel is None
+            or self._columnar_kernel_table is not table
+            or self._columnar_kernel_shape != shape
+        ):
+            kernel = compile_columnar_kernel(
+                table,
+                gts=self._timestamp,
+                frame_factory=_Frame,
+                action_none=_Action.NONE,
+                action_id=_Action.ID,
+                stats=self.stats,
+                warm=shape[0],
+                profiled=shape[1],
+                interval=shape[2],
+            )
+            self._columnar_kernel = kernel
+            self._columnar_kernel_table = table
+            self._columnar_kernel_shape = shape
+        return kernel
 
     def fastpath_stats(self) -> Dict[str, object]:
         """Fast-path specialisation counters (plus table shape)."""

@@ -154,6 +154,17 @@ KIND_NORMAL_CODE = KIND_CODE[CallKind.NORMAL]
 
 CompactEvent = Tuple[int, ...]
 
+#: Tuple arity per opcode — the columnar converters and tests use this
+#: to validate that a record carries exactly the slots its layout names.
+OPCODE_ARITY = {
+    EV_CALL: 6,
+    EV_RETURN: 2,
+    EV_SAMPLE: 2,
+    EV_THREAD_START: 4,
+    EV_THREAD_EXIT: 2,
+    EV_LIBRARY_LOAD: 3,
+}
+
 
 def compact(event: Event) -> CompactEvent:
     """The compact-tuple form of a dataclass event."""

@@ -27,7 +27,7 @@ warm-start seeding (PR 2/PR 3) need no extra hooks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple, cast
 
 from .events import CallKind, CallSiteId, FunctionId
 
@@ -149,3 +149,235 @@ def compile_table(graph, dictionary, tail_calling_functions) -> FastPathTable:
             edge.callee in tail_calling_functions,
         )
     return FastPathTable(entries, dictionary, len(tail_calling_functions))
+
+
+# ----------------------------------------------------------------------
+# code-generated columnar dispatch
+# ----------------------------------------------------------------------
+# ``DacceEngine.process_columns`` drives struct-of-arrays batches
+# (:mod:`repro.core.columnar`) through a *code-generated* kernel: each
+# time a :class:`FastPathTable` is compiled, the engine ``exec``s a
+# specialised dispatch function with the table's entry dict bound as a
+# closure constant and the current engine shape (warm-start seeding
+# present?  sampling hook installed?  adaptive check interval) compiled
+# directly into the source — branches for absent features do not exist
+# in the generated bytecode.  The per-thread id register, the logical
+# top-of-stack function and the sampling countdown live in interpreter
+# locals, so the steady-state inner loop is one dict probe plus one
+# integer add over raw integer columns.
+#
+# Frames for hot calls are *deferred*: the kernel pushes lightweight
+# scratch tuples and only materialises real ``_Frame`` objects when it
+# exits (deopt, sample, trigger, thread switch, end of batch).  This is
+# sound because nothing observes ``state.frames`` between hot events,
+# the ccStack never mutates on the hit path (so one ``saved_state()``
+# per thread-activation is exact for every deferred frame), and a
+# call/return pair wholly inside one kernel run never needs its frame
+# at all.
+#
+# Exit protocol: the kernel returns
+# ``(consumed, reason, thread, calls, returns, id_updates, tcstack,
+# hits, countdown)`` after materialising scratch frames and writing the
+# id register back.  ``consumed`` is the index at which processing
+# should resume; ``reason`` is one of the ``KERNEL_*`` codes below.
+
+#: Exit reasons of a generated kernel run.
+KERNEL_DONE = 0  #: every event consumed
+KERNEL_DEOPT = 1  #: event at ``consumed`` needs the general path
+KERNEL_SAMPLE = 2  #: sampling countdown hit zero after a call
+KERNEL_TRIGGER = 3  #: adaptive window filled after a return
+
+#: ``kernel(views, start, threads, countdown, window_calls)`` →
+#: ``(consumed, reason, thread, calls, returns, id_updates, tcstack,
+#: hits, countdown)``.
+ColumnarKernel = Callable[
+    [Tuple[Any, ...], int, Dict[int, Any], int, int], Tuple[int, ...]
+]
+
+_SWITCH_BLOCK = """\
+{i}ns = threads_get(et)
+{i}if ns is None:
+{i}    reason = 1
+{i}    break
+{i}if state is not None:
+{i}    if scratch:
+{i}        for sf in scratch:
+{i}            frames_append(_frame(sf[0], sf[1], sf[2], cc_state, sf[3]))
+{i}        del scratch[:]
+{i}    state.id_value = cur_id
+{i}cur_t = et
+{i}state = ns
+{i}frames = ns.frames
+{i}frames_append = frames.append
+{i}cur_id = ns.id_value
+{i}top_fn = frames[-1].function
+{i}cc_state = ns.ccstack.saved_state()"""
+
+_WARM_BLOCK = """\
+                    if not edge.invocations and edge.seeded:
+                        _stats.warmstart_handler_hits_avoided += 1"""
+
+_PROF_BLOCK = """\
+                    pcount -= 1
+                    if pcount <= 0:
+                        reason = 2
+                        break"""
+
+_KERNEL_TEMPLATE = """\
+def {name}(views, start, threads_map, pcount, wcalls):
+    ops, tcol, cscol, crcol, cecol, kcol = views
+    if start:
+        ops = ops[start:]
+        tcol = tcol[start:]
+        cscol = cscol[start:]
+        crcol = crcol[start:]
+        cecol = cecol[start:]
+        kcol = kcol[start:]
+    threads_get = threads_map.get
+    entries_get = _entries_get
+    scratch = []
+    scratch_append = scratch.append
+    scratch_pop = scratch.pop
+    cur_t = -1
+    state = None
+    frames = None
+    frames_append = None
+    cur_id = 0
+    top_fn = -1
+    cc_state = None
+    pend_calls = 0
+    pend_rets = 0
+    pend_id = 0
+    pend_tc = 0
+    hits = 0
+    reason = 0
+    i = start - 1
+    for op, et, cs, cr, ce, ek in zip(ops, tcol, cscol, crcol, cecol, kcol):
+        i += 1
+        if op == 0:
+            if ek == 0:
+                if et != cur_t:
+{switch_call}
+                entry = entries_get((cs, ce))
+                if entry is not None and top_fn == cr:
+                    edge = entry[1]
+{warm_block}
+                    edge.invocations += 1
+                    delta = entry[0]
+                    if delta:
+                        scratch_append((ce, cs, cur_id, _act_id))
+                        cur_id += delta
+                        pend_id += 1
+                    else:
+                        scratch_append((ce, cs, cur_id, _act_none))
+                    if entry[2]:
+                        pend_tc += 1
+                    top_fn = ce
+                    pend_calls += 1
+                    hits += 1
+{prof_block}
+                    continue
+            reason = 1
+            break
+        elif op == 1:
+            if et != cur_t:
+{switch_ret}
+            if scratch:
+                sf = scratch_pop()
+                cur_id = sf[2]
+                if sf[3] is _act_id:
+                    pend_id += 1
+                pend_rets += 1
+                hits += 1
+                top_fn = scratch[-1][0] if scratch else frames[-1].function
+                if wcalls + pend_calls >= {interval}:
+                    reason = 3
+                    break
+                continue
+            if len(frames) > 1:
+                frame = frames[-1]
+                act = frame.action
+                if (act is _act_none or act is _act_id) and not frame.chain:
+                    frames.pop()
+                    if act is _act_id:
+                        pend_id += 1
+                    cur_id = frame.restore_id
+                    pend_rets += 1
+                    hits += 1
+                    top_fn = frames[-1].function
+                    if wcalls + pend_calls >= {interval}:
+                        reason = 3
+                        break
+                    continue
+            reason = 1
+            break
+        else:
+            reason = 1
+            break
+    if state is not None:
+        if scratch:
+            for sf in scratch:
+                frames_append(_frame(sf[0], sf[1], sf[2], cc_state, sf[3]))
+        state.id_value = cur_id
+    if reason == 1:
+        consumed = i
+    else:
+        consumed = i + 1
+    return (
+        consumed,
+        reason,
+        cur_t,
+        pend_calls,
+        pend_rets,
+        pend_id,
+        pend_tc,
+        hits,
+        pcount,
+    )
+"""
+
+
+def compile_columnar_kernel(
+    table: FastPathTable,
+    *,
+    gts: int,
+    frame_factory: Callable[..., Any],
+    action_none: Any,
+    action_id: Any,
+    stats: Any,
+    warm: bool,
+    profiled: bool,
+    interval: int,
+) -> ColumnarKernel:
+    """``exec`` a dispatch kernel specialised for one engine epoch.
+
+    ``gts`` only names the generated function (``_kernel_gts<N>``) so
+    profiles and tracebacks identify which encoding epoch a kernel
+    belongs to; the real specialisation constants are the table's entry
+    dict (closure constant), ``warm``/``profiled`` (their branches are
+    present in the source only when the feature is live) and
+    ``interval`` (inlined literal).  The engine recompiles whenever the
+    table or any shape input changes — see
+    ``DacceEngine._ensure_columnar_kernel``.
+    """
+    name = "_kernel_gts%d" % (gts,)
+    source = _KERNEL_TEMPLATE.format(
+        name=name,
+        interval=interval,
+        switch_call=_SWITCH_BLOCK.format(i=" " * 20),
+        switch_ret=_SWITCH_BLOCK.format(i=" " * 16),
+        warm_block=_WARM_BLOCK if warm else "",
+        prof_block=_PROF_BLOCK if profiled else "",
+    )
+    namespace: Dict[str, Any] = {
+        "_entries_get": table.entries.get,
+        "_frame": frame_factory,
+        "_act_none": action_none,
+        "_act_id": action_id,
+        "_stats": stats,
+    }
+    exec(  # noqa: S102 - the source is generated above, not user input
+        compile(source, "<columnar-kernel gts=%d>" % (gts,), "exec"),
+        namespace,
+    )
+    return cast(ColumnarKernel, namespace[name])

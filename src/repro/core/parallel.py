@@ -26,6 +26,7 @@ included) in the same positions.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import List, Optional, Sequence, Tuple, Union
 
 from .context import CallingContext, CollectedSample
@@ -118,7 +119,15 @@ def decode_log_parallel(
 
     With ``jobs <= 1`` no pool is spawned: the log decodes in-process
     through the same chunking and caching, so output (and fault
-    ordering) is identical by construction.
+    ordering) is identical by construction.  The same in-process path
+    is taken when ``os.cpu_count() == 1``: on a single-core machine a
+    worker pool can only add fork/pickle overhead on top of a serial
+    schedule, so spawning one would make the "parallel" decoder
+    *slower* than sequential while reporting the requested ``jobs`` —
+    dishonest benchmark numbers.  Memoization remains the only win on
+    such hosts (see the module docstring); ``stats["jobs"]`` keeps the
+    *requested* count and ``stats["effective_jobs"]`` records what
+    actually ran.
     """
     total = len(samples)
     ranges = _chunk_ranges(total, max(1, jobs))
@@ -128,7 +137,11 @@ def decode_log_parallel(
 
     results: List[Union[CallingContext, PartialDecode]] = []
     cache_hits = cache_misses = 0
-    if jobs <= 1 or len(payloads) <= 1:
+    effective_jobs = max(1, jobs)
+    if (os.cpu_count() or 1) == 1:
+        effective_jobs = 1
+    if effective_jobs <= 1 or len(payloads) <= 1:
+        effective_jobs = 1
         _init_worker(state_path, best_effort_state, cache_capacity)
         try:
             for payload in payloads:
@@ -139,7 +152,8 @@ def decode_log_parallel(
         finally:
             _reset_worker()
     else:
-        workers = min(jobs, len(payloads))
+        workers = min(effective_jobs, len(payloads))
+        effective_jobs = workers
         with multiprocessing.Pool(
             processes=workers,
             initializer=_init_worker,
@@ -156,6 +170,7 @@ def decode_log_parallel(
         stats["cache_hits"] = cache_hits
         stats["cache_misses"] = cache_misses
         stats["jobs"] = max(1, jobs)
+        stats["effective_jobs"] = effective_jobs
         stats["chunks"] = len(payloads)
     return results
 

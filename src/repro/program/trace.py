@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..core.columnar import EventColumns
 from ..core.errors import TraceError
 from ..core.events import (
     EV_CALL,
@@ -207,6 +208,26 @@ class TraceExecutor:
         """
         for record in self.compact_events():
             yield inflate(record)
+
+    def column_events(self, batch_size: int = 4096) -> Iterator[EventColumns]:
+        """Generate the event stream as struct-of-arrays slabs.
+
+        The columnar producer: each yielded :class:`EventColumns` holds
+        up to ``batch_size`` events ready for
+        ``DacceEngine.process_columns`` (see
+        :func:`run_workload_columnar`).  One slab object is reused
+        across yields — consume (or copy) each slab before advancing
+        the iterator.
+        """
+        cols = EventColumns.with_capacity(batch_size)
+        push = cols.push
+        for record in self.compact_events():
+            push(record)
+            if len(cols) >= batch_size:
+                yield cols
+                cols.clear()
+        if len(cols):
+            yield cols
 
     def compact_events(self) -> Iterator[CompactEvent]:
         """Generate the full event stream as compact tuples (single pass).
@@ -502,3 +523,21 @@ def run_workload_batched(
             batch.clear()
     if batch:
         engine.process_batch(batch)
+
+
+def run_workload_columnar(
+    program: Program,
+    spec: WorkloadSpec,
+    engine,
+    batch_size: int = 4096,
+) -> None:
+    """Drive ``engine`` over the workload as struct-of-arrays slabs.
+
+    The columnar counterpart of :func:`run_workload_batched`: events
+    flow through ``engine.process_columns`` and its code-generated
+    dispatch kernel.  Behaviourally identical to :func:`run_workload`
+    (the differential property tests assert it); only speed changes.
+    """
+    executor = TraceExecutor(program, spec)
+    for cols in executor.column_events(batch_size):
+        engine.process_columns(cols)

@@ -26,10 +26,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import os
 
 from ..core.ccstack import UNTRACKED_FUNCTION
+from ..core.columnar import EventColumns
 from ..core.context import CallingContext, CollectedSample
 from ..core.engine import DacceConfig, DacceEngine
 from ..core.errors import TraceError
-from ..core.events import EV_CALL, EV_RETURN, CompactEvent
 
 #: Function id reserved for the tracing root (the ``main`` node).
 ROOT_FUNCTION = 0
@@ -197,13 +197,20 @@ class PythonDacceTracer:
         self._active = False
         self._calls_since_sample = 0
         self._base_frame: Optional[FrameType] = None
-        #: Pending compact event tuples, drained through the engine's
-        #: batched fast lane.  Buffering keeps the per-call profile-hook
-        #: work to an append; anything that observes engine state
-        #: (sampling, decoding, the shadow-stack oracle, ``stop``)
-        #: flushes first, so observable behaviour is unchanged.
-        self._buffer: List[CompactEvent] = []
+        #: Pending events as a preallocated struct-of-arrays slab,
+        #: drained through the engine's code-generated columnar fast
+        #: lane.  The per-call profile-hook work is a handful of integer
+        #: column stores; anything that observes engine state (sampling,
+        #: decoding, the shadow-stack oracle, ``stop``) flushes first,
+        #: so observable behaviour is unchanged.  ``clear()`` keeps the
+        #: storage, so a long trace never reallocates the slab.
         self._buffer_limit = 512
+        self._columns = EventColumns.with_capacity(self._buffer_limit)
+        #: Samples delivered by the engine hook while an aggregator is
+        #: attached; decoded and folded in one batch per flush instead
+        #: of per sample inside the hot callback.
+        self._pending_cct: List[Tuple[CollectedSample, float]] = []
+        self._cct_aggregator: Optional[Any] = None
         #: True while engine machinery runs under an active profile hook
         #: (flush / sample / decode called from traced code); the hook
         #: ignores those interpreter events — they belong to the tracer,
@@ -319,20 +326,22 @@ class PythonDacceTracer:
             self._live_frames.pop()
             if self._frame_kinds and self._frame_kinds.pop() == _REGION_INNER:
                 continue
-            self._buffer.append((EV_RETURN, 0))
+            self._columns.push_return(0)
         self.flush()
         self._base_frame = None
 
     def flush(self) -> None:
-        """Drain buffered events into the engine's batched fast lane."""
-        if self._buffer:
-            batch = self._buffer
-            self._buffer = []
+        """Drain buffered events into the engine's columnar fast lane."""
+        cols = self._columns
+        if len(cols):
             self._in_engine = True
             try:
-                self.engine.process_batch(batch)
+                self.engine.process_columns(cols)
             finally:
                 self._in_engine = False
+                cols.clear()
+        if self._pending_cct:
+            self._drain_cct_samples()
 
     # ------------------------------------------------------------------
     def _profile(self, frame: FrameType, event: str, arg: Any) -> None:
@@ -368,14 +377,14 @@ class PythonDacceTracer:
             lasti = 0
         callee_id = self._function_id(frame.f_code)
         callsite = self._callsite_id(caller_id, lasti)
-        self._buffer.append((EV_CALL, 0, callsite, caller_id, callee_id, 0))
+        self._columns.push_call(0, callsite, caller_id, callee_id)
         self._live_frames.append(frame)
         if self.sample_every:
             self._calls_since_sample += 1
             if self._calls_since_sample >= self.sample_every:
                 self._calls_since_sample = 0
                 self._record_sample()
-        if len(self._buffer) >= self._buffer_limit:
+        if len(self._columns) >= self._buffer_limit:
             self.flush()
 
     def _on_call_targeted(self, frame: FrameType) -> None:
@@ -449,7 +458,7 @@ class PythonDacceTracer:
         kind: int,
     ) -> None:
         """Common tail of every event-emitting targeted call path."""
-        self._buffer.append((EV_CALL, 0, callsite, caller_id, callee_id, 0))
+        self._columns.push_call(0, callsite, caller_id, callee_id)
         self._live_frames.append(frame)
         self._frame_kinds.append(kind)
         if self.sample_every:
@@ -457,7 +466,7 @@ class PythonDacceTracer:
             if self._calls_since_sample >= self.sample_every:
                 self._calls_since_sample = 0
                 self._record_sample()
-        if len(self._buffer) >= self._buffer_limit:
+        if len(self._columns) >= self._buffer_limit:
             self.flush()
 
     def _on_return(self, frame: FrameType) -> None:
@@ -470,8 +479,8 @@ class PythonDacceTracer:
             if self._frame_kinds.pop() == _REGION_INNER:
                 self.suppressed_events += 1
                 return
-        self._buffer.append((EV_RETURN, 0))
-        if len(self._buffer) >= self._buffer_limit:
+        self._columns.push_return(0)
+        if len(self._columns) >= self._buffer_limit:
             self.flush()
 
     # ------------------------------------------------------------------
@@ -509,15 +518,19 @@ class PythonDacceTracer:
         every: int = 64,
         wall_time: Optional[bool] = None,
     ) -> Any:
-        """Stream engine-hook samples straight into a ``CCTAggregator``.
+        """Stream engine-hook samples into a ``CCTAggregator``.
 
         Installs the engine's continuous-profiling hook
         (:meth:`~repro.core.engine.DacceEngine.install_sample_hook`)
-        with a callback that refreshes the aggregator's decoder — the
-        call graph and dictionary set grow while tracing runs — and
-        folds the sample into the live CCT.  ``wall_time`` overrides
-        the tracer-level weight mode; in call mode each sample weighs
-        ``every`` calls, so total CCT weight tracks total traced calls.
+        with a callback that only *records* the sample — the decode and
+        CCT fold run batched at the next :meth:`flush` (and at
+        :meth:`stop`), with the aggregator's decoder refreshed once per
+        drain instead of once per sample.  Deferral is lossless:
+        dictionaries are immutable and grow-only, so a decoder built at
+        drain time decodes every earlier-epoch sample identically.
+        ``wall_time`` overrides the tracer-level weight mode; in call
+        mode each sample weighs ``every`` calls, so total CCT weight
+        tracks total traced calls.
         """
         use_wall = self.wall_time if wall_time is None else wall_time
         weigher: Optional[Callable[[], float]] = None
@@ -530,11 +543,30 @@ class PythonDacceTracer:
                 last[0] = now
                 return delta
 
+        self._cct_aggregator = aggregator
+        pending = self._pending_cct
+
         def deliver(sample: CollectedSample, weight: float) -> None:
-            aggregator.decoder = self.engine.decoder()
-            aggregator.add_sample(sample, weight)
+            # Hot callback: one list append.  The decode happens in
+            # ``_drain_cct_samples`` at the batched flush.
+            pending.append((sample, weight))
 
         return self.engine.install_sample_hook(every, deliver, weigher=weigher)
+
+    def _drain_cct_samples(self) -> None:
+        """Decode and fold hook samples collected since the last drain."""
+        aggregator = self._cct_aggregator
+        if aggregator is None:
+            return
+        batch = self._pending_cct[:]
+        del self._pending_cct[:]
+        self._in_engine = True
+        try:
+            aggregator.decoder = self.engine.decoder()
+            for sample, weight in batch:
+                aggregator.add_sample(sample, weight)
+        finally:
+            self._in_engine = False
 
     def decode(self, sample: CollectedSample) -> CallingContext:
         """Decode a sample back into the full Python call path."""

@@ -1,0 +1,149 @@
+"""EventColumns struct-of-arrays batch tests.
+
+The columnar batch is the wire between producers (trace executor,
+pytrace tracer) and ``DacceEngine.process_columns``; these tests pin
+its lossless round-trip against the compact-tuple format across every
+opcode and call kind, plus the buffer-management contract (capacity
+reuse, view pinning, deopt-time single-record materialisation).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar import OPCODE_ARITY, EventColumns
+from repro.core.events import (
+    EV_CALL,
+    EV_LIBRARY_LOAD,
+    EV_RETURN,
+    EV_SAMPLE,
+    EV_THREAD_EXIT,
+    EV_THREAD_START,
+)
+
+_ID = st.integers(min_value=0, max_value=2**40)
+_THREAD = st.integers(min_value=0, max_value=64)
+_KIND = st.integers(min_value=0, max_value=3)
+
+
+def record_strategy():
+    """One compact event tuple, any opcode, any call kind."""
+    return st.one_of(
+        st.tuples(st.just(EV_CALL), _THREAD, _ID, _ID, _ID, _KIND),
+        st.tuples(st.just(EV_RETURN), _THREAD),
+        st.tuples(st.just(EV_SAMPLE), _THREAD),
+        st.tuples(st.just(EV_THREAD_START), _THREAD, _THREAD, _ID),
+        st.tuples(st.just(EV_THREAD_EXIT), _THREAD),
+        st.tuples(
+            st.just(EV_LIBRARY_LOAD),
+            _THREAD,
+            st.text(min_size=1, max_size=12),
+        ),
+    )
+
+
+class TestRoundTrip:
+    @given(st.lists(record_strategy(), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_property_from_compact_to_compact(self, records):
+        cols = EventColumns.from_compact(records)
+        assert len(cols) == len(records)
+        assert cols.to_compact() == records
+        assert list(cols.iter_compact()) == records
+
+    @given(st.lists(record_strategy(), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_record_indexing(self, records):
+        cols = EventColumns.from_compact(records)
+        for index, record in enumerate(records):
+            assert cols.record(index) == record
+
+    def test_all_opcodes_one_batch(self):
+        records = [
+            (EV_CALL, 0, 10, 1, 2, 0),
+            (EV_CALL, 0, 11, 2, 3, 1),
+            (EV_CALL, 0, 12, 3, 4, 2),
+            (EV_CALL, 0, 13, 4, 5, 3),
+            (EV_RETURN, 0),
+            (EV_SAMPLE, 0),
+            (EV_THREAD_START, 1, 0, 7),
+            (EV_LIBRARY_LOAD, 1, "libm.so"),
+            (EV_THREAD_EXIT, 1),
+        ]
+        assert EventColumns.from_compact(records).to_compact() == records
+
+    def test_arity_table_matches_layouts(self):
+        samples = {
+            EV_CALL: (EV_CALL, 0, 1, 2, 3, 0),
+            EV_RETURN: (EV_RETURN, 0),
+            EV_SAMPLE: (EV_SAMPLE, 0),
+            EV_THREAD_START: (EV_THREAD_START, 1, 0, 2),
+            EV_THREAD_EXIT: (EV_THREAD_EXIT, 1),
+            EV_LIBRARY_LOAD: (EV_LIBRARY_LOAD, 0, "lib"),
+        }
+        for opcode, record in samples.items():
+            assert len(record) == OPCODE_ARITY[opcode]
+
+
+class TestBufferManagement:
+    def test_preallocated_push_stays_in_place(self):
+        cols = EventColumns.with_capacity(8)
+        assert cols.capacity == 8
+        for n in range(8):
+            cols.push_call(0, n, n, n + 1)
+        assert len(cols) == 8
+        assert cols.capacity == 8
+
+    def test_growth_past_capacity(self):
+        cols = EventColumns.with_capacity(2)
+        for n in range(5):
+            cols.push_return(n)
+        assert len(cols) == 5
+        assert cols.to_compact() == [(EV_RETURN, n) for n in range(5)]
+
+    def test_clear_keeps_storage(self):
+        cols = EventColumns.with_capacity(4)
+        cols.push_call(0, 1, 2, 3)
+        cols.push_return(0)
+        cols.clear()
+        assert len(cols) == 0
+        assert cols.capacity >= 4
+
+    def test_slab_reuse_round(self):
+        cols = EventColumns.with_capacity(4)
+        first = [(EV_CALL, 0, 1, 2, 3, 0), (EV_RETURN, 0)]
+        second = [(EV_SAMPLE, 1), (EV_THREAD_EXIT, 1)]
+        cols.extend(first)
+        assert cols.to_compact() == first
+        cols.clear()
+        cols.extend(second)
+        assert cols.to_compact() == second
+
+    def test_views_pin_arrays_and_release_unpins(self):
+        cols = EventColumns.from_compact([(EV_RETURN, 0)])
+        views = cols.views()
+        with pytest.raises(BufferError):
+            cols.push_return(1)
+        for view in views:
+            view.release()
+        cols.push_return(1)
+        assert len(cols) == 2
+
+    def test_record_out_of_range(self):
+        cols = EventColumns.from_compact([(EV_RETURN, 0)])
+        with pytest.raises(IndexError):
+            cols.record(1)
+
+    def test_unknown_opcode_rolls_back(self):
+        cols = EventColumns()
+        with pytest.raises(TypeError):
+            cols.push((99, 0))
+        assert len(cols) == 0
+        cols.push_return(0)
+        assert cols.to_compact() == [(EV_RETURN, 0)]
+
+    def test_library_names_survive_clear(self):
+        cols = EventColumns()
+        cols.push((EV_LIBRARY_LOAD, 0, "libfirst.so"))
+        cols.clear()
+        cols.push((EV_LIBRARY_LOAD, 0, "libsecond.so"))
+        assert cols.to_compact() == [(EV_LIBRARY_LOAD, 0, "libsecond.so")]

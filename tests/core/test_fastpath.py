@@ -209,3 +209,54 @@ def test_engine_decoder_shares_cache_across_samples():
     stats = engine.stats_snapshot()["decode_cache"]
     assert stats["hits"] >= len(engine.samples)  # second pass all hits
     assert stats["entries"] <= stats["capacity"]
+
+
+# ----------------------------------------------------------------------
+# columnar dispatch (PR 9)
+# ----------------------------------------------------------------------
+def test_process_columns_empty_batch_is_noop():
+    from repro.core.columnar import EventColumns
+
+    engine = DacceEngine()
+    engine.process_columns(EventColumns())
+    assert engine.stats.calls == 0
+    assert engine.fastpath.batches == 0
+
+
+def test_process_columns_fallback_without_fastpath():
+    from repro.core.columnar import EventColumns
+
+    engine = GlobalIdEngine()
+    assert not engine._fastpath_enabled
+    events = [CallEvent(0, 1, engine.graph.root, 1), ReturnEvent(0)]
+    engine.process_columns(EventColumns.from_compact([compact(e) for e in events]))
+    # Fell back to per-event dispatch — processed, no fast-path counters.
+    assert engine.stats.calls == 1 and engine.stats.returns == 1
+    assert engine.fastpath.hits == engine.fastpath.misses == 0
+
+
+def test_process_columns_releases_views():
+    """The batch is appendable again after processing (views released)."""
+    from repro.core.columnar import EventColumns
+
+    engine = _run_engine()
+    cols = EventColumns()
+    cols.push_call(0, 1, engine.graph.root, 1)
+    cols.push_return(0)
+    engine.process_columns(cols)
+    cols.clear()
+    cols.push_return(0)  # would raise BufferError if views leaked
+    assert len(cols) == 1
+
+
+def test_process_columns_recompiles_after_reencode():
+    from repro.core.columnar import EventColumns
+
+    engine = _run_engine()
+    compiles_before = engine.fastpath.compiles
+    engine.reencode()
+    cols = EventColumns.from_compact(
+        [(EV_CALL, 0, 1, engine.graph.root, 1, 0)]
+    )
+    engine.process_columns(cols)
+    assert engine.fastpath.compiles > compiles_before

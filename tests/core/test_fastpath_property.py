@@ -1,12 +1,14 @@
 """Differential property tests: the fast lane changes speed, not behaviour.
 
-The contract of ``DacceEngine.process_batch`` is *exact* equivalence
-with one-event-at-a-time dispatch: byte-identical decoding state,
-identical collected samples, identical statistics/metrics/cost
-accounting — across re-encoding (mid-batch and mid-stream), warm-start
-seeding, and fault-policy recovery.  Hypothesis drives random programs,
-workloads, batch sizes and corruptions through both paths and compares
-everything observable.
+The contract of ``DacceEngine.process_batch`` — and of the columnar
+``process_columns`` path with its code-generated dispatch kernel — is
+*exact* equivalence with one-event-at-a-time dispatch: byte-identical
+decoding state, identical collected samples, identical
+statistics/metrics/cost accounting — across re-encoding (mid-batch and
+mid-stream), warm-start seeding, and fault-policy recovery.
+Hypothesis drives random programs, workloads, batch sizes and
+corruptions through all three paths and compares everything
+observable.
 
 The same discipline is applied to the decode side:
 ``decode_log_parallel`` must reproduce sequential ``decode_log`` output
@@ -19,6 +21,7 @@ from hypothesis import given, settings, strategies as st
 
 import random
 
+from repro.core.columnar import EventColumns
 from repro.core.engine import DacceConfig, DacceEngine
 from repro.core.events import EV_CALL, EV_RETURN, inflate
 from repro.core.faults import FaultPolicy
@@ -72,6 +75,18 @@ def _drive_batched(engine, records, batch_size, reencode_at=None):
             engine.process_batch(part[start : start + batch_size])
 
 
+def _drive_columnar(engine, records, batch_size, reencode_at=None):
+    """Same shape as ``_drive_batched`` but through ``process_columns``."""
+    cut = len(records) if reencode_at is None else reencode_at
+    for index, part in enumerate((records[:cut], records[cut:])):
+        if index == 1 and reencode_at is not None:
+            engine.reencode()
+        for start in range(0, len(part), batch_size):
+            engine.process_columns(
+                EventColumns.from_compact(part[start : start + batch_size])
+            )
+
+
 def _observable(engine):
     """Everything the fast lane must leave bit-identical."""
     snapshot = engine.stats_snapshot()
@@ -122,6 +137,12 @@ def test_process_batch_equals_per_event(
     batched = DacceEngine()
     _drive_batched(batched, records, batch_size, reencode_at)
     _assert_equivalent(per_event, batched)
+    columnar = DacceEngine()
+    _drive_columnar(columnar, records, batch_size, reencode_at)
+    _assert_equivalent(per_event, columnar)
+    # The generated dispatch kernel actually ran (not a silent fallback).
+    assert columnar.fastpath.compiles >= 1
+    assert columnar.fastpath.batches >= 1
 
 
 @given(
@@ -147,6 +168,15 @@ def test_process_batch_equals_per_event_warm_start(
     _drive_batched(batched, records, batch_size, reencode_at=len(records) // 2)
     assert batched.stats.warmstart_handler_hits_avoided > 0
     _assert_equivalent(per_event, batched)
+    # NB: each engine needs its own freshly built plan — a WarmStartPlan
+    # installs CallEdge objects by reference, so sharing one between two
+    # engines would share (and double-consume) edge.invocations.
+    columnar = fresh()
+    _drive_columnar(
+        columnar, records, batch_size, reencode_at=len(records) // 2
+    )
+    assert columnar.stats.warmstart_handler_hits_avoided > 0
+    _assert_equivalent(per_event, columnar)
 
 
 def _corrupt(records, seed, rate=0.02):
@@ -190,3 +220,8 @@ def test_process_batch_equals_per_event_under_fault_recovery(
     batched = DacceEngine(config=DacceConfig(fault_policy=FaultPolicy.RECOVER))
     _drive_batched(batched, records, batch_size)
     _assert_equivalent(per_event, batched)
+    columnar = DacceEngine(
+        config=DacceConfig(fault_policy=FaultPolicy.RECOVER)
+    )
+    _drive_columnar(columnar, records, batch_size)
+    _assert_equivalent(per_event, columnar)

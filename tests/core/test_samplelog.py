@@ -135,3 +135,56 @@ class TestSampleLog:
         decoder = engine.decoder()
         for sample in recovered:
             decoder.decode(sample)
+
+
+class TestExtendPacked:
+    """The one-pass bulk serialiser must be byte-identical to append()."""
+
+    @given(st.lists(sample_strategy(), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_bytes_equal_append_loop(self, samples):
+        looped = SampleLog()
+        for sample in samples:
+            looped.append(sample)
+        packed = SampleLog()
+        packed.extend_packed(samples)
+        assert packed.to_bytes() == looped.to_bytes()
+        assert len(packed) == len(looped)
+        assert packed.samples() == looped.samples()
+
+    def test_interleaved_with_append(self):
+        samples = [
+            CollectedSample(
+                timestamp=n,
+                context_id=n * 31,
+                function=n % 7,
+                ccstack=(CcStackEntry(n, 1, 2, 3),) if n % 3 else (),
+                thread=n % 2,
+            )
+            for n in range(50)
+        ]
+        mixed = SampleLog()
+        mixed.extend_packed(samples[:20])
+        mixed.append(samples[20])
+        mixed.extend_packed(samples[21:])
+        looped = SampleLog()
+        looped.extend(samples)
+        assert mixed.to_bytes() == looped.to_bytes()
+
+    def test_empty_iterable_is_noop(self):
+        log = SampleLog()
+        log.extend_packed([])
+        assert len(log) == 0
+        assert log.to_bytes() == SampleLog().to_bytes()
+
+    def test_column_sourced_run_roundtrips(self, small_program, small_spec):
+        """Samples from a columnar engine drive bulk-serialise losslessly."""
+        from repro.core.engine import DacceEngine
+        from repro.program.trace import run_workload_columnar
+
+        engine = DacceEngine(root=small_program.main)
+        run_workload_columnar(small_program, small_spec, engine)
+        assert engine.samples, "workload produced no samples"
+        log = SampleLog()
+        log.extend_packed(engine.samples)
+        assert list(SampleLog.from_bytes(log.to_bytes())) == engine.samples

@@ -85,6 +85,7 @@ def stale_timestamps(
     out = []
     for index, sample in enumerate(samples):
         if index % every == 0:
-            sample = replace(sample, timestamp=bogus_gts)
+            # NamedTuple, not a dataclass: use _replace.
+            sample = sample._replace(timestamp=bogus_gts)
         out.append(sample)
     return out

@@ -195,8 +195,8 @@ def test_buffered_tracer_flushes_through_batches():
         return sum(leaf() for _ in range(300))
 
     tracer.run(fanout)
-    # stop() drained the event buffer into the engine via process_batch.
-    assert tracer._buffer == []
+    # stop() drained the columnar buffer into the engine.
+    assert len(tracer._columns) == 0
     assert tracer.engine.fastpath.batches > 0
     stats = tracer.engine.stats
     assert stats.calls == stats.returns > 0
