@@ -10,6 +10,9 @@ Examples::
     dacce experiments --output EXPERIMENTS.md   # full paper-vs-measured report
     dacce metrics --calls 20000                 # Prometheus-format telemetry
     dacce trace --calls 20000 --limit 30        # structured JSONL engine trace
+    dacce trace --input run/trace.jsonl --follow    # live tail (rotation-safe)
+    dacce spans report --input spans.jsonl      # per-stage latency summary
+    dacce spans waterfall --input producer.jsonl ingest.jsonl   # trace tree
     dacce doctor --state run.state.json --log run.log   # integrity check
     dacce profile record --prefix prof          # sampled profiling run
     dacce profile flame --state prof.state.json --log prof.log \
@@ -830,6 +833,29 @@ def cmd_trace(args) -> int:
     from .program.trace import TraceExecutor
 
     if args.input:
+        if args.follow:
+            # Tail mode: poll the active file and keep reading across
+            # size/age rotations (the renamed shard is drained before
+            # the cursor resets to the new active file).  The file may
+            # not exist yet — the writer can come up later.
+            from .obs import follow_rotated_jsonl
+
+            shown = 0
+            try:
+                for record in follow_rotated_jsonl(
+                    args.input, poll=args.poll, duration=args.duration
+                ):
+                    print(json.dumps(record), flush=True)
+                    shown += 1
+                    if args.limit and shown >= args.limit:
+                        break
+            except KeyboardInterrupt:
+                pass
+            except ValueError as error:
+                return _fault(str(error))
+            print("followed %d record(s) from %s" % (shown, args.input),
+                  file=sys.stderr)
+            return 0
         # Read-back mode: print an existing (possibly rotated) trace in
         # chronological order — shards trace.jsonl.N .. .1, then the
         # active file.
@@ -1164,7 +1190,20 @@ def cmd_serve(args) -> int:
     """
     from .ingest import IngestServer, IngestService
 
-    service = IngestService(data_dir=args.data_dir)
+    spans = None
+    span_stream = None
+    if args.span_log:
+        # Service-side spans continue the trace each frame propagates;
+        # /spans serves the in-memory ring, this log is the durable copy.
+        from .obs import RotatingTraceStream, SpanRecorder
+
+        try:
+            span_stream = RotatingTraceStream(args.span_log)
+        except (OSError, ValueError) as error:
+            return _fault("span log unwritable: %s" % error)
+        spans = SpanRecorder("ingest", stream=span_stream)
+
+    service = IngestService(data_dir=args.data_dir, spans=spans)
     recovery = service.recovery
     if recovery["events"] or recovery["torn_lines"]:
         # Crash recovery: the data dir already held canonical logs and
@@ -1220,6 +1259,9 @@ def cmd_serve(args) -> int:
         pass
     finally:
         server.shutdown()
+        if spans is not None:
+            spans.flush()
+            span_stream.close()
     health = service.healthz()
     print(
         "served %d run(s): %d samples, total weight %g"
@@ -1242,6 +1284,21 @@ def cmd_events_record(args) -> int:
     run = args.run or new_run_id()
     to_stdout = args.url is None and args.frames == "-"
     human = sys.stderr if to_stdout else sys.stdout
+
+    spans = None
+    span_stream = None
+    if args.span_log:
+        # One trace per emitter flush; the ids travel in each frame's
+        # additive `trace` field so `dacce spans waterfall` can stitch
+        # this log together with the ingest service's.
+        from .obs import RotatingTraceStream, SpanRecorder
+
+        try:
+            span_stream = RotatingTraceStream(args.span_log)
+        except (OSError, ValueError) as error:
+            return _fault("span log unwritable: %s" % error)
+        spans = SpanRecorder("producer", stream=span_stream)
+
     spool_dir = None
     if args.url is not None:
         sink = HTTPFrameSink(args.url, run=run)
@@ -1271,12 +1328,13 @@ def cmd_events_record(args) -> int:
         recursion_affinity=0.4,
         threads=[ThreadSpec(thread=1, entry=2, spawn_at_call=args.calls // 10)],
     )
-    engine = DacceEngine(root=program.main)
+    engine = DacceEngine(root=program.main, spans=spans)
     emitter = FrameEmitter(
         sink,
         run=run,
         producer="dacce-events-record",
         heartbeat_every=args.heartbeat,
+        spans=spans,
     )
     emitter.attach(
         engine,
@@ -1307,6 +1365,13 @@ def cmd_events_record(args) -> int:
                 file=human,
             )
     sink.close()
+    if spans is not None:
+        spans.flush()
+        span_stream.close()
+        print(
+            "spans: %d recorded to %s" % (spans.emitted, args.span_log),
+            file=human,
+        )
     print(
         "run %s: %d calls at 1/%d -> %d frames (%d samples), %d dropped"
         % (run, args.calls, args.sample_every, emitter.frames_emitted,
@@ -1359,6 +1424,126 @@ def cmd_events_replay(args) -> int:
     except OSError as error:
         return _fault("replay output unwritable: %s" % error)
     return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# span tracing (repro.obs.spans)
+# ----------------------------------------------------------------------
+def cmd_spans_report(args) -> int:
+    """Per-stage latency summary over one or more span JSONL logs."""
+    from .obs import load_span_records, stage_summary
+
+    records = list(load_span_records(args.input, backups=args.backups))
+    if not records:
+        return _fault("no span records found in: %s" % ", ".join(args.input))
+    summary = stage_summary(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    services = sorted({str(r.get("svc") or "?") for r in records})
+    traces = {r["trace"] for r in records}
+    print(
+        "%d span(s) across %d trace(s) from %d service(s): %s"
+        % (len(records), len(traces), len(services), ", ".join(services))
+    )
+    print()
+    header = "%-8s %-24s %7s %10s %9s %9s %9s" % (
+        "stage", "name", "count", "total(s)", "p50(ms)", "p95(ms)", "max(ms)"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in summary.values():
+        print(
+            "%-8s %-24s %7d %10.4f %9.3f %9.3f %9.3f"
+            % (
+                row["stage"], row["name"], row["count"], row["total"],
+                row["p50"] * 1e3, row["p95"] * 1e3, row["max"] * 1e3,
+            )
+        )
+    return 0
+
+
+def cmd_spans_waterfall(args) -> int:
+    """Reconstruct per-trace span trees across producer + service logs.
+
+    Pass every side's span log as ``--input`` (the producer's and the
+    ingest service's); spans sharing a trace id are stitched into one
+    tree even though they were recorded by different processes.  By
+    default the single best trace is printed — the one covering the
+    most pipeline stages — which is what a smoke run greps for.
+    """
+    from .obs import (
+        PIPELINE_STAGES,
+        build_waterfall,
+        group_traces,
+        load_span_records,
+    )
+
+    records = list(load_span_records(args.input, backups=args.backups))
+    if not records:
+        return _fault("no span records found in: %s" % ", ".join(args.input))
+    traces = group_traces(records)
+
+    if args.trace:
+        if args.trace not in traces:
+            return _fault(
+                "trace %r not found (%d trace(s) in the log(s))"
+                % (args.trace, len(traces))
+            )
+        selected = [args.trace]
+    elif args.all:
+        selected = sorted(traces, key=lambda t: traces[t][0]["ts"])
+        if args.limit:
+            selected = selected[: args.limit]
+    else:
+        def coverage(trace_id: str):
+            stages = {r.get("stage") for r in traces[trace_id]}
+            return (len(stages & set(PIPELINE_STAGES)), len(traces[trace_id]))
+
+        selected = [max(traces, key=coverage)]
+
+    covered: set = set()
+    for trace_id in selected:
+        spans = traces[trace_id]
+        stages = [
+            s for s in PIPELINE_STAGES
+            if any(r.get("stage") == s for r in spans)
+        ]
+        covered.update(stages)
+        print(
+            "trace %s — %d span(s), stages %d/%d: %s"
+            % (trace_id, len(spans), len(stages), len(PIPELINE_STAGES),
+               " ".join(stages) or "-")
+        )
+        base = spans[0]["ts"]
+        for depth, record in build_waterfall(spans):
+            print(
+                "  %-7s %s%s  svc=%s +%.3fms %.3fms"
+                % (
+                    record.get("stage") or "-",
+                    "  " * depth,
+                    record.get("name") or "?",
+                    record.get("svc") or "?",
+                    (float(record["ts"]) - base) * 1e3,
+                    float(record["dur"]) * 1e3,
+                )
+            )
+        print()
+
+    if args.require_stages:
+        required = (
+            list(PIPELINE_STAGES)
+            if args.require_stages == "all"
+            else [s.strip() for s in args.require_stages.split(",") if s.strip()]
+        )
+        missing = [s for s in required if s not in covered]
+        if missing:
+            return _fault(
+                "stage(s) missing from the printed trace(s): %s"
+                % ", ".join(missing)
+            )
+        print("all required stages covered: %s" % " ".join(required))
+    return 0
 
 
 def cmd_experiments(args) -> int:
@@ -1534,6 +1719,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="print an existing JSONL trace (reads rotated "
                         "shards PATH.N..PATH.1 then PATH, oldest first) "
                         "instead of running a workload")
+    p.add_argument("--follow", action="store_true",
+                   help="with --input: keep tailing the active file, "
+                        "surviving size/age rotation mid-follow")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="with --follow: seconds between polls")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="with --follow: stop after this many seconds "
+                        "(0 = until Ctrl-C or --limit)")
     p.set_defaults(fn=cmd_trace)
 
     profile = sub.add_parser(
@@ -1634,6 +1827,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="ingest a recorded frame file (NDJSON) at startup")
     p.add_argument("--duration", type=float, default=0.0,
                    help="stop after this many seconds (0 = until Ctrl-C)")
+    p.add_argument("--span-log", default=None,
+                   help="record service-side spans (admit/validate/fold/"
+                        "publish) to this rotated JSONL file and enable "
+                        "the /spans endpoint's span ring")
     p.set_defaults(fn=cmd_serve)
 
     events = sub.add_parser(
@@ -1668,7 +1865,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--drain-timeout", type=float, default=0.0,
                    help="with --spool: keep retrying up to N seconds "
                         "after the run to empty the spool")
+    p.add_argument("--span-log", default=None,
+                   help="record producer-side spans (flush/spool/send) to "
+                        "this rotated JSONL file and stamp trace ids into "
+                        "emitted frames")
     p.set_defaults(fn=cmd_events_record)
+
+    spans_parser = sub.add_parser(
+        "spans",
+        help="span tracing: per-stage latency reports and cross-process "
+             "waterfalls from span JSONL logs (docs/OBSERVABILITY.md)",
+    )
+    spans_sub = spans_parser.add_subparsers(dest="spans_command", required=True)
+
+    p = spans_sub.add_parser(
+        "report", help="per-(stage, name) latency summary with percentiles"
+    )
+    p.add_argument("--input", nargs="+", required=True,
+                   help="span JSONL log path(s); rotated shards folded in")
+    p.add_argument("--backups", type=int, default=None,
+                   help="max rotated shards to scan per input")
+    p.add_argument("--json", action="store_true",
+                   help="emit the summary as JSON instead of a table")
+    p.set_defaults(fn=cmd_spans_report)
+
+    p = spans_sub.add_parser(
+        "waterfall",
+        help="stitch producer + service span logs into per-trace trees",
+    )
+    p.add_argument("--input", nargs="+", required=True,
+                   help="span JSONL log path(s) from every side of the wire")
+    p.add_argument("--backups", type=int, default=None)
+    p.add_argument("--trace", default=None,
+                   help="print this trace id (default: the trace covering "
+                        "the most pipeline stages)")
+    p.add_argument("--all", action="store_true", help="print every trace")
+    p.add_argument("--limit", type=int, default=0,
+                   help="with --all: max traces printed (0 = all)")
+    p.add_argument("--require-stages", default=None,
+                   help="comma-separated stage list (or 'all') that the "
+                        "printed trace(s) must cover; exit 1 otherwise")
+    p.set_defaults(fn=cmd_spans_waterfall)
 
     p = events_sub.add_parser(
         "replay",

@@ -50,7 +50,13 @@ from typing import (
 )
 
 from ..cost.model import CostModel
-from ..obs import NULL_TELEMETRY, ReencodePassReport, Telemetry
+from ..obs import (
+    NULL_SPANS,
+    NULL_TELEMETRY,
+    ReencodePassReport,
+    SpanRecorder,
+    Telemetry,
+)
 from .adaptive import (
     AdaptiveConfig,
     AdaptivePolicy,
@@ -307,10 +313,14 @@ class DacceEngine:
         telemetry: Optional[Telemetry] = None,
         warm_start: Optional["WarmStartPlan"] = None,
         targeted: Optional["TargetedPlan"] = None,
+        spans: Optional["SpanRecorder"] = None,
     ):
         self.config = config or DacceConfig()
         self.cost = cost_model or CostModel()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Span tracing follows the telemetry pattern: one shared no-op
+        # recorder when disabled, one boolean guard per slow-path site.
+        self.spans = spans if spans is not None else NULL_SPANS
         self._targeted = targeted
         self._targeted_fns: Optional[Set[FunctionId]] = None
         if targeted is not None:
@@ -928,9 +938,20 @@ class DacceEngine:
                     if start - entered_at <= storm_run:
                         stop = min(n, start + storm_window)
                         record = cols.record
-                        self.process_batch(
-                            [record(i) for i in range(start, stop)]
-                        )
+                        if self.spans.enabled:
+                            with self.spans.span(
+                                "engine.deopt_storm",
+                                stage="engine",
+                                events=stop - start,
+                                at=start,
+                            ):
+                                self.process_batch(
+                                    [record(i) for i in range(start, stop)]
+                                )
+                        else:
+                            self.process_batch(
+                                [record(i) for i in range(start, stop)]
+                            )
                         start = stop
                     kernel = self._ensure_columnar_kernel()
                 else:  # KERNEL_TRIGGER: adaptive window filled
@@ -986,6 +1007,16 @@ class DacceEngine:
             or self._columnar_kernel_table is not table
             or self._columnar_kernel_shape != shape
         ):
+            compile_span = (
+                self.spans.span(
+                    "engine.kernel_compile",
+                    stage="engine",
+                    gts=self._timestamp,
+                    entries=len(table),
+                )
+                if self.spans.enabled
+                else None
+            )
             kernel = compile_columnar_kernel(
                 table,
                 gts=self._timestamp,
@@ -997,6 +1028,8 @@ class DacceEngine:
                 profiled=shape[1],
                 interval=shape[2],
             )
+            if compile_span is not None:
+                compile_span.__exit__(None, None, None)
             self._columnar_kernel = kernel
             self._columnar_kernel_table = table
             self._columnar_kernel_shape = shape
@@ -2059,6 +2092,13 @@ class DacceEngine:
         Returns ``True`` when the pass committed.
         """
         started = time.perf_counter()
+        pass_span = (
+            self.spans.span(
+                "engine.reencode", stage="engine", reasons=",".join(reasons)
+            )
+            if self.spans.enabled
+            else None
+        )
         previous_max_id = self._current.max_id
         new_edges = self.graph.num_edges - self._edges_at_last_encode
         snapshot = self._reencode_snapshot()
@@ -2106,6 +2146,9 @@ class DacceEngine:
             logger.warning(
                 "re-encoding pass %d rolled back: %s", failed_ts, failure
             )
+            if pass_span is not None:
+                pass_span.set(error=type(error).__name__, rolled_back=True)
+                pass_span.__exit__(None, None, None)
             if not self._recover:
                 raise failure
             self._quarantine(
@@ -2143,6 +2186,14 @@ class DacceEngine:
             self._timestamp, self.stats.calls, ",".join(reasons),
             self.graph.num_edges, self._current.max_id,
         )
+        span_field = None
+        if pass_span is not None:
+            pass_span.set(gts=self._timestamp, max_id=self._current.max_id)
+            pass_span.__exit__(None, None, None)
+            span_field = {
+                "trace": pass_span.trace_id,
+                "span": pass_span.span_id,
+            }
         if self._obs:
             self.telemetry.record_pass(
                 ReencodePassReport(
@@ -2162,6 +2213,7 @@ class DacceEngine:
                     duration_seconds=time.perf_counter() - started,
                     cost_cycles=cost,
                     window=decision.window_dict() if decision else None,
+                    span=span_field,
                 )
             )
         return True

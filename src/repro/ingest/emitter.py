@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.context import CollectedSample
 from ..core.decoder import Decoder
+from ..obs.spans import NULL_SPANS, SpanRecorder
 from .frames import FRAME_SCHEMA, frame_line, make_frame, sample_entry
 from .sinks import EventSink, SinkError
 
@@ -59,10 +60,18 @@ class FrameEmitter:
         sample_batch: int = DEFAULT_SAMPLE_BATCH,
         heartbeat_every: float = 0.0,
         clock: Callable[[], float] = time.time,
+        spans: Optional[SpanRecorder] = None,
     ):
         if sample_batch <= 0:
             raise ValueError("sample_batch must be positive")
         self.sink = sink
+        # Span tracing: one root span per flush, its identity stamped
+        # into every frame emitted during the flush (the additive
+        # ``trace`` field) and shared with the sink so transport spans
+        # nest under it.  Strictly no-op when disabled.
+        self.spans = spans if spans is not None else NULL_SPANS
+        if self.spans.enabled:
+            sink.set_spans(self.spans)
         self.run = run
         self.producer = producer
         self.sample_batch = sample_batch
@@ -77,6 +86,12 @@ class FrameEmitter:
         self._entry_cache: Dict[Tuple[CollectedSample, float], str] = {}
         self._last_stats: Dict[str, float] = {}
         self._last_heartbeat = 0.0
+        #: Trace identity of the currently open flush span, stamped
+        #: into frames; ``None`` outside a flush or with spans off.
+        self._flush_trace: Optional[Dict[str, str]] = None
+        #: Wall-clock duration of the most recent :meth:`flush`
+        #: (heartbeat delivery-health field).
+        self.last_flush_seconds = 0.0
         self._fault_listener: Optional[Callable[..., None]] = None
         self._reencode_listener: Optional[Callable[..., None]] = None
         #: Frames emitted / dropped (sink failures and re-entrant calls).
@@ -93,7 +108,9 @@ class FrameEmitter:
         if self._in_emit:
             self.frames_dropped += 1
             return False
-        frame = make_frame(type, payload, self._clock(), self._seq)
+        frame = make_frame(
+            type, payload, self._clock(), self._seq, trace=self._flush_trace
+        )
         return self._deliver(frame_line(frame))
 
     def _deliver(self, line: str) -> bool:
@@ -297,16 +314,24 @@ class FrameEmitter:
             append(fragment)
         # Hand-assembled for speed, byte-identical to what
         # frame_line(make_frame(...)) produces (sorted keys, compact
-        # separators) — tests/ingest/test_emitter.py pins this.
+        # separators) — tests/ingest/test_emitter.py pins this.  The
+        # optional ``trace`` key sorts between ``seq`` and ``type``.
+        trace = self._flush_trace
+        trace_fragment = (
+            '"trace":{"id":"%s","span":"%s"},' % (trace["id"], trace["span"])
+            if trace is not None
+            else ""
+        )
         line = (
             '{"created_at":%s,"payload":{"count":%d,"samples":[%s]},'
-            '"schema":"%s","seq":%d,"type":"profile.samples"}'
+            '"schema":"%s","seq":%d,%s"type":"profile.samples"}'
             % (
                 json.dumps(self._clock()),
                 len(fragments),
                 ",".join(fragments),
                 FRAME_SCHEMA,
                 self._seq,
+                trace_fragment,
             )
         )
         self._deliver(line)
@@ -356,7 +381,15 @@ class FrameEmitter:
         )
 
     def heartbeat(self) -> bool:
-        """Emit one ``heartbeat`` frame (liveness + emission counters)."""
+        """Emit one ``heartbeat`` frame (liveness + emission counters).
+
+        The ``delivery`` block carries the sink's backlog gauges
+        (:meth:`EventSink.delivery_health`) plus the last flush's
+        wall-clock duration, so a stalled producer — spool growing,
+        flushes slowing — is diagnosable from the service side alone.
+        These are gauges that move on every frame, which is exactly why
+        they ride heartbeats and not the ``stats.delta`` dirty-check.
+        """
         self._last_heartbeat = self._clock()
         payload: Dict[str, Any] = {
             "frames_emitted": self.frames_emitted,
@@ -365,10 +398,39 @@ class FrameEmitter:
         }
         if self._engine is not None:
             payload["calls"] = self._engine.stats.calls
+        delivery: Dict[str, float] = {
+            "last_flush_seconds": self.last_flush_seconds,
+        }
+        delivery.update(self.sink.delivery_health())
+        payload["delivery"] = delivery
         return self.emit("heartbeat", payload)
 
     def flush(self) -> None:
-        """Ship samples + stat deltas (and a due heartbeat); flush sink."""
+        """Ship samples + stat deltas (and a due heartbeat); flush sink.
+
+        With span tracing on, each flush opens a fresh root trace
+        (``emit.flush``) whose identity is stamped into every frame
+        emitted during the flush; sink spans (send/spool/replay) nest
+        under it via the recorder's implicit parenting.
+        """
+        started = time.perf_counter()
+        if self.spans.enabled:
+            with self.spans.span(
+                "emit.flush", stage="emit", new_trace=True
+            ) as flush_span:
+                self._flush_trace = flush_span.context.to_frame_field()
+                try:
+                    self._flush_once()
+                finally:
+                    self._flush_trace = None
+                flush_span.set(
+                    frames=self.frames_emitted, buffered=len(self._buffer)
+                )
+        else:
+            self._flush_once()
+        self.last_flush_seconds = time.perf_counter() - started
+
+    def _flush_once(self) -> None:
         self.flush_samples()
         self.flush_stats()
         if (

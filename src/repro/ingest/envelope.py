@@ -81,6 +81,10 @@ class Envelope:
     received_at: float
     payload: Dict[str, Any]
     origin_seq: Optional[int] = None
+    #: Producer span propagation, preserved from the frame's additive
+    #: ``trace`` field (``{"id": ..., "span": ...}``).  ``None`` for
+    #: pre-span producers, keeping their envelope bytes unchanged.
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         data: Dict[str, Any] = {
@@ -96,6 +100,8 @@ class Envelope:
         }
         if self.origin_seq is not None:
             data["origin_seq"] = self.origin_seq
+        if self.trace is not None:
+            data["trace"] = self.trace
         return data
 
     def to_json_line(self) -> str:
@@ -156,6 +162,15 @@ def envelope_from_dict(obj: Any) -> Envelope:
             "bad-field",
             "event 'origin_seq' must be an integer",
         )
+    trace = obj.get("trace")
+    if trace is not None:
+        _require(
+            isinstance(trace, dict)
+            and isinstance(trace.get("id"), str)
+            and isinstance(trace.get("span"), str),
+            "bad-field",
+            "event 'trace' must be an object with string 'id' and 'span'",
+        )
     assert isinstance(sequence, int)
     return Envelope(
         type=obj["type"],
@@ -167,6 +182,7 @@ def envelope_from_dict(obj: Any) -> Envelope:
         received_at=float(obj["received_at"]),
         payload=obj["payload"],
         origin_seq=origin_seq,
+        trace=trace,
     )
 
 

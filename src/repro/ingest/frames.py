@@ -14,6 +14,7 @@ Frame shape::
      "type": "profile.samples",
      "created_at": 1754650000.123,      # producer clock, unix seconds
      "seq": 17,                         # producer-local frame counter
+     "trace": {"id": ..., "span": ...}, # optional span propagation
      "payload": {...}}                  # type-specific fields
 
 Versioning rules (``docs/EVENTS.md``): the ``schema`` discriminator
@@ -70,6 +71,7 @@ def make_frame(
     payload: Dict[str, Any],
     created_at: float,
     seq: Optional[int] = None,
+    trace: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Any]:
     """Build one frame dict (callers serialize with :func:`frame_line`).
 
@@ -79,6 +81,13 @@ def make_frame(
     frame) pass ``None``: the key is omitted and the service never
     dedupes the frame — colliding with a real emitter seq would
     silently swallow it.
+
+    ``trace`` is the additive span-propagation field
+    (``{"id": <trace_id>, "span": <span_id>}``, see
+    ``docs/OBSERVABILITY.md``): the emitter stamps the flush span's
+    identity so the ingestion service can continue the trace.  Omitted
+    entirely when span tracing is off, keeping pre-span frame bytes
+    unchanged.
     """
     frame: Dict[str, Any] = {
         "schema": FRAME_SCHEMA,
@@ -88,6 +97,8 @@ def make_frame(
     }
     if seq is not None:
         frame["seq"] = seq
+    if trace is not None:
+        frame["trace"] = trace
     return frame
 
 
@@ -198,6 +209,15 @@ def validate_frame(obj: Any) -> Dict[str, Any]:
             isinstance(seq, int) and not isinstance(seq, bool) and seq >= 0,
             "bad-seq",
             "frame 'seq' must be a non-negative integer",
+        )
+    trace = obj.get("trace")
+    if trace is not None:
+        _require(
+            isinstance(trace, dict)
+            and isinstance(trace.get("id"), str)
+            and isinstance(trace.get("span"), str),
+            "bad-trace",
+            "frame 'trace' must be an object with string 'id' and 'span'",
         )
     assert isinstance(type_, str) and isinstance(payload, dict)
     validator = _PAYLOAD_VALIDATORS.get(type_)

@@ -17,6 +17,8 @@ just maps routes.  Endpoints:
 * ``GET /cct`` / ``/flame`` / ``/top`` / ``/metrics`` / ``/healthz`` —
   the merged many-producer view, same documents the profile server
   serves for a single in-process engine.
+* ``GET /spans`` — recent service-side spans plus per-stage timing
+  histograms (span-id exemplars included); see docs/OBSERVABILITY.md.
 
 Every response carries an explicit ``Content-Type`` and
 ``Cache-Control: no-store``; unknown routes return a structured JSON
@@ -28,6 +30,7 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -50,7 +53,7 @@ def _not_found(path: str) -> Tuple[int, str, str]:
             "path": path,
             "routes": [
                 "/", "/ingest", "/events", "/runs", "/runs/<id>/events",
-                "/cct", "/flame", "/top", "/metrics", "/healthz",
+                "/cct", "/flame", "/top", "/metrics", "/spans", "/healthz",
             ],
         }
     )
@@ -116,10 +119,18 @@ class _IngestHandler(BaseHTTPRequestHandler):
             )
             return
         try:
+            # Admission + body read are timed here — before any frame
+            # is parsed — and handed to the service, which attributes
+            # them to the batch's propagated trace when tracing is on.
+            admit_started = time.perf_counter()
             body = self.rfile.read(length).decode("utf-8", errors="replace")
+            admit_seconds = time.perf_counter() - admit_started
             try:
                 summary = self.service.ingest_lines(
-                    run_id, body.splitlines(), source="engine"
+                    run_id,
+                    body.splitlines(),
+                    source="engine",
+                    admit_seconds=admit_seconds,
                 )
             except IngestError as error:
                 self._send(
@@ -158,7 +169,7 @@ class _IngestHandler(BaseHTTPRequestHandler):
                         "endpoints": [
                             "/ingest (POST)", "/events", "/runs",
                             "/runs/<id>/events", "/cct", "/flame", "/top",
-                            "/metrics", "/healthz",
+                            "/metrics", "/spans", "/healthz",
                         ],
                     }
                 ),
@@ -183,6 +194,9 @@ class _IngestHandler(BaseHTTPRequestHandler):
                 "text/plain; version=0.0.4; charset=utf-8",
                 service.metrics_text(),
             )
+        if path == "/spans":
+            limit = int(query.get("limit", ["512"])[0])
+            return 200, "application/json", service.spans_json(limit=limit)
         if path == "/runs":
             return 200, *_json_body(service.runs())
         if path == "/healthz":

@@ -69,7 +69,8 @@ import time
 from ..core.context import CallingContext
 from ..core.faults import PartialDecode
 from ..obs.exporters import to_prometheus_text
-from ..obs.registry import MetricsRegistry
+from ..obs.registry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from ..obs.spans import NULL_SPANS, SpanContext, SpanRecorder
 from ..prof.cct import CCTAggregator, default_names
 from .envelope import (
     DUPLICATE_TYPE,
@@ -193,6 +194,7 @@ class IngestService:
         id_factory: Callable[[], str] = _default_id_factory,
         recent_capacity: int = DEFAULT_RECENT_CAPACITY,
         max_pending_bytes: int = DEFAULT_MAX_PENDING_BYTES,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.data_dir = data_dir
         if data_dir is not None:
@@ -217,6 +219,15 @@ class IngestService:
             "Producer-to-service latency (received_at - created_at).",
             buckets=LAG_BUCKETS,
         )
+        # Envelope.lag_seconds clamps negative lag (skewed producer
+        # clocks) to zero; this counter makes the clamp visible.  It is
+        # replay-deterministic — both timestamps are persisted in the
+        # envelope — so it belongs in the folded registry.
+        self._c_skew = self.registry.counter(
+            "ingest_clock_skew_total",
+            "Engine frames whose created_at was ahead of the service "
+            "clock (negative lag clamped to zero).",
+        )
         self._g_runs = self.registry.gauge(
             "ingest_runs",
             "Runs known to the ingestion service.",
@@ -230,6 +241,21 @@ class IngestService:
             "ingest_producer_faults_total",
             "Producer fault frames ingested, by fault kind.",
             labelnames=("kind",),
+        )
+        # Span tracing (docs/OBSERVABILITY.md): continues the trace a
+        # producer propagated in the frame's ``trace`` field.  The
+        # per-stage timing registry lives BESIDE the folded registry on
+        # purpose: wall-clock stage durations cannot replay
+        # deterministically, and /metrics is byte-diffed live-vs-replay
+        # in CI, so timing is served by /spans instead.
+        self.spans = spans if spans is not None else NULL_SPANS
+        self.timing = MetricsRegistry(enabled=True)
+        self._h_stage = self.timing.histogram(
+            "ingest_stage_seconds",
+            "Per-stage ingest latency (admit/validate/fold/publish), "
+            "with span-id exemplars when tracing.",
+            labelnames=("stage",),
+            buckets=DEFAULT_DURATION_BUCKETS,
         )
         # Live-stream plumbing (not part of replayed state).
         self._recent: Deque[Envelope] = deque(maxlen=recent_capacity)
@@ -288,6 +314,7 @@ class IngestService:
         run_id: str,
         lines: Iterable[str],
         source: str = "engine",
+        admit_seconds: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Ingest NDJSON frame lines for one run; returns a summary.
 
@@ -297,6 +324,12 @@ class IngestService:
         ``ingest.rejected`` envelopes.  All three are persisted and
         streamed, so the canonical log is a complete record of what the
         service was offered.
+
+        ``admit_seconds`` is the transport's already-measured admission
+        + body-read duration (the HTTP handler times it before any
+        frame is parsed); with tracing on it is recorded as an
+        ``ingest.admit`` span parented to the first propagated trace in
+        the batch.
         """
         if not _RUN_ID_RE.match(run_id):
             raise IngestError(
@@ -309,18 +342,58 @@ class IngestService:
             OUTCOME_DUPLICATE: 0,
         }
         last_sequence = 0
+        tracing = self.spans.enabled
+        admit_pending = admit_seconds if tracing else None
         with self._lock:
             state = self._run_state(run_id)
-            for line in lines:
-                line = line.strip()
-                if not line:
-                    continue
-                envelope = self._envelope_line(state, line, source)
-                outcome = self._fold(envelope)
-                counts[outcome] += 1
-                state.outcomes[outcome] = state.outcomes.get(outcome, 0) + 1
-                self._persist(state, envelope)
-                self._publish(envelope)
+            if not tracing:
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    envelope = self._envelope_line(state, line, source)
+                    outcome = self._fold(envelope)
+                    counts[outcome] += 1
+                    state.outcomes[outcome] = (
+                        state.outcomes.get(outcome, 0) + 1
+                    )
+                    self._persist(state, envelope)
+                    self._publish(envelope)
+            else:
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    t0 = time.perf_counter()
+                    envelope = self._envelope_line(state, line, source)
+                    validate_dur = time.perf_counter() - t0
+                    parent = SpanContext.from_frame_field(envelope.trace)
+                    if parent is not None and admit_pending is not None:
+                        self._stage_span(
+                            "admit", "ingest.admit", admit_pending, parent
+                        )
+                        admit_pending = None
+                    self._stage_span(
+                        "validate", "ingest.validate", validate_dur, parent
+                    )
+                    t1 = time.perf_counter()
+                    outcome = self._fold(envelope)
+                    fold_dur = time.perf_counter() - t1
+                    self._stage_span(
+                        "fold", "ingest.fold", fold_dur, parent,
+                        outcome=outcome,
+                    )
+                    counts[outcome] += 1
+                    state.outcomes[outcome] = (
+                        state.outcomes.get(outcome, 0) + 1
+                    )
+                    t2 = time.perf_counter()
+                    self._persist(state, envelope)
+                    self._publish(envelope)
+                    publish_dur = time.perf_counter() - t2
+                    self._stage_span(
+                        "publish", "ingest.publish", publish_dur, parent
+                    )
             last_sequence = state.sequence
             if state._handle is not None:
                 state._handle.flush()
@@ -361,6 +434,35 @@ class IngestService:
         for key in ("accepted", "folded", "skipped", "rejected", "duplicates"):
             totals[key] += part[key]
         totals["last_sequence"] = part["last_sequence"]
+
+    def _stage_span(
+        self,
+        stage: str,
+        name: str,
+        duration: float,
+        parent: Optional[SpanContext],
+        **attrs: Any,
+    ) -> None:
+        """Record one service-side pipeline stage (tracing only).
+
+        Emits a child span continuing the producer's propagated context
+        (skipped for pre-span producers — nothing to parent to) and an
+        ``ingest_stage_seconds`` observation whose exemplar links the
+        histogram series back to the exact trace that produced it.
+        """
+        exemplar = None
+        if parent is not None:
+            record = self.spans.record(
+                name,
+                # ``validate`` rides the admit stage in the waterfall's
+                # six-stage taxonomy; the histogram keeps it separate.
+                stage="admit" if stage == "validate" else stage,
+                duration=duration,
+                parent=parent,
+                **attrs,
+            )
+            exemplar = {"trace": record["trace"], "span": record["span"]}
+        self._h_stage.labels(stage).observe(duration, exemplar)
 
     def _envelope_line(
         self, state: RunState, line: str, source: str
@@ -404,6 +506,10 @@ class IngestService:
                 created_at=received_at,
                 received_at=received_at,
                 payload={"of": frame["type"], "origin_seq": origin},
+                # The resend keeps its propagated trace: a retried POST
+                # or spool replay stays attributable to the flush that
+                # originally produced the frame.
+                trace=frame.get("trace"),
             )
         return Envelope(
             type=frame["type"],
@@ -415,6 +521,7 @@ class IngestService:
             received_at=received_at,
             payload=frame["payload"],
             origin_seq=frame.get("seq"),
+            trace=frame.get("trace"),
         )
 
     # ------------------------------------------------------------------
@@ -450,6 +557,8 @@ class IngestService:
             return OUTCOME_SKIPPED
         self._c_frames.labels(envelope.type, OUTCOME_FOLDED).inc()
         if envelope.source == "engine":
+            if envelope.received_at < envelope.created_at:
+                self._c_skew.inc()
             self._h_lag.observe(envelope.lag_seconds)
         payload = envelope.payload
         if envelope.type == "profile.samples":
@@ -723,6 +832,27 @@ class IngestService:
     def metrics_text(self) -> str:
         return to_prometheus_text(self.registry.snapshot())
 
+    def spans_json(self, limit: int = 512) -> str:
+        """The ``/spans`` document: recent service spans + stage timing.
+
+        Timing histograms (with their span-id exemplars) are served
+        here and never via ``/metrics``: wall-clock stage durations are
+        not replay-deterministic and would break the live-vs-replay
+        byte diff CI runs over the folded registry.
+        """
+        import json as _json
+
+        spans = self.spans.spans()
+        document = {
+            "enabled": bool(self.spans.enabled),
+            "service": getattr(self.spans, "service", ""),
+            "emitted": self.spans.emitted,
+            "dropped": self.spans.dropped,
+            "spans": spans[-max(0, limit):],
+            "stages": self.timing.snapshot(),
+        }
+        return _json.dumps(document, indent=2, sort_keys=True) + "\n"
+
     def flame_text(self) -> str:
         from ..prof.export import to_folded
 
@@ -746,6 +876,7 @@ class IngestService:
                 "pending_bytes": pending_bytes,
                 "max_pending_bytes": self.max_pending_bytes,
                 "overload_rejections": overload_rejections,
+                "clock_skew_total": int(self._c_skew.value()),
                 "recovery": dict(self.recovery),
                 "samples": stats["samples"],
                 "weight": stats["weight"],

@@ -50,6 +50,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, IO, List, Optional, Tuple
 
 from ..core.samplelog import SampleLogError, _record_checksum, read_varint, write_varint
+from ..obs.spans import NULL_SPANS
 from .frames import frame_line, make_frame
 
 logger = logging.getLogger(__name__)
@@ -93,6 +94,14 @@ class EventSink:
         self.emitted = 0
         self.dropped = 0
         self._in_write = False
+        # Span tracing (docs/OBSERVABILITY.md): the shared no-op
+        # recorder unless the emitter propagates a live one via
+        # :meth:`set_spans`; guarded by one boolean at each site.
+        self.spans = NULL_SPANS
+
+    def set_spans(self, spans) -> None:
+        """Install a span recorder (decorators propagate to the inner sink)."""
+        self.spans = spans
 
     # -- subclass surface ----------------------------------------------
     def _write(self, line: str) -> None:
@@ -133,6 +142,16 @@ class EventSink:
         ``emitted`` must stay out: every ``stats.delta`` emission would
         dirty the next comparison and the emitter would emit stats
         frames forever.
+        """
+        return {}
+
+    def delivery_health(self) -> Dict[str, float]:
+        """Point-in-time backlog gauges for ``heartbeat`` enrichment.
+
+        Unlike :meth:`stats` these are *gauges* (buffered bytes, spool
+        backlog) that move on every frame, so they must not ride the
+        ``stats.delta`` dirty-check — heartbeats carry them instead,
+        making a stalled producer diagnosable from the service side.
         """
         return {}
 
@@ -288,6 +307,12 @@ class HTTPFrameSink(EventSink):
     def stats(self) -> Dict[str, float]:
         return {"frames_dropped": float(self.buffer_evicted)}
 
+    def delivery_health(self) -> Dict[str, float]:
+        return {
+            "buffered_bytes": float(self._buffered_bytes),
+            "buffered_frames": float(len(self._buffer)),
+        }
+
     def send(self, lines: List[str]) -> None:
         if not lines:
             return
@@ -310,10 +335,19 @@ class HTTPFrameSink(EventSink):
             headers={"Content-Type": "application/x-ndjson"},
             method="POST",
         )
+        span = (
+            self.spans.span(
+                "sink.send", stage="send", frames=len(lines), bytes=len(body)
+            )
+            if self.spans.enabled
+            else None
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as resp:
                 resp.read()
         except urllib.error.HTTPError as error:
+            if span is not None:
+                span.set(error="http", status=error.code)
             raise SinkError(
                 "ingest POST to %s failed: HTTP %d %s"
                 % (self.url, error.code, error.reason),
@@ -321,9 +355,14 @@ class HTTPFrameSink(EventSink):
                 status=error.code,
             ) from error
         except (urllib.error.URLError, OSError) as error:
+            if span is not None:
+                span.set(error="transport")
             raise SinkError(
                 "ingest POST to %s failed: %s" % (self.url, error)
             ) from error
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
 
 # ----------------------------------------------------------------------
@@ -476,6 +515,17 @@ class SpoolingSink(EventSink):
         stats["delivery_retries"] = float(self.retries)
         return stats
 
+    def delivery_health(self) -> Dict[str, float]:
+        health = dict(self.inner.delivery_health())
+        health["spool_bytes"] = float(self.spool_bytes)
+        health["spool_segments"] = float(len(self._segments))
+        health["spool_frames"] = float(self.pending_frames)
+        return health
+
+    def set_spans(self, spans) -> None:
+        self.spans = spans
+        self.inner.set_spans(spans)
+
     # -- hot path ------------------------------------------------------
     def emit(self, line: str) -> bool:
         return self.inner.emit(line)
@@ -516,7 +566,17 @@ class SpoolingSink(EventSink):
             now = self._clock()
             if now >= deadline:
                 return False
-            self._sleep(max(0.05, min(self.next_retry, deadline) - now))
+            wait = max(0.05, min(self.next_retry, deadline) - now)
+            if self.spans.enabled:
+                with self.spans.span(
+                    "sink.backoff_wait",
+                    stage="spool",
+                    attempt=self.attempts,
+                    wait=wait,
+                ):
+                    self._sleep(wait)
+            else:
+                self._sleep(wait)
 
     def close(self) -> None:
         self.flush()
@@ -559,11 +619,26 @@ class SpoolingSink(EventSink):
                     max(damaged, count - len(lines)), "spool.corrupt", path
                 )
             if lines:
+                replay_span = (
+                    self.spans.span(
+                        "sink.spool_replay",
+                        stage="spool",
+                        frames=len(lines),
+                        segment=os.path.basename(path),
+                    )
+                    if self.spans.enabled
+                    else None
+                )
                 try:
                     self.inner.send(lines)
                 except SinkError as error:
+                    if replay_span is not None:
+                        replay_span.set(error="send")
+                        replay_span.__exit__(None, None, None)
                     self._schedule_retry(error)
                     return False
+                if replay_span is not None:
+                    replay_span.__exit__(None, None, None)
                 self.frames_replayed += len(lines)
             self._segments.pop(0)
             try:
@@ -593,7 +668,14 @@ class SpoolingSink(EventSink):
             "spool-%08d-%d.seg" % (self._next_index, len(lines)),
         )
         self._next_index += 1
-        size = write_spool_segment(path, lines)
+        if self.spans.enabled:
+            with self.spans.span(
+                "sink.spool_write", stage="spool", frames=len(lines)
+            ) as spill_span:
+                size = write_spool_segment(path, lines)
+                spill_span.set(bytes=size)
+        else:
+            size = write_spool_segment(path, lines)
         self._segments.append((path, len(lines), size))
         self.frames_spooled += len(lines)
 

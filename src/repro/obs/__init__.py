@@ -24,6 +24,19 @@ from .registry import (
     null_registry,
 )
 from .report import PassReportLog, ReencodePassReport
+from .spans import (
+    DEFAULT_SPAN_CAPACITY,
+    NULL_SPANS,
+    PIPELINE_STAGES,
+    SPAN_SCHEMA,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    build_waterfall,
+    group_traces,
+    load_span_records,
+    stage_summary,
+)
 from .telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
 from .trace import (
     DEFAULT_ROTATE_BACKUPS,
@@ -31,6 +44,7 @@ from .trace import (
     DEFAULT_TRACE_CAPACITY,
     RotatingTraceStream,
     TraceEmitter,
+    follow_rotated_jsonl,
     read_rotated_jsonl,
     rotated_files,
 )
@@ -41,6 +55,7 @@ __all__ = [
     "DEFAULT_DURATION_BUCKETS",
     "DEFAULT_ROTATE_BACKUPS",
     "DEFAULT_ROTATE_BYTES",
+    "DEFAULT_SPAN_CAPACITY",
     "DEFAULT_TRACE_CAPACITY",
     "RotatingTraceStream",
     "Gauge",
@@ -48,17 +63,28 @@ __all__ = [
     "MetricError",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
+    "NULL_SPANS",
     "NULL_TELEMETRY",
+    "PIPELINE_STAGES",
     "PassReportLog",
     "ReencodePassReport",
     "SNAPSHOT_FORMAT_VERSION",
+    "SPAN_SCHEMA",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
     "Telemetry",
     "TelemetryConfig",
     "TraceEmitter",
+    "build_waterfall",
+    "follow_rotated_jsonl",
+    "group_traces",
+    "load_span_records",
     "null_registry",
     "parse_json_snapshot",
     "read_rotated_jsonl",
     "rotated_files",
+    "stage_summary",
     "to_json_snapshot",
     "to_prometheus_text",
 ]

@@ -190,18 +190,28 @@ class _GaugeChild:
 class HistogramData:
     """Bucket counts + sum + count for one label combination."""
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "exemplar")
 
     def __init__(self, bounds: Tuple[float, ...]):
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
         self.sum = 0.0
         self.count = 0
+        #: Most recent exemplar (OpenMetrics-style): a dict linking this
+        #: series to a trace, e.g. ``{"trace": ..., "span": ...,
+        #: "value": v}``.  ``None`` until an observation carries one.
+        self.exemplar: Optional[Dict[str, object]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Dict[str, object]] = None
+    ) -> None:
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
+        if exemplar is not None:
+            exemplar = dict(exemplar)
+            exemplar.setdefault("value", value)
+            self.exemplar = exemplar
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs (+Inf last)."""
@@ -242,12 +252,14 @@ class Histogram(_Instrument):
             data = self._data[key] = HistogramData(self.bounds)
         return _HistogramChild(data)
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Dict[str, object]] = None
+    ) -> None:
         if self.labelnames:
             raise MetricError(
                 "%s has labels %r; use .labels(...)" % (self.name, self.labelnames)
             )
-        self._data[()].observe(value)
+        self._data[()].observe(value, exemplar)
 
     def data(self, *labelvalues: str) -> Optional[HistogramData]:
         return self._data.get(_check_labels(self.labelnames, labelvalues))
@@ -262,8 +274,10 @@ class _HistogramChild:
     def __init__(self, data: HistogramData):
         self._data = data
 
-    def observe(self, value: float) -> None:
-        self._data.observe(value)
+    def observe(
+        self, value: float, exemplar: Optional[Dict[str, object]] = None
+    ) -> None:
+        self._data.observe(value, exemplar)
 
 
 # ----------------------------------------------------------------------
@@ -298,7 +312,9 @@ class _NullInstrument:
     def set_total(self, value: float, *labelvalues: str) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Dict[str, object]] = None
+    ) -> None:
         pass
 
     def value(self, *labelvalues: str) -> float:
@@ -422,16 +438,20 @@ class MetricsRegistry:
             for key, value in sorted(instrument.series().items()):
                 labels = dict(zip(instrument.labelnames, key))
                 if isinstance(value, HistogramData):
-                    series.append(
-                        {
-                            "labels": labels,
-                            "sum": value.sum,
-                            "count": value.count,
-                            "buckets": [
-                                [le, count] for le, count in value.cumulative()
-                            ],
-                        }
-                    )
+                    entry: Dict[str, object] = {
+                        "labels": labels,
+                        "sum": value.sum,
+                        "count": value.count,
+                        "buckets": [
+                            [le, count] for le, count in value.cumulative()
+                        ],
+                    }
+                    # Additive: only series that ever saw an exemplar
+                    # carry the key, so exemplar-free snapshots are
+                    # byte-identical to the pre-exemplar format.
+                    if value.exemplar is not None:
+                        entry["exemplar"] = dict(value.exemplar)
+                    series.append(entry)
                 else:
                     series.append({"labels": labels, "value": value})
             out[instrument.name] = {

@@ -50,9 +50,12 @@ class ReencodePassReport:
     cost_cycles: float
     #: Raw window counters behind the trigger decision, when available.
     window: Optional[Dict[str, int]] = None
+    #: Span identity of the ``engine.reencode`` span covering this pass
+    #: (``{"trace": ..., "span": ...}``), when span tracing is on.
+    span: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "timestamp": self.timestamp,
             "reasons": list(self.reasons),
             "at_call": self.at_call,
@@ -70,6 +73,11 @@ class ReencodePassReport:
             "cost_cycles": self.cost_cycles,
             "window": dict(self.window) if self.window else None,
         }
+        # Additive: only span-traced passes carry the key, so existing
+        # report consumers see an unchanged shape when tracing is off.
+        if self.span is not None:
+            out["span"] = dict(self.span)
+        return out
 
 
 @dataclass

@@ -24,7 +24,17 @@ import logging
 import os
 import time
 from collections import deque
-from typing import Any, Callable, Deque, Dict, IO, Iterator, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -292,3 +302,103 @@ def read_rotated_jsonl(
                     continue
                 if isinstance(record, dict):
                     yield record
+
+
+def _complete_lines(
+    path: str, offset: int
+) -> Tuple[int, List[Dict[str, Any]]]:
+    """Parse complete (newline-terminated) JSONL records from ``offset``.
+
+    Returns the new byte offset — a torn trailing line is left in place
+    and re-read on the next poll once the writer finishes it.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return offset, records
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return offset, records
+    for raw in chunk[: end + 1].splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return offset + end + 1, records
+
+
+def _shard_with_inode(path: str, inode: int, backups: int) -> Optional[str]:
+    """Locate the backup shard holding ``inode`` after a shift rotation."""
+    for index in range(1, max(1, backups) + 1):
+        candidate = "%s.%d" % (path, index)
+        try:
+            if os.stat(candidate).st_ino == inode:
+                return candidate
+        except OSError:
+            continue
+    return None
+
+
+def follow_rotated_jsonl(
+    path: str,
+    poll: float = 0.2,
+    duration: float = 0.0,
+    backups: int = DEFAULT_ROTATE_BACKUPS,
+    clock: Callable[[], float] = time.time,
+    sleep: Callable[[float], None] = time.sleep,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Tail a rotated JSONL trace, surviving rotations mid-follow.
+
+    Poll-based (``dacce trace --follow``): tracks the active file's
+    inode and byte offset, yielding each complete record once.  When
+    the writer rotates — the shift scheme renames the active file to
+    ``path.1`` and reopens ``path`` — the renamed shard is drained to
+    its end (found by inode among the backups) before the new active
+    file is picked up at offset 0, so no record is skipped or
+    duplicated across the rotation boundary.  In-place truncation
+    (``backups=0`` writers) resets the offset.
+
+    Runs until ``duration`` elapses (when positive) or ``should_stop``
+    returns true; with neither, follows forever.
+    """
+    if poll <= 0:
+        raise ValueError("poll interval must be positive")
+    deadline = clock() + duration if duration > 0 else None
+    inode: Optional[int] = None
+    offset = 0
+    while True:
+        try:
+            stat = os.stat(path)
+        except OSError:
+            stat = None
+        if stat is not None:
+            if inode is None:
+                inode = stat.st_ino
+                offset = 0
+            elif stat.st_ino != inode:
+                shard = _shard_with_inode(path, inode, backups)
+                if shard is not None:
+                    _, tail = _complete_lines(shard, offset)
+                    for record in tail:
+                        yield record
+                inode = stat.st_ino
+                offset = 0
+            elif stat.st_size < offset:
+                offset = 0
+            offset, records = _complete_lines(path, offset)
+            for record in records:
+                yield record
+        if should_stop is not None and should_stop():
+            return
+        if deadline is not None and clock() >= deadline:
+            return
+        sleep(poll)

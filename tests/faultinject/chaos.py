@@ -80,6 +80,13 @@ class FlakySink(EventSink):
     def stats(self):
         return self.inner.stats()
 
+    def set_spans(self, spans) -> None:
+        super().set_spans(spans)
+        self.inner.set_spans(spans)
+
+    def delivery_health(self):
+        return self.inner.delivery_health()
+
     def send(self, lines: List[str]) -> None:
         self._roll_pre()
         self.inner.send(lines)

@@ -159,3 +159,59 @@ def test_http_matches_direct_service_state(server, recorded_frames):
     assert json.loads(get(server, "/cct").read()) == json.loads(
         direct.cct_json()
     )
+
+
+def test_spans_endpoint_serves_ring_and_stage_timings(tmp_path):
+    from repro.ingest import IngestServer
+    from repro.obs import SpanRecorder
+
+    from tests.ingest.test_span_propagation import ingest_traced_run
+
+    service = IngestService(spans=SpanRecorder("ingest"))
+    ingest_traced_run(service=service)
+    server = IngestServer(service).start()
+    try:
+        with get(server, "/spans") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            document = json.loads(response.read())
+        assert document["enabled"] is True
+        assert document["spans"]
+        assert "dacce_ingest_stage_seconds" in document["stages"]
+        with get(server, "/spans?limit=2") as response:
+            limited = json.loads(response.read())
+        assert len(limited["spans"]) <= 2
+        # /spans is listed on the index and in 404 routing.
+        with get(server, "/") as response:
+            assert "/spans" in json.loads(response.read())["endpoints"]
+    finally:
+        server.shutdown()
+
+
+def test_traced_post_measures_admission(tmp_path):
+    """A traced POST attributes body-read time to the batch's trace:
+    the service records an ingest.admit span parented by the first
+    traced frame."""
+    from repro.ingest import IngestServer
+    from repro.obs import SpanRecorder
+
+    service = IngestService(spans=SpanRecorder("ingest"))
+    server = IngestServer(service).start()
+    try:
+        trace = {"id": "ab" * 16, "span": "cd" * 8}
+        line = frame_line(
+            make_frame(
+                "profile.samples",
+                samples_payload([sample_entry([0, 2], 1.0, 0)]),
+                1.0,
+                1,
+                trace=trace,
+            )
+        )
+        post_frames(server, "traced", [line])
+        admits = service.spans.spans(name="ingest.admit")
+        assert admits
+        assert admits[0]["trace"] == trace["id"]
+        assert admits[0]["parent"] == trace["span"]
+        assert admits[0]["dur"] > 0.0
+    finally:
+        server.shutdown()

@@ -1,0 +1,448 @@
+"""Cross-process span propagation: emitter → sinks → service.
+
+The contract under test: the emitter opens one trace per flush and
+stamps its identity into every frame's additive ``trace`` field; that
+field survives every delivery path (direct, spool replay, retried
+sends) byte-for-byte because it lives *in* the frame line; the service
+continues the propagated trace with its own admit/validate/fold/publish
+spans; and producers without tracing produce frames — and canonical
+envelopes — with no ``trace`` key at all, keeping the pre-span replay
+surface byte-exact.
+"""
+
+import json
+
+from repro.core.engine import DacceEngine
+from repro.ingest import (
+    FrameEmitter,
+    IngestService,
+    MemorySink,
+    SpoolingSink,
+    frame_line,
+    make_frame,
+    samples_payload,
+)
+from repro.ingest import EventSink
+from repro.ingest.sinks import read_spool_segment
+from repro.obs import SpanRecorder
+
+from tests.faultinject.chaos import FlakySink
+from tests.ingest.conftest import run_simple_workload
+
+
+class BufferedMemorySink(EventSink):
+    """Buffer on emit, deliver on flush — the HTTP sink's shape, in
+    memory, so spool/retry paths actually see an undelivered batch."""
+
+    def __init__(self):
+        super().__init__()
+        self.lines = []
+        self._buffer = []
+
+    def _write(self, line):
+        self._buffer.append(line)
+
+    def pending(self):
+        return len(self._buffer)
+
+    def take_pending(self):
+        out, self._buffer = self._buffer, []
+        return out
+
+    def send(self, lines):
+        self.lines.extend(lines)
+
+    def flush(self):
+        if self._buffer:
+            batch, self._buffer = self._buffer, []
+            self.send(batch)
+
+
+def traced_producer(sink=None, **emitter_kwargs):
+    spans = SpanRecorder("producer")
+    engine = DacceEngine(spans=spans)
+    sink = sink if sink is not None else MemorySink()
+    emitter = FrameEmitter(
+        sink, run="traced-run", producer="test", spans=spans, **emitter_kwargs
+    )
+    emitter.attach(engine, every=4)
+    return engine, sink, emitter, spans
+
+
+def frames_of(lines):
+    return [json.loads(line) for line in lines]
+
+
+# ----------------------------------------------------------------------
+# producer side
+# ----------------------------------------------------------------------
+def test_frames_carry_the_flush_trace():
+    engine, sink, emitter, spans = traced_producer(sample_batch=10_000)
+    run_simple_workload(engine, 30)
+    emitter.flush()
+    emitter.complete()
+    traced = [f for f in frames_of(sink.lines) if "trace" in f]
+    assert traced, "flush-emitted frames must carry the trace field"
+    for frame in traced:
+        assert set(frame["trace"]) == {"id", "span"}
+    flush_traces = {r["trace"] for r in spans.spans(name="emit.flush")}
+    assert {f["trace"]["id"] for f in traced} <= flush_traces
+
+    # run.start / run.complete are emitted outside any flush: no trace.
+    by_type = {f["type"]: f for f in frames_of(sink.lines)}
+    assert "trace" not in by_type["run.start"]
+    assert "trace" not in by_type["run.complete"]
+
+
+def test_each_flush_opens_a_fresh_root_trace():
+    engine, sink, emitter, spans = traced_producer(sample_batch=10_000)
+    run_simple_workload(engine, 10)
+    emitter.flush()
+    run_simple_workload(engine, 10)
+    emitter.flush()
+    roots = spans.spans(name="emit.flush")
+    assert len(roots) == 2
+    assert roots[0]["trace"] != roots[1]["trace"]
+    assert all("parent" not in r for r in roots)
+
+
+def test_untraced_emitter_frames_have_no_trace_key():
+    engine = DacceEngine()
+    sink = MemorySink()
+    emitter = FrameEmitter(sink, run="plain", sample_batch=10_000)
+    emitter.attach(engine, every=4)
+    run_simple_workload(engine, 30)
+    emitter.complete()
+    for frame in frames_of(sink.lines):
+        assert "trace" not in frame
+
+
+def test_traced_sample_frame_bytes_match_canonical_serializer():
+    """The hand-assembled fast-path line stays byte-identical to
+    ``frame_line(make_frame(..., trace=...))`` with tracing on."""
+    spans = SpanRecorder("producer")
+    engine = DacceEngine(spans=spans)
+    sink = MemorySink()
+    emitter = FrameEmitter(
+        sink, sample_batch=10_000, clock=lambda: 42.5, spans=spans
+    )
+    emitter.attach(engine, every=2)
+    run_simple_workload(engine, 30)
+    seq_before = emitter._seq
+    emitter.flush()
+    actual, frame = next(
+        (line, frame)
+        for line, frame in zip(sink.lines, frames_of(sink.lines))
+        if frame["type"] == "profile.samples"
+    )
+    expected = frame_line(
+        make_frame(
+            "profile.samples",
+            samples_payload(frame["payload"]["samples"]),
+            42.5,
+            seq_before,
+            trace=frame["trace"],
+        )
+    )
+    assert actual == expected
+    emitter.detach()
+
+
+def test_heartbeat_carries_delivery_health():
+    engine, sink, emitter, spans = traced_producer(sample_batch=10_000)
+    run_simple_workload(engine, 10)
+    emitter.flush()
+    assert emitter.heartbeat()
+    heartbeat = [
+        f for f in frames_of(sink.lines) if f["type"] == "heartbeat"
+    ][-1]
+    delivery = heartbeat["payload"]["delivery"]
+    assert delivery["last_flush_seconds"] >= 0.0
+    assert emitter.last_flush_seconds == delivery["last_flush_seconds"]
+
+
+def test_spooling_heartbeat_reports_backlog(tmp_path):
+    flaky = FlakySink(BufferedMemorySink(), fail_rate=1.0)
+    sink = SpoolingSink(flaky, str(tmp_path / "spool"), base_delay=0.0)
+    engine, _, emitter, spans = traced_producer(sink=sink, sample_batch=10_000)
+    run_simple_workload(engine, 30)
+    emitter.flush()  # delivery fails → batch spills to a segment
+    health = sink.delivery_health()
+    assert health["spool_segments"] >= 1
+    assert health["spool_bytes"] > 0
+    assert emitter.heartbeat()
+    spill_spans = spans.spans(name="sink.spool_write")
+    assert spill_spans and all(r["stage"] == "spool" for r in spill_spans)
+
+    heartbeat = frames_of(sink.inner.take_pending() or [])
+    # The heartbeat frame is buffered in the inner sink (delivery is
+    # down); its delivery block must carry the spool backlog gauges.
+    beats = [f for f in heartbeat if f["type"] == "heartbeat"]
+    assert beats
+    assert beats[-1]["payload"]["delivery"]["spool_segments"] >= 1
+
+
+# ----------------------------------------------------------------------
+# transport: trace ids survive spool replay and retried sends
+# ----------------------------------------------------------------------
+def traced_samples(lines):
+    return {
+        f["seq"]: f["trace"]
+        for f in frames_of(lines)
+        if f["type"] == "profile.samples"
+    }
+
+
+def test_trace_ids_survive_spool_replay(tmp_path):
+    flaky = FlakySink(BufferedMemorySink(), fail_rate=1.0)
+    sink = SpoolingSink(flaky, str(tmp_path / "spool"), base_delay=0.0)
+    engine, _, emitter, spans = traced_producer(sink=sink, sample_batch=10_000)
+    run_simple_workload(engine, 30)
+    emitter.flush()  # fails, spills to a segment
+    spooled_lines = []
+    for path in sink.segments():
+        lines, _size = read_spool_segment(path)
+        spooled_lines.extend(lines)
+    stamped = traced_samples(spooled_lines)
+    assert stamped, "spooled sample frames must carry their trace ids"
+
+    flaky.fail_rate = 0.0  # transport heals; the drain replays the spool
+    assert sink.drain(timeout=5.0)
+    delivered = traced_samples(flaky.inner.lines)
+    for seq, trace in stamped.items():
+        assert delivered[seq] == trace
+    replay_spans = spans.spans(name="sink.spool_replay")
+    assert replay_spans and all(r["stage"] == "spool" for r in replay_spans)
+
+
+def test_trace_ids_survive_retried_sends_and_dedupe(tmp_path):
+    """Ack loss: the producer retries a batch the service already
+    received.  The resent frames carry the *same* trace ids, and the
+    service's persisted duplicate envelope keeps the propagated trace."""
+    flaky = FlakySink(BufferedMemorySink(), fail_rate=1.0)
+    sink = SpoolingSink(flaky, str(tmp_path / "spool"), base_delay=0.0)
+    engine, _, emitter, spans = traced_producer(sink=sink, sample_batch=10_000)
+    run_simple_workload(engine, 30)
+    emitter.flush()  # fails, the batch spills to the spool
+    flaky.fail_rate = 0.0
+    flaky.ack_loss_every = 1  # replay is applied but the ack is lost
+    sink.drain(timeout=0.2)  # delivers once; segment kept for retry
+    flaky.ack_loss_every = 0
+    assert sink.drain(timeout=5.0)  # delivers the same batch again
+
+    lines = flaky.inner.lines
+    # The same origin seq was delivered more than once, identically.
+    seen = {}
+    duplicated = 0
+    for frame in frames_of(lines):
+        if frame["type"] != "profile.samples":
+            continue
+        if frame["seq"] in seen:
+            duplicated += 1
+            assert frame["trace"] == seen[frame["seq"]]
+        seen[frame["seq"]] = frame["trace"]
+    assert duplicated > 0
+
+    service = IngestService(
+        data_dir=str(tmp_path / "data"), spans=SpanRecorder("ingest")
+    )
+    service.ingest_lines("traced-run", lines)
+    service.close()
+    with open(str(tmp_path / "data" / "traced-run" / "events.ndjson")) as fh:
+        events = [json.loads(line) for line in fh]
+    duplicates = [e for e in events if e["type"] == "ingest.duplicate"]
+    assert duplicates
+    # A duplicate of a traced frame keeps that frame's propagated trace
+    # (duplicates of untraced frames — run.start — stay bare).
+    frame_traces = {
+        f["seq"]: f.get("trace") for f in frames_of(lines) if "seq" in f
+    }
+    traced_duplicates = [
+        d for d in duplicates
+        if frame_traces.get(d["payload"]["origin_seq"]) is not None
+    ]
+    assert traced_duplicates
+    for duplicate in traced_duplicates:
+        assert duplicate["trace"] == frame_traces[
+            duplicate["payload"]["origin_seq"]
+        ]
+
+
+# ----------------------------------------------------------------------
+# service side
+# ----------------------------------------------------------------------
+def ingest_traced_run(service=None, iterations=30):
+    engine, sink, emitter, spans = traced_producer(sample_batch=10_000)
+    run_simple_workload(engine, iterations)
+    emitter.complete()
+    if service is None:
+        service = IngestService(spans=SpanRecorder("ingest"))
+    summary = service.ingest_lines(
+        "traced-run", sink.lines, admit_seconds=0.001
+    )
+    return service, sink.lines, summary
+
+
+def test_service_continues_the_propagated_trace():
+    service, lines, summary = ingest_traced_run()
+    assert summary["folded"] > 0
+    producer_traces = {
+        f["trace"]["id"] for f in frames_of(lines) if "trace" in f
+    }
+    for name, stage in (
+        ("ingest.admit", "admit"),
+        ("ingest.validate", "admit"),
+        ("ingest.fold", "fold"),
+        ("ingest.publish", "publish"),
+    ):
+        records = service.spans.spans(name=name)
+        assert records, "missing %s spans" % name
+        assert all(r["stage"] == stage for r in records)
+        assert {r["trace"] for r in records} <= producer_traces
+        assert all("parent" in r for r in records)
+
+
+def test_envelopes_preserve_trace_and_untraced_frames_stay_bare(tmp_path):
+    service = IngestService(
+        data_dir=str(tmp_path / "data"), spans=SpanRecorder("ingest")
+    )
+    ingest_traced_run(service=service)
+
+    engine = DacceEngine()
+    plain_sink = MemorySink()
+    plain = FrameEmitter(plain_sink, run="plain-run", sample_batch=10_000)
+    plain.attach(engine, every=4)
+    run_simple_workload(engine, 20)
+    plain.complete()
+    service.ingest_lines("plain-run", plain_sink.lines)
+    service.close()
+
+    with open(str(tmp_path / "data" / "traced-run" / "events.ndjson")) as fh:
+        traced_events = [json.loads(line) for line in fh]
+    assert any("trace" in e for e in traced_events)
+    with open(str(tmp_path / "data" / "plain-run" / "events.ndjson")) as fh:
+        plain_events = [json.loads(line) for line in fh]
+    assert all("trace" not in e for e in plain_events)
+
+
+def test_pre_span_event_log_replays_byte_exact(tmp_path):
+    """A canonical log written by an untraced producer (no ``trace``
+    anywhere) replays into byte-identical /metrics and /cct — the
+    additive field changed nothing for old logs."""
+    from repro.ingest import replay_file
+
+    data_dir = str(tmp_path / "data")
+    service = IngestService(data_dir=data_dir)
+    engine = DacceEngine()
+    sink = MemorySink()
+    emitter = FrameEmitter(sink, run="old-run", sample_batch=10_000)
+    emitter.attach(engine, every=4)
+    run_simple_workload(engine, 30)
+    emitter.complete()
+    service.ingest_lines("old-run", sink.lines)
+    live_metrics = service.metrics_text()
+    live_cct = service.cct_json()
+    service.close()
+
+    log_path = str(tmp_path / "data" / "old-run" / "events.ndjson")
+    with open(log_path) as handle:
+        assert all("trace" not in json.loads(line) for line in handle)
+    replayed, report = replay_file(log_path)
+    assert report.ok
+    assert replayed.metrics_text() == live_metrics
+    assert replayed.cct_json() == live_cct
+
+
+def test_traced_run_still_replays_byte_exact(tmp_path):
+    """Trace fields are persisted in the envelope, so a *traced* log
+    replays byte-exactly too — the determinism gate covers both eras."""
+    from repro.ingest import replay_file
+
+    service = IngestService(
+        data_dir=str(tmp_path / "data"), spans=SpanRecorder("ingest")
+    )
+    ingest_traced_run(service=service)
+    live_metrics = service.metrics_text()
+    live_cct = service.cct_json()
+    service.close()
+
+    log_path = str(tmp_path / "data" / "traced-run" / "events.ndjson")
+    replayed, report = replay_file(log_path)
+    assert report.ok
+    assert replayed.metrics_text() == live_metrics
+    assert replayed.cct_json() == live_cct
+
+
+def test_stage_histogram_lives_outside_the_folded_registry():
+    service, _, _ = ingest_traced_run()
+    # Wall-clock stage timings cannot replay deterministically, so they
+    # must never appear in the byte-diffed /metrics surface.
+    assert "ingest_stage_seconds" not in service.metrics_text()
+    snapshot = service.timing.snapshot()
+    observed = {
+        series["labels"]["stage"]
+        for series in snapshot["dacce_ingest_stage_seconds"]["series"]
+        if series["count"] > 0
+    }
+    assert {"admit", "validate", "fold", "publish"} <= observed
+
+
+def test_stage_exemplars_reference_recorded_spans():
+    service, _, _ = ingest_traced_run()
+    snapshot = service.timing.snapshot()
+    span_ids = {r["span"] for r in service.spans.spans()}
+    exemplars = [
+        series["exemplar"]
+        for series in snapshot["dacce_ingest_stage_seconds"]["series"]
+        if "exemplar" in series
+    ]
+    assert exemplars, "traced stages must carry span-id exemplars"
+    for exemplar in exemplars:
+        assert exemplar["span"] in span_ids
+
+
+def test_spans_json_document():
+    service, _, _ = ingest_traced_run()
+    document = json.loads(service.spans_json(limit=4))
+    assert document["enabled"] is True
+    assert document["service"] == "ingest"
+    assert len(document["spans"]) <= 4
+    assert document["emitted"] >= len(document["spans"])
+    assert "dacce_ingest_stage_seconds" in document["stages"]
+
+
+def test_untraced_service_records_no_spans_but_still_times():
+    service = IngestService()  # NULL_SPANS
+    engine = DacceEngine()
+    sink = MemorySink()
+    emitter = FrameEmitter(sink, run="r", sample_batch=10_000)
+    emitter.attach(engine, every=4)
+    run_simple_workload(engine, 20)
+    emitter.complete()
+    service.ingest_lines("r", sink.lines)
+    assert service.spans.spans() == []
+    document = json.loads(service.spans_json())
+    assert document["enabled"] is False
+    assert document["spans"] == []
+    # The per-stage histogram still observes (ops dashboards work with
+    # tracing off) — just without exemplars.
+    snapshot = service.timing.snapshot()
+    assert not any(
+        "exemplar" in series
+        for series in snapshot["dacce_ingest_stage_seconds"]["series"]
+    )
+
+
+def test_clock_skew_counter_and_healthz_field():
+    service = IngestService()
+    ahead = frame_line(
+        make_frame("heartbeat", {"frames_emitted": 1}, 10_000_000_000.0, 1)
+    )
+    service.ingest_lines("skewed", [ahead])
+    assert service.healthz()["clock_skew_total"] == 1
+    assert "dacce_ingest_clock_skew_total 1" in service.metrics_text()
+
+    service2 = IngestService()
+    normal = frame_line(make_frame("heartbeat", {"frames_emitted": 1}, 1.0, 1))
+    service2.ingest_lines("ok", [normal])
+    assert service2.healthz()["clock_skew_total"] == 0

@@ -1,0 +1,140 @@
+"""Rotation-safe tailing (``dacce trace --follow``): follow_rotated_jsonl."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import RotatingTraceStream, follow_rotated_jsonl
+
+
+def write_lines(path, records, mode="a"):
+    with open(path, mode) as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class Driver:
+    """Runs the follower with scripted actions between polls.
+
+    ``steps`` is a list of callables; step N runs before poll N+1 (the
+    first poll sees the initial file state).  The follower stops once
+    the script is exhausted.
+    """
+
+    def __init__(self, path, steps, **kwargs):
+        self.steps = list(steps)
+        self._stopped = False
+        self.records = []
+        for record in follow_rotated_jsonl(
+            path,
+            poll=0.01,
+            sleep=self._sleep,
+            should_stop=self._should_stop,
+            **kwargs,
+        ):
+            self.records.append(record)
+
+    def _sleep(self, _poll):
+        if self.steps:
+            self.steps.pop(0)()
+
+    def _should_stop(self):
+        if self._stopped:
+            return True
+        if not self.steps:
+            self._stopped = True  # one more pass picks up the last step
+        return False
+
+
+def test_follow_yields_appended_records(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    write_lines(path, [{"n": 1}])
+    driver = Driver(path, [lambda: write_lines(path, [{"n": 2}, {"n": 3}])])
+    assert driver.records == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+
+def test_follow_waits_for_file_to_appear(tmp_path):
+    path = str(tmp_path / "late.jsonl")
+    driver = Driver(path, [lambda: write_lines(path, [{"n": 1}], mode="w")])
+    assert driver.records == [{"n": 1}]
+
+
+def test_torn_line_held_until_complete(tmp_path):
+    path = str(tmp_path / "torn.jsonl")
+    write_lines(path, [{"n": 1}])
+    with open(path, "a") as handle:
+        handle.write('{"n": 2')  # no newline: writer mid-append
+
+    def finish_line():
+        with open(path, "a") as handle:
+            handle.write('}\n')
+
+    driver = Driver(path, [finish_line])
+    assert driver.records == [{"n": 1}, {"n": 2}]
+
+
+def test_rotation_mid_follow_drains_renamed_shard(tmp_path):
+    path = str(tmp_path / "rot.jsonl")
+    write_lines(path, [{"n": 1}])
+
+    def rotate():
+        # The shift scheme: active renamed to .1, new active reopened.
+        # Records appended to the shard before the rename must still
+        # arrive exactly once.
+        write_lines(path, [{"n": 2}])
+        os.replace(path, path + ".1")
+        write_lines(path, [{"n": 3}], mode="w")
+
+    driver = Driver(path, [rotate])
+    assert driver.records == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+
+def test_rotating_stream_writer_mid_follow(tmp_path):
+    path = str(tmp_path / "stream.jsonl")
+    stream = RotatingTraceStream(path, max_bytes=60, backups=2)
+
+    def write_burst(start):
+        def step():
+            for n in range(start, start + 4):
+                stream.write(json.dumps({"n": n}) + "\n")
+            stream.flush()
+        return step
+
+    driver = Driver(path, [write_burst(0), write_burst(4), stream.close])
+    assert [r["n"] for r in driver.records] == list(range(8))
+
+
+def test_in_place_truncation_resets_offset(tmp_path):
+    path = str(tmp_path / "trunc.jsonl")
+    write_lines(path, [{"n": 1}, {"n": 2}])
+
+    def truncate():
+        # In-place truncation (backups=0 writers): same inode, smaller
+        # size — the follower must restart from offset 0.
+        write_lines(path, [{"n": 3}], mode="w")
+
+    driver = Driver(path, [truncate])
+    assert driver.records == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+
+def test_duration_deadline_stops_follow(tmp_path):
+    path = str(tmp_path / "dur.jsonl")
+    write_lines(path, [{"n": 1}])
+    ticks = {"t": 0.0}
+
+    def clock():
+        ticks["t"] += 1.0
+        return ticks["t"]
+
+    records = list(
+        follow_rotated_jsonl(
+            path, poll=0.01, duration=3.0, clock=clock, sleep=lambda _: None
+        )
+    )
+    assert records == [{"n": 1}]
+
+
+def test_poll_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        next(follow_rotated_jsonl(str(tmp_path / "x.jsonl"), poll=0.0))
